@@ -1,0 +1,56 @@
+//! Criterion: trace codec throughput (encode/decode, binary and text).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdbp_trace::{read_binary, read_text, write_binary, write_text, BranchSource, Trace};
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+
+fn sample_trace() -> Trace {
+    Workload::spec95(Benchmark::Compress)
+        .generator(InputSet::Train, 7)
+        .take_instructions(500_000)
+        .collect_trace()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = sample_trace();
+    let events = trace.len() as u64;
+
+    let mut encoded_binary = Vec::new();
+    write_binary(&mut encoded_binary, &trace).expect("in-memory write");
+    let mut encoded_text = Vec::new();
+    write_text(&mut encoded_text, &trace).expect("in-memory write");
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("write_binary", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded_binary.len());
+            write_binary(&mut buf, &trace).expect("in-memory write");
+            buf.len()
+        })
+    });
+    group.bench_function("read_binary", |b| {
+        b.iter(|| read_binary(&mut &encoded_binary[..]).expect("valid payload").len())
+    });
+    group.bench_function("write_text", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded_text.len());
+            write_text(&mut buf, &trace).expect("in-memory write");
+            buf.len()
+        })
+    });
+    group.bench_function("read_text", |b| {
+        b.iter(|| read_text(&mut &encoded_text[..]).expect("valid payload").len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Criterion: one miniature kernel per paper experiment, so `cargo bench`
+//! tracks the cost of every table/figure pipeline (profile → select →
+//! simulate) at a reduced instruction budget. The full-size reports come
+//! from the `sdbp-bench` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdbp_core::{run_experiment, ExperimentSpec, ProfileSource, ShiftPolicy};
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+use sdbp_profiles::SelectionScheme;
+use sdbp_workloads::Benchmark;
+
+const KERNEL_INSTRUCTIONS: u64 = 150_000;
+
+fn kernel(
+    benchmark: Benchmark,
+    kind: PredictorKind,
+    size: usize,
+    scheme: SelectionScheme,
+) -> ExperimentSpec {
+    ExperimentSpec::self_trained(
+        benchmark,
+        PredictorConfig::new(kind, size).expect("valid size"),
+        scheme,
+    )
+    .with_instructions(KERNEL_INSTRUCTIONS)
+}
+
+/// Table 2 kernel: one pure dynamic run per paper predictor.
+fn bench_table2_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_kernel");
+    for kind in PredictorKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                run_experiment(&kernel(
+                    Benchmark::Gcc,
+                    kind,
+                    8 * 1024,
+                    SelectionScheme::None,
+                ))
+                .expect("well-formed spec")
+                .stats
+                .mispredictions
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figures 1–6 kernel: gshare with the static_acc pipeline (profile +
+/// select + simulate) at two sizes.
+fn bench_fig1_6_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_6_kernel");
+    for size_kb in [2usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size_kb}KB")),
+            &size_kb,
+            |b, &size_kb| {
+                b.iter(|| {
+                    run_experiment(&kernel(
+                        Benchmark::Gcc,
+                        PredictorKind::Gshare,
+                        size_kb * 1024,
+                        SelectionScheme::static_acc(),
+                    ))
+                    .expect("well-formed spec")
+                    .stats
+                    .mispredictions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figures 7–12 / Table 3 kernel: 2bcgskew under each static scheme.
+fn bench_fig7_12_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_12_kernel");
+    for (label, scheme) in [
+        ("none", SelectionScheme::None),
+        ("static_95", SelectionScheme::static_95()),
+        ("static_acc", SelectionScheme::static_acc()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, scheme| {
+            b.iter(|| {
+                run_experiment(&kernel(
+                    Benchmark::M88ksim,
+                    PredictorKind::TwoBcGskew,
+                    8 * 1024,
+                    *scheme,
+                ))
+                .expect("well-formed spec")
+                .stats
+                .mispredictions
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 4 kernel: shift vs no-shift.
+fn bench_table4_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_kernel");
+    for (label, shift) in [
+        ("no-shift", ShiftPolicy::NoShift),
+        ("shift", ShiftPolicy::Shift),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &shift, |b, shift| {
+            b.iter(|| {
+                run_experiment(
+                    &kernel(
+                        Benchmark::Go,
+                        PredictorKind::TwoBcGskew,
+                        8 * 1024,
+                        SelectionScheme::static_acc(),
+                    )
+                    .with_shift(*shift),
+                )
+                .expect("well-formed spec")
+                .stats
+                .mispredictions
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 5 / Figure 13 kernel: the cross-training pipeline variants.
+fn bench_fig13_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_kernel");
+    for (label, profile) in [
+        ("self", ProfileSource::SelfTrained),
+        ("cross", ProfileSource::CrossTrained),
+        (
+            "merged",
+            ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            },
+        ),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    run_experiment(
+                        &kernel(
+                            Benchmark::Perl,
+                            PredictorKind::Gshare,
+                            16 * 1024,
+                            SelectionScheme::static_95(),
+                        )
+                        .with_profile(*profile),
+                    )
+                    .expect("well-formed spec")
+                    .stats
+                    .mispredictions
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_table2_kernel,
+        bench_fig1_6_kernel,
+        bench_fig7_12_kernel,
+        bench_table4_kernel,
+        bench_fig13_kernel
+}
+criterion_main!(benches);

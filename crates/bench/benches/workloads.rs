@@ -1,0 +1,57 @@
+//! Criterion: synthetic workload generation throughput (events/second per
+//! benchmark model), plus program materialization cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdbp_trace::BranchSource;
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    for benchmark in Benchmark::ALL {
+        // Materialize once; measure pure event generation.
+        let program = Workload::spec95(benchmark).program(InputSet::Ref, 2000);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut gen =
+                        sdbp_workloads::WorkloadGenerator::new(program.clone(), 2000);
+                    let mut taken = 0u64;
+                    for _ in 0..EVENTS {
+                        let e = gen.next_event().expect("generator is infinite");
+                        taken += u64::from(e.taken);
+                    }
+                    taken
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize");
+    for benchmark in [Benchmark::Compress, Benchmark::Gcc] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark),
+            &benchmark,
+            |b, &benchmark| {
+                b.iter(|| Workload::spec95(benchmark).program(InputSet::Ref, 2000))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_generation, bench_materialization
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Runs the complete experiment suite — every table and figure of the paper
+//! plus the ablations — sharing one [`sdbp_core::Lab`] so each workload is
+//! profiled once. Scale budgets with `SDBP_SCALE` (default 1.0).
+use sdbp_bench::experiments;
+
+fn main() {
+    let mut lab = sdbp_core::Lab::new();
+    let started = std::time::Instant::now();
+    println!("{}", experiments::table1());
+    println!("{}", experiments::table2(&mut lab));
+    println!("{}", experiments::fig1_6(&mut lab));
+    println!("{}", experiments::fig7_12(&mut lab));
+    println!("{}", experiments::table3(&mut lab));
+    println!("{}", experiments::table4(&mut lab));
+    println!("{}", experiments::table5());
+    println!("{}", experiments::fig13(&mut lab));
+    println!("{}", experiments::ablate_shift(&mut lab));
+    println!("{}", experiments::ablate_cutoff(&mut lab));
+    println!("{}", experiments::ablate_selection(&mut lab));
+    println!("{}", experiments::ablate_doubling(&mut lab));
+    println!("{}", experiments::ablate_mcfarling(&mut lab));
+    eprintln!("all experiments completed in {:.1?}", started.elapsed());
+}

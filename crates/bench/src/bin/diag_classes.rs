@@ -1,0 +1,80 @@
+//! Diagnostic: per-behavior-class accuracy of each predictor on one
+//! benchmark — used to debug workload calibration, not a paper artifact.
+
+use sdbp_core::{CombinedPredictor, Simulator};
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+use sdbp_trace::BranchSource;
+use sdbp_workloads::{Benchmark, BranchBehavior, InputSet, Workload};
+use std::collections::HashMap;
+
+fn class_of(b: &BranchBehavior) -> &'static str {
+    match b {
+        BranchBehavior::Biased { p_taken, .. } => {
+            let bias = p_taken.max(1.0 - p_taken);
+            if bias > 0.95 {
+                "strong"
+            } else if bias > 0.80 {
+                "moderate"
+            } else {
+                "weak"
+            }
+        }
+        BranchBehavior::Loop { .. } => "loop",
+        BranchBehavior::Pattern { .. } => "pattern",
+        BranchBehavior::FollowGlobal { .. } => "follow",
+        BranchBehavior::Correlated { .. } => "correlated",
+        BranchBehavior::LoopBack => "backedge",
+    }
+}
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "m88ksim".into())
+        .parse()
+        .expect("benchmark name");
+    let kind: PredictorKind = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "gshare".into())
+        .parse()
+        .expect("predictor kind");
+    let size: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
+
+    let workload = Workload::spec95(bench);
+    let program = workload.program(InputSet::Ref, 2000);
+    let class_by_pc: HashMap<u64, &'static str> = program
+        .sites()
+        .iter()
+        .map(|s| (s.pc.0, class_of(&s.behavior)))
+        .collect();
+
+    let source = workload
+        .generator(InputSet::Ref, 2000)
+        .take_instructions(6_000_000);
+    let mut predictor = CombinedPredictor::pure_dynamic(
+        PredictorConfig::new(kind, size).unwrap().build(),
+    );
+    let mut per_class: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    let stats = Simulator::new().run_with_observer(source, &mut predictor, |event, res| {
+        let class = class_by_pc.get(&event.pc.0).copied().unwrap_or("?");
+        let entry = per_class.entry(class).or_default();
+        entry.0 += 1;
+        entry.1 += u64::from(res.predicted_taken == event.taken);
+    });
+
+    println!("{bench} / {kind} {size}B: overall acc {:.2}%  misp/KI {:.2}  collisions {}",
+        stats.accuracy() * 100.0, stats.misp_per_ki(), stats.collisions.total);
+    let mut rows: Vec<_> = per_class.into_iter().collect();
+    rows.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
+    for (class, (n, correct)) in rows {
+        println!(
+            "  {class:<10} {:>9} execs ({:>5.1}%)  acc {:>6.2}%",
+            n,
+            n as f64 / stats.branches as f64 * 100.0,
+            correct as f64 / n as f64 * 100.0
+        );
+    }
+}

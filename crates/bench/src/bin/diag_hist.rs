@@ -1,0 +1,38 @@
+//! Diagnostic: gshare accuracy vs history length (calibration aid).
+
+use sdbp_core::{CombinedPredictor, Simulator};
+use sdbp_predictors::Gshare;
+use sdbp_trace::BranchSource;
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+
+fn main() {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".into())
+        .parse()
+        .expect("benchmark");
+    let size: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
+    let workload = Workload::spec95(bench);
+    let max_bits = (size * 4).trailing_zeros();
+    for hist in [2u32, 4, 6, 8, 10, 12, max_bits] {
+        if hist > max_bits {
+            continue;
+        }
+        let source = workload
+            .generator(InputSet::Ref, 2000)
+            .take_instructions(6_000_000);
+        let mut p = CombinedPredictor::pure_dynamic(Box::new(Gshare::with_history_len(
+            size, hist,
+        )));
+        let stats = Simulator::new().run(source, &mut p);
+        println!(
+            "{bench} gshare {size}B hist={hist:>2}: acc {:.2}%  misp/KI {:.2}  collisions {}",
+            stats.accuracy() * 100.0,
+            stats.misp_per_ki(),
+            stats.collisions.total
+        );
+    }
+}

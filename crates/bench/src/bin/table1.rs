@@ -1,0 +1,5 @@
+//! Table 1 — characteristics of the test programs. See
+//! [`sdbp_bench::experiments::table1`].
+fn main() {
+    println!("{}", sdbp_bench::experiments::table1());
+}

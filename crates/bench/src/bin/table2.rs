@@ -1,0 +1,7 @@
+//! Table 2 — percentage of highly biased branches and branch prediction
+//! accuracy of the five dynamic predictors. See
+//! [`sdbp_bench::experiments::table2`].
+fn main() {
+    let mut lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table2(&mut lab));
+}

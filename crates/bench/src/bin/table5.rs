@@ -1,0 +1,5 @@
+//! Table 5 — branch behavior: training vs reference input. See
+//! [`sdbp_bench::experiments::table5`].
+fn main() {
+    println!("{}", sdbp_bench::experiments::table5());
+}

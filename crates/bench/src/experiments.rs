@@ -1,0 +1,569 @@
+//! The experiment implementations behind the harness binaries.
+//!
+//! Each function regenerates one table or figure of the paper and returns
+//! the rendered report; the binaries under `src/bin/` are thin wrappers, and
+//! `all_experiments` runs the full set in one process (sharing one [`Lab`]
+//! so profiles are computed once).
+
+use crate::{improvement_pct, measure_budget, run_verbose, spec, COMPARISON_SIZE, SEED, SIZE_SWEEP};
+use sdbp_core::{Lab, ProfileSource, ShiftPolicy};
+use sdbp_predictors::PredictorKind;
+use sdbp_profiles::SelectionScheme;
+use sdbp_trace::{BranchSource, TraceStats};
+use sdbp_util::table::{fixed, grouped, pct, TableWriter};
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+
+/// Table 1 — program characteristics.
+pub fn table1() -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "#Instr (static)",
+        "#CBRs (static)",
+        "Train: #Dyn instr",
+        "Train: CBRs/KI",
+        "Ref: #Dyn instr",
+        "Ref: CBRs/KI",
+    ]);
+    table.numeric();
+    for benchmark in Benchmark::ALL {
+        eprintln!("table1: measuring {benchmark} ...");
+        let workload = Workload::spec95(benchmark);
+        let program = workload.program(InputSet::Train, SEED);
+        let mut row = vec![
+            benchmark.name().to_string(),
+            grouped(program.static_instructions()),
+            grouped(program.sites().len() as u64),
+        ];
+        for input in [InputSet::Train, InputSet::Ref] {
+            let budget =
+                (workload.spec().default_instructions(input) as f64 * crate::scale()) as u64;
+            let source = workload.generator(input, SEED).take_instructions(budget);
+            let stats = TraceStats::from_source(source);
+            row.push(grouped(stats.total_instructions()));
+            row.push(fixed(stats.cbrs_per_ki(), 0));
+        }
+        table.row(row);
+    }
+    format!(
+        "Table 1. Characteristics of test programs\n(dynamic budgets scaled from the paper's billions to the defaults in sdbp-workloads)\n\n{}",
+        table.render()
+    )
+}
+
+/// Table 2 — biased-branch percentages and per-predictor accuracy.
+pub fn table2(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "%Biased(>95%)",
+        "bimodal",
+        "ghist",
+        "gshare",
+        "bi-mode",
+        "2bcgskew",
+    ]);
+    table.numeric();
+    // Order programs by biased fraction like the paper (go first).
+    for benchmark in [
+        Benchmark::Go,
+        Benchmark::Compress,
+        Benchmark::Ijpeg,
+        Benchmark::Gcc,
+        Benchmark::Perl,
+        Benchmark::M88ksim,
+    ] {
+        eprintln!("table2: profiling {benchmark} ...");
+        let source = Workload::spec95(benchmark)
+            .generator(InputSet::Ref, SEED)
+            .take_instructions(measure_budget());
+        let stats = TraceStats::from_source(source);
+        let mut row = vec![
+            benchmark.name().to_string(),
+            pct(stats.dynamic_fraction_biased(0.95)),
+        ];
+        for kind in PredictorKind::PAPER {
+            let report = run_verbose(
+                lab,
+                &spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None),
+            );
+            row.push(pct(report.stats.accuracy()));
+        }
+        table.row(row);
+    }
+    format!(
+        "Table 2. Percentage of highly biased branches and branch prediction accuracy\n(all predictors {} KB, ref input)\n\n{}",
+        COMPARISON_SIZE / 1024,
+        table.render()
+    )
+}
+
+/// Figures 1–6 — gshare size sweep with and without `Static_Acc`.
+pub fn fig1_6(lab: &mut Lab) -> String {
+    let mut out = String::new();
+    for (i, benchmark) in Benchmark::ALL.iter().enumerate() {
+        let mut table = TableWriter::with_columns(&[
+            "Size",
+            "MISPs/KI (dynamic)",
+            "MISPs/KI (+static_acc)",
+            "Improvement",
+            "Collisions (dynamic)",
+            "Collisions (+static)",
+        ]);
+        table.numeric();
+        eprintln!("fig1_6: figure {} ({benchmark}) ...", i + 1);
+        for size in SIZE_SWEEP {
+            let base = run_verbose(
+                lab,
+                &spec(*benchmark, PredictorKind::Gshare, size, SelectionScheme::None),
+            );
+            let with = run_verbose(
+                lab,
+                &spec(
+                    *benchmark,
+                    PredictorKind::Gshare,
+                    size,
+                    SelectionScheme::static_acc(),
+                ),
+            );
+            table.row(vec![
+                format!("{}KB", size / 1024),
+                fixed(base.stats.misp_per_ki(), 3),
+                fixed(with.stats.misp_per_ki(), 3),
+                format!("{:+.1}%", with.improvement_over(&base) * 100.0),
+                grouped(base.stats.collisions.total),
+                grouped(with.stats.collisions.total),
+            ]);
+        }
+        out.push_str(&format!(
+            "Figure {}. {}: gshare size vs MISPs/KI, with and without static prediction (static_ACC)\n\n{}\n",
+            i + 1,
+            benchmark,
+            table.render()
+        ));
+    }
+    out
+}
+
+/// Figures 7–12 — five predictors × three static schemes.
+pub fn fig7_12(lab: &mut Lab) -> String {
+    let schemes = [
+        SelectionScheme::None,
+        SelectionScheme::static_95(),
+        SelectionScheme::static_acc(),
+    ];
+    let mut out = String::new();
+    for (i, benchmark) in Benchmark::ALL.iter().enumerate() {
+        let mut table = TableWriter::with_columns(&[
+            "Predictor",
+            "MISPs/KI (none)",
+            "MISPs/KI (static_95)",
+            "MISPs/KI (static_acc)",
+            "Δ95",
+            "Δacc",
+        ]);
+        table.numeric();
+        eprintln!("fig7_12: figure {} ({benchmark}) ...", i + 7);
+        for kind in PredictorKind::PAPER {
+            let reports: Vec<_> = schemes
+                .iter()
+                .map(|scheme| run_verbose(lab, &spec(*benchmark, kind, COMPARISON_SIZE, *scheme)))
+                .collect();
+            table.row(vec![
+                kind.name().to_string(),
+                fixed(reports[0].stats.misp_per_ki(), 3),
+                fixed(reports[1].stats.misp_per_ki(), 3),
+                fixed(reports[2].stats.misp_per_ki(), 3),
+                format!("{:+.1}%", reports[1].improvement_over(&reports[0]) * 100.0),
+                format!("{:+.1}%", reports[2].improvement_over(&reports[0]) * 100.0),
+            ]);
+        }
+        out.push_str(&format!(
+            "Figure {}. {}: MISPs/KI per dynamic predictor ({} KB) under the static schemes\n\n{}\n",
+            i + 7,
+            benchmark,
+            COMPARISON_SIZE / 1024,
+            table.render()
+        ));
+    }
+    out
+}
+
+/// Table 3 — 2bcgskew improvements for go & gcc across sizes.
+pub fn table3(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "2bcgskew Size",
+        "Go: Static_95",
+        "Go: Static_Acc",
+        "Gcc: Static_95",
+        "Gcc: Static_Acc",
+    ]);
+    table.numeric();
+    for size in [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024] {
+        eprintln!("table3: 2bcgskew {}KB ...", size / 1024);
+        let mut row = vec![format!("{} KB", size / 1024)];
+        for benchmark in [Benchmark::Go, Benchmark::Gcc] {
+            let base = run_verbose(
+                lab,
+                &spec(
+                    benchmark,
+                    PredictorKind::TwoBcGskew,
+                    size,
+                    SelectionScheme::None,
+                ),
+            );
+            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
+                let report =
+                    run_verbose(lab, &spec(benchmark, PredictorKind::TwoBcGskew, size, scheme));
+                row.push(improvement_pct(&report, &base));
+            }
+        }
+        table.row(row);
+    }
+    format!(
+        "Table 3. 2bcgskew: improvements in MISPs/KI with two static prediction schemes for go & gcc\n\n{}",
+        table.render()
+    )
+}
+
+/// Table 4 — effect of shifting history for statically predicted branches.
+pub fn table4(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "Size",
+        "Static_95",
+        "Static_95 Shift",
+        "Static_Acc",
+        "Static_Acc Shift",
+    ]);
+    table.numeric();
+    for benchmark in Benchmark::ALL {
+        for size in [32 * 1024, 64 * 1024] {
+            eprintln!("table4: {benchmark} {}KB ...", size / 1024);
+            let base = run_verbose(
+                lab,
+                &spec(
+                    benchmark,
+                    PredictorKind::TwoBcGskew,
+                    size,
+                    SelectionScheme::None,
+                ),
+            );
+            let mut row = vec![benchmark.name().to_string(), format!("{}", size)];
+            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
+                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
+                    let report = run_verbose(
+                        lab,
+                        &spec(benchmark, PredictorKind::TwoBcGskew, size, scheme)
+                            .with_shift(shift),
+                    );
+                    row.push(improvement_pct(&report, &base));
+                }
+            }
+            table.row(row);
+        }
+    }
+    format!(
+        "Table 4. 2bcgskew: effect of shifting history for statically predicted branches\n\n{}",
+        table.render()
+    )
+}
+
+/// Table 5 — train-vs-ref branch behavior.
+pub fn table5() -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "Coverage (static)",
+        "Coverage (dynamic)",
+        "Dir change (static)",
+        "Dir change (dynamic)",
+        "Bias chg <5% (static)",
+        "Bias chg >50% (static)",
+    ]);
+    table.numeric();
+    for benchmark in Benchmark::ALL {
+        eprintln!("table5: comparing {benchmark} train vs ref ...");
+        let workload = Workload::spec95(benchmark);
+        let train_budget = (workload.spec().default_instructions(InputSet::Train) as f64
+            * crate::scale()) as u64;
+        let ref_budget =
+            (workload.spec().default_instructions(InputSet::Ref) as f64 * crate::scale()) as u64;
+        let train = TraceStats::from_source(
+            workload
+                .generator(InputSet::Train, SEED)
+                .take_instructions(train_budget),
+        );
+        let reference = TraceStats::from_source(
+            workload
+                .generator(InputSet::Ref, SEED)
+                .take_instructions(ref_budget),
+        );
+        let cmp = reference.compare(&train);
+        let frac = |n: u64| {
+            if cmp.common_static == 0 {
+                0.0
+            } else {
+                n as f64 / cmp.common_static as f64
+            }
+        };
+        table.row(vec![
+            benchmark.name().to_string(),
+            pct(cmp.coverage_static()),
+            pct(cmp.coverage_dynamic()),
+            pct(cmp.direction_change_rate_static()),
+            pct(cmp.direction_change_rate_dynamic()),
+            pct(frac(cmp.bias_change_small_static)),
+            pct(frac(cmp.bias_change_large_static)),
+        ]);
+    }
+    format!(
+        "Table 5. Branch behavior: training vs reference input\n\n{}",
+        table.render()
+    )
+}
+
+/// Figure 13 — cross-training regimes on gshare 16 KB + `Static_95`.
+pub fn fig13(lab: &mut Lab) -> String {
+    let size = 16 * 1024;
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "No static",
+        "Self-trained",
+        "Naive cross",
+        "Merged cross",
+    ]);
+    table.numeric();
+    for benchmark in Benchmark::ALL {
+        eprintln!("fig13: {benchmark} ...");
+        let base = spec(
+            benchmark,
+            PredictorKind::Gshare,
+            size,
+            SelectionScheme::static_95(),
+        );
+        let none = run_verbose(lab, &base.clone().with_scheme(SelectionScheme::None));
+        let selfed = run_verbose(lab, &base.clone().with_profile(ProfileSource::SelfTrained));
+        let naive = run_verbose(lab, &base.clone().with_profile(ProfileSource::CrossTrained));
+        let merged = run_verbose(
+            lab,
+            &base
+                .clone()
+                .with_profile(ProfileSource::MergedCrossTrained {
+                    max_bias_change: 0.05,
+                }),
+        );
+        table.row(vec![
+            benchmark.name().to_string(),
+            fixed(none.stats.misp_per_ki(), 3),
+            fixed(selfed.stats.misp_per_ki(), 3),
+            fixed(naive.stats.misp_per_ki(), 3),
+            fixed(merged.stats.misp_per_ki(), 3),
+        ]);
+    }
+    format!(
+        "Figure 13. Effect of cross-training on profile-based static prediction:\nGSHARE (16 KB) + static prediction (bias > 95%), MISPs/KI\n\n{}",
+        table.render()
+    )
+}
+
+/// Ablation E — the classic McFarling family comparison (bimodal, gselect,
+/// gshare, tournament) across sizes on gcc: the combining-predictor story
+/// that 2bcgskew later superseded, as context for Table 2's orderings.
+pub fn ablate_mcfarling(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Size",
+        "bimodal",
+        "gselect",
+        "gshare",
+        "tournament",
+        "2bcgskew",
+    ]);
+    table.numeric();
+    let kinds = [
+        PredictorKind::Bimodal,
+        PredictorKind::Gselect,
+        PredictorKind::Gshare,
+        PredictorKind::Tournament,
+        PredictorKind::TwoBcGskew,
+    ];
+    for size in [2 * 1024usize, 8 * 1024, 32 * 1024] {
+        eprintln!("ablate_mcfarling: {}KB ...", size / 1024);
+        let mut row = vec![format!("{}KB", size / 1024)];
+        for kind in kinds {
+            let report = run_verbose(lab, &spec(Benchmark::Gcc, kind, size, SelectionScheme::None));
+            row.push(fixed(report.stats.misp_per_ki(), 3));
+        }
+        table.row(row);
+    }
+    format!(
+        "Ablation E. The McFarling predictor family on gcc, MISPs/KI (dynamic only)\n\n{}",
+        table.render()
+    )
+}
+
+/// Ablation D — the paper's §1 claim that static prediction "can achieve
+/// the effect of doubling predictor size" for the simple predictors:
+/// compare `size + static_acc` against `2×size` dynamic-only.
+pub fn ablate_doubling(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "Predictor",
+        "Size",
+        "MISPs/KI",
+        "2x size",
+        "size + static_acc",
+    ]);
+    table.numeric();
+    for benchmark in [Benchmark::Gcc, Benchmark::M88ksim, Benchmark::Go] {
+        for kind in [PredictorKind::Ghist, PredictorKind::Gshare] {
+            for size in [2 * 1024usize, 8 * 1024] {
+                eprintln!("ablate_doubling: {benchmark} {kind} {}KB ...", size / 1024);
+                let base = run_verbose(lab, &spec(benchmark, kind, size, SelectionScheme::None));
+                let doubled =
+                    run_verbose(lab, &spec(benchmark, kind, size * 2, SelectionScheme::None));
+                let with_static = run_verbose(
+                    lab,
+                    &spec(benchmark, kind, size, SelectionScheme::static_acc()),
+                );
+                table.row(vec![
+                    benchmark.name().to_string(),
+                    kind.name().to_string(),
+                    format!("{}KB", size / 1024),
+                    fixed(base.stats.misp_per_ki(), 3),
+                    fixed(doubled.stats.misp_per_ki(), 3),
+                    fixed(with_static.stats.misp_per_ki(), 3),
+                ]);
+            }
+        }
+    }
+    format!(
+        "Ablation D. Does static prediction equal a size doubling? (paper §1 claim)\n\n{}",
+        table.render()
+    )
+}
+
+/// Ablation A — shift-vs-no-shift across every history-using predictor.
+pub fn ablate_shift(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "Predictor",
+        "Static_95",
+        "Static_95 Shift",
+        "Static_Acc",
+        "Static_Acc Shift",
+    ]);
+    table.numeric();
+    for benchmark in [Benchmark::Go, Benchmark::Gcc, Benchmark::M88ksim] {
+        for kind in [
+            PredictorKind::Ghist,
+            PredictorKind::Gshare,
+            PredictorKind::BiMode,
+            PredictorKind::TwoBcGskew,
+        ] {
+            eprintln!("ablate_shift: {benchmark} {kind} ...");
+            let base = run_verbose(
+                lab,
+                &spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None),
+            );
+            let mut row = vec![benchmark.name().to_string(), kind.name().to_string()];
+            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
+                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
+                    let report = run_verbose(
+                        lab,
+                        &spec(benchmark, kind, COMPARISON_SIZE, scheme).with_shift(shift),
+                    );
+                    row.push(improvement_pct(&report, &base));
+                }
+            }
+            table.row(row);
+        }
+    }
+    format!(
+        "Ablation A. History shifting for statically predicted branches, per predictor ({} KB)\n\n{}",
+        COMPARISON_SIZE / 1024,
+        table.render()
+    )
+}
+
+/// Ablation B — `Static_95` bias-cutoff sweep.
+pub fn ablate_cutoff(lab: &mut Lab) -> String {
+    let mut table = TableWriter::with_columns(&[
+        "Cutoff",
+        "gcc: hints",
+        "gcc: MISPs/KI",
+        "gcc: Δ",
+        "m88ksim: hints",
+        "m88ksim: MISPs/KI",
+        "m88ksim: Δ",
+    ]);
+    table.numeric();
+    let bases: Vec<_> = [Benchmark::Gcc, Benchmark::M88ksim]
+        .iter()
+        .map(|b| {
+            run_verbose(
+                lab,
+                &spec(*b, PredictorKind::Gshare, COMPARISON_SIZE, SelectionScheme::None),
+            )
+        })
+        .collect();
+    for cutoff in [0.80, 0.90, 0.95, 0.99, 0.999] {
+        eprintln!("ablate_cutoff: bias > {cutoff} ...");
+        let mut row = vec![format!("{:.1}%", cutoff * 100.0)];
+        for (base, benchmark) in bases.iter().zip([Benchmark::Gcc, Benchmark::M88ksim]) {
+            let report = run_verbose(
+                lab,
+                &spec(
+                    benchmark,
+                    PredictorKind::Gshare,
+                    COMPARISON_SIZE,
+                    SelectionScheme::Bias { cutoff },
+                ),
+            );
+            row.push(grouped(report.hints as u64));
+            row.push(fixed(report.stats.misp_per_ki(), 3));
+            row.push(improvement_pct(&report, base));
+        }
+        table.row(row);
+    }
+    format!(
+        "Ablation B. Static_95 bias-cutoff sweep on gshare ({} KB)\n\n{}",
+        COMPARISON_SIZE / 1024,
+        table.render()
+    )
+}
+
+/// Ablation C — all selection schemes side by side, including `Static_Fac`
+/// and the future-work collision-aware scheme.
+pub fn ablate_selection(lab: &mut Lab) -> String {
+    let schemes = [
+        SelectionScheme::None,
+        SelectionScheme::static_95(),
+        SelectionScheme::static_acc(),
+        SelectionScheme::Factor { factor: 1.05 },
+        SelectionScheme::collision_aware(),
+    ];
+    let mut table = TableWriter::with_columns(&[
+        "Program",
+        "none",
+        "static_95",
+        "static_acc",
+        "static_fac1.05",
+        "static_col",
+    ]);
+    table.numeric();
+    for benchmark in Benchmark::ALL {
+        eprintln!("ablate_selection: {benchmark} ...");
+        let mut row = vec![benchmark.name().to_string()];
+        for scheme in schemes {
+            let report = run_verbose(
+                lab,
+                &spec(benchmark, PredictorKind::Gshare, COMPARISON_SIZE, scheme),
+            );
+            row.push(fixed(report.stats.misp_per_ki(), 3));
+        }
+        table.row(row);
+    }
+    format!(
+        "Ablation C. Selection schemes on gshare ({} KB), MISPs/KI\n(static_col is the paper's future-work collision-aware selection)\n\n{}",
+        COMPARISON_SIZE / 1024,
+        table.render()
+    )
+}

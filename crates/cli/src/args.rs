@@ -1,0 +1,124 @@
+//! Minimal dependency-free argument parsing for the `sdbp` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`: the first token is the subcommand, the rest are
+    /// `--key value` pairs or bare `--flag`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for options missing their value or tokens that are
+    /// not options.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut iter = argv.into_iter().peekable();
+        let command = iter.next().unwrap_or_default();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{token}' (expected --option)"));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// The subcommand name (empty when none was given).
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Reports the key and the malformed value.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid --{key} '{v}': {e}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["sim", "--benchmark", "gcc", "--shift", "--size", "8192"]);
+        assert_eq!(a.command(), "sim");
+        assert_eq!(a.get("benchmark"), Some("gcc"));
+        assert_eq!(a.get_or("input", "ref"), "ref");
+        assert_eq!(a.get_parsed_or("size", 0usize).unwrap(), 8192);
+        assert!(a.has_flag("shift"));
+        assert!(!a.has_flag("text"));
+    }
+
+    #[test]
+    fn empty_argv_is_empty_command() {
+        let a = parse(&[]);
+        assert_eq!(a.command(), "");
+    }
+
+    #[test]
+    fn rejects_stray_positional() {
+        let err = Args::parse(["sim".to_string(), "gcc".to_string()]).unwrap_err();
+        assert!(err.contains("gcc"));
+    }
+
+    #[test]
+    fn reports_bad_values() {
+        let a = parse(&["sim", "--size", "zz"]);
+        assert!(a.get_parsed_or("size", 0usize).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_works() {
+        let a = parse(&["gen", "--text"]);
+        assert!(a.has_flag("text"));
+    }
+}

@@ -1,0 +1,461 @@
+//! The `sdbp` subcommand implementations.
+
+use crate::args::Args;
+use sdbp_core::{
+    BranchAnalysis, CombinedPredictor, ExperimentSpec, Lab, ProfileSource, ShiftPolicy, Simulator,
+};
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+use sdbp_profiles::{BiasProfile, HintDatabase, SelectionScheme};
+use sdbp_trace::{read_binary, read_text, write_binary, write_text, BranchSource, Trace};
+use sdbp_util::table::{fixed, grouped, pct, TableWriter};
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+use std::fs;
+use std::io::BufReader;
+
+type CmdResult = Result<(), String>;
+
+/// Common options: `--benchmark`, `--input`, `--seed`, `--instructions`.
+struct RunOptions {
+    benchmark: Benchmark,
+    input: InputSet,
+    seed: u64,
+    instructions: u64,
+}
+
+fn run_options(args: &Args) -> Result<RunOptions, String> {
+    let benchmark: Benchmark = args
+        .get_or("benchmark", "gcc")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let input = match args.get_or("input", "ref") {
+        "train" => InputSet::Train,
+        "ref" => InputSet::Ref,
+        other => return Err(format!("invalid --input '{other}' (train|ref)")),
+    };
+    let seed = args.get_parsed_or("seed", 2000u64)?;
+    let default_budget = Workload::spec95(benchmark)
+        .spec()
+        .default_instructions(input);
+    let instructions = args.get_parsed_or("instructions", default_budget)?;
+    Ok(RunOptions {
+        benchmark,
+        input,
+        seed,
+        instructions,
+    })
+}
+
+fn scheme_of(args: &Args) -> Result<SelectionScheme, String> {
+    Ok(match args.get_or("scheme", "none") {
+        "none" => SelectionScheme::None,
+        "static_95" => SelectionScheme::static_95(),
+        "static_acc" => SelectionScheme::static_acc(),
+        "static_col" => SelectionScheme::collision_aware(),
+        other => {
+            if let Some(cutoff) = other.strip_prefix("static_") {
+                let cutoff: f64 = cutoff
+                    .parse()
+                    .map_err(|_| format!("invalid --scheme '{other}'"))?;
+                SelectionScheme::Bias {
+                    cutoff: cutoff / 100.0,
+                }
+            } else {
+                return Err(format!(
+                    "invalid --scheme '{other}' (none|static_95|static_<pct>|static_acc|static_col)"
+                ));
+            }
+        }
+    })
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    if path.ends_with(".txt") || path.ends_with(".text") {
+        read_text(&mut reader).map_err(|e| format!("{path}: {e}"))
+    } else {
+        read_binary(&mut reader).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `sdbp gen` — generate a trace file from a synthetic workload.
+pub fn gen(args: &Args) -> CmdResult {
+    let opts = run_options(args)?;
+    let out = args
+        .get("out")
+        .ok_or("gen requires --out <path>".to_string())?;
+    let trace = Workload::spec95(opts.benchmark)
+        .generator(opts.input, opts.seed)
+        .take_instructions(opts.instructions)
+        .collect_trace();
+    let mut buf = Vec::new();
+    if args.has_flag("text") || out.ends_with(".txt") {
+        write_text(&mut buf, &trace).map_err(|e| e.to_string())?;
+    } else {
+        write_binary(&mut buf, &trace).map_err(|e| e.to_string())?;
+    }
+    fs::write(out, &buf).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} branches, {} instructions ({} bytes)",
+        grouped(trace.len() as u64),
+        grouped(trace.meta().total_instructions),
+        grouped(buf.len() as u64)
+    );
+    Ok(())
+}
+
+/// `sdbp stats` — characterize a trace file or a synthetic workload.
+pub fn stats(args: &Args) -> CmdResult {
+    let stats = if let Some(path) = args.get("trace") {
+        let trace = load_trace(path)?;
+        sdbp_trace::TraceStats::from_source(sdbp_trace::SliceSource::from_trace(&trace))
+    } else {
+        let opts = run_options(args)?;
+        sdbp_trace::TraceStats::from_source(
+            Workload::spec95(opts.benchmark)
+                .generator(opts.input, opts.seed)
+                .take_instructions(opts.instructions),
+        )
+    };
+    let mut t = TableWriter::with_columns(&["metric", "value"]);
+    t.align(1, sdbp_util::table::Align::Right);
+    t.row_display(["static branches", &grouped(stats.static_branches() as u64)]);
+    t.row_display(["dynamic branches", &grouped(stats.dynamic_branches())]);
+    t.row_display(["instructions", &grouped(stats.total_instructions())]);
+    t.row_display(["CBRs/KI", &fixed(stats.cbrs_per_ki(), 1)]);
+    t.row_display(["dyn. biased >95%", &pct(stats.dynamic_fraction_biased(0.95))]);
+    t.row_display(["stat. biased >95%", &pct(stats.static_fraction_biased(0.95))]);
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// `sdbp profile` — collect a bias profile and write it as text.
+pub fn profile(args: &Args) -> CmdResult {
+    let opts = run_options(args)?;
+    let out = args
+        .get("out")
+        .ok_or("profile requires --out <path>".to_string())?;
+    let profile = BiasProfile::from_source(
+        Workload::spec95(opts.benchmark)
+            .generator(opts.input, opts.seed)
+            .take_instructions(opts.instructions),
+    );
+    fs::write(out, profile.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} sites, {} executions",
+        grouped(profile.len() as u64),
+        grouped(profile.total_executions())
+    );
+    Ok(())
+}
+
+/// `sdbp select` — select static hints from a profile (or from a fresh run)
+/// and write the hint database.
+pub fn select(args: &Args) -> CmdResult {
+    let scheme = scheme_of(args)?;
+    let out = args
+        .get("out")
+        .ok_or("select requires --out <path>".to_string())?;
+    let opts = run_options(args)?;
+    let bias = match args.get("profile") {
+        Some(path) => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            BiasProfile::from_text(&text)?
+        }
+        None => BiasProfile::from_source(
+            Workload::spec95(opts.benchmark)
+                .generator(opts.input, opts.seed)
+                .take_instructions(opts.instructions),
+        ),
+    };
+    let accuracy = if scheme.needs_accuracy_profile() {
+        let kind: PredictorKind = args
+            .get_or("predictor", "gshare")
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let size = args.get_parsed_or("size", 8192usize)?;
+        let mut predictor = PredictorConfig::new(kind, size)
+            .map_err(|e| e.to_string())?
+            .build();
+        Some(sdbp_profiles::AccuracyProfile::collect(
+            Workload::spec95(opts.benchmark)
+                .generator(opts.input, opts.seed)
+                .take_instructions(opts.instructions),
+            predictor.as_mut(),
+        ))
+    } else {
+        None
+    };
+    let hints = scheme
+        .select(&bias, accuracy.as_ref())
+        .map_err(|e| e.to_string())?;
+    fs::write(out, hints.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}: {} ({scheme})", hints);
+    Ok(())
+}
+
+/// `sdbp sim` — simulate a predictor over a workload or trace, optionally
+/// with a hint database or an on-the-fly selection scheme.
+pub fn sim(args: &Args) -> CmdResult {
+    let kind: PredictorKind = args
+        .get_or("predictor", "gshare")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let size = args.get_parsed_or("size", 8192usize)?;
+    let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
+    let shift = if args.has_flag("shift") {
+        ShiftPolicy::Shift
+    } else {
+        ShiftPolicy::NoShift
+    };
+
+    // Trace-file mode: external traces with an optional hint database.
+    if let Some(path) = args.get("trace") {
+        let trace = load_trace(path)?;
+        let hints = match args.get("hints") {
+            Some(hint_path) => {
+                let text = fs::read_to_string(hint_path)
+                    .map_err(|e| format!("cannot read {hint_path}: {e}"))?;
+                HintDatabase::from_text(&text)?
+            }
+            None => HintDatabase::new(),
+        };
+        let mut combined = CombinedPredictor::new(config.build(), hints, shift);
+        let stats = Simulator::new().run(sdbp_trace::SliceSource::from_trace(&trace), &mut combined);
+        println!("{config} on {path}: {stats}");
+        return Ok(());
+    }
+
+    // Workload mode: the full two-phase experiment.
+    let opts = run_options(args)?;
+    let scheme = scheme_of(args)?;
+    let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
+        .with_shift(shift)
+        .with_seed(opts.seed)
+        .with_measure_input(opts.input);
+    spec.measure_instructions = Some(opts.instructions);
+    spec.profile_instructions = Some(opts.instructions);
+    match args.get_or("training", "self") {
+        "self" => {}
+        "cross" => spec = spec.with_profile(ProfileSource::CrossTrained),
+        "merged" => {
+            spec = spec.with_profile(ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            })
+        }
+        other => return Err(format!("invalid --training '{other}' (self|cross|merged)")),
+    }
+    let report = Lab::new().run(&spec).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+/// `sdbp sweep` — size sweep of one predictor/scheme on one benchmark.
+pub fn sweep(args: &Args) -> CmdResult {
+    let kind: PredictorKind = args
+        .get_or("predictor", "gshare")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let scheme = scheme_of(args)?;
+    let opts = run_options(args)?;
+    let mut lab = Lab::new();
+    let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
+    t.numeric();
+    for size_kb in [1usize, 2, 4, 8, 16, 32, 64] {
+        let config =
+            PredictorConfig::new(kind, size_kb * 1024).map_err(|e| e.to_string())?;
+        let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
+            .with_seed(opts.seed)
+            .with_measure_input(opts.input);
+        spec.measure_instructions = Some(opts.instructions);
+        spec.profile_instructions = Some(opts.instructions);
+        let report = lab.run(&spec).map_err(|e| e.to_string())?;
+        eprintln!("  {report}");
+        t.row(vec![
+            format!("{size_kb}KB"),
+            fixed(report.stats.misp_per_ki(), 3),
+            pct(report.stats.accuracy()),
+            grouped(report.stats.collisions.total),
+            grouped(report.hints as u64),
+        ]);
+    }
+    println!(
+        "{kind} on {} ({}, {scheme}):\n\n{}",
+        opts.benchmark,
+        opts.input,
+        t.render()
+    );
+    Ok(())
+}
+
+/// `sdbp hotspots` — per-branch misprediction breakdown: the top
+/// contributors a performance engineer (or a selection scheme) would target.
+pub fn hotspots(args: &Args) -> CmdResult {
+    let kind: PredictorKind = args
+        .get_or("predictor", "gshare")
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let size = args.get_parsed_or("size", 8192usize)?;
+    let top = args.get_parsed_or("top", 15usize)?;
+    let opts = run_options(args)?;
+    let mut predictor = CombinedPredictor::pure_dynamic(
+        PredictorConfig::new(kind, size)
+            .map_err(|e| e.to_string())?
+            .build(),
+    );
+    let analysis = BranchAnalysis::run(
+        Workload::spec95(opts.benchmark)
+            .generator(opts.input, opts.seed)
+            .take_instructions(opts.instructions),
+        &mut predictor,
+    );
+    let mut t = TableWriter::with_columns(&[
+        "pc",
+        "executed",
+        "mispredicted",
+        "rate",
+        "collisions",
+    ]);
+    t.numeric();
+    for (pc, r) in analysis.top_mispredictors(top) {
+        t.row(vec![
+            format!("{pc}"),
+            grouped(r.executed),
+            grouped(r.mispredicted),
+            pct(r.misprediction_rate()),
+            grouped(r.collisions),
+        ]);
+    }
+    println!(
+        "{kind} {size}B on {}.{}: {} — top {top} branches cover {:.0}% of mispredictions
+",
+        opts.benchmark,
+        opts.input,
+        analysis.stats(),
+        analysis.misprediction_concentration(top) * 100.0
+    );
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// `sdbp list` — enumerate benchmarks and predictors.
+pub fn list() -> CmdResult {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        let spec = b.spec();
+        println!(
+            "  {:<9} {} static branches, ~{:.0} CBRs/KI",
+            b.name(),
+            spec.static_sites,
+            spec.cbrs_per_ki_ref
+        );
+    }
+    println!("\npredictors:");
+    for kind in PredictorKind::ALL {
+        println!(
+            "  {:<9} {}",
+            kind.name(),
+            if kind.uses_global_history() {
+                "global history"
+            } else {
+                "per-address"
+            }
+        );
+    }
+    println!("\nschemes: none, static_95, static_<pct>, static_acc, static_col");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn run_options_defaults() {
+        let o = run_options(&args(&["sim"])).unwrap();
+        assert_eq!(o.benchmark, Benchmark::Gcc);
+        assert_eq!(o.input, InputSet::Ref);
+        assert_eq!(o.seed, 2000);
+        assert!(o.instructions > 0);
+    }
+
+    #[test]
+    fn run_options_rejects_bad_input() {
+        assert!(run_options(&args(&["sim", "--input", "weird"])).is_err());
+        assert!(run_options(&args(&["sim", "--benchmark", "nope"])).is_err());
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(scheme_of(&args(&["x"])).unwrap(), SelectionScheme::None);
+        assert_eq!(
+            scheme_of(&args(&["x", "--scheme", "static_95"])).unwrap(),
+            SelectionScheme::static_95()
+        );
+        assert_eq!(
+            scheme_of(&args(&["x", "--scheme", "static_90"])).unwrap(),
+            SelectionScheme::Bias { cutoff: 0.90 }
+        );
+        assert_eq!(
+            scheme_of(&args(&["x", "--scheme", "static_acc"])).unwrap(),
+            SelectionScheme::static_acc()
+        );
+        assert!(scheme_of(&args(&["x", "--scheme", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn hotspots_runs_a_tiny_workload() {
+        let a = args(&[
+            "hotspots",
+            "--benchmark",
+            "compress",
+            "--instructions",
+            "50000",
+            "--size",
+            "1024",
+            "--top",
+            "5",
+        ]);
+        assert!(hotspots(&a).is_ok());
+    }
+
+    #[test]
+    fn sim_runs_a_tiny_workload() {
+        let a = args(&[
+            "sim",
+            "--benchmark",
+            "compress",
+            "--instructions",
+            "50000",
+            "--size",
+            "1024",
+        ]);
+        assert!(sim(&a).is_ok());
+    }
+
+    #[test]
+    fn gen_stats_sim_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("sdbp-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.sdbt");
+        let trace_str = trace_path.to_str().unwrap();
+        gen(&args(&[
+            "gen",
+            "--benchmark",
+            "compress",
+            "--instructions",
+            "50000",
+            "--out",
+            trace_str,
+        ]))
+        .unwrap();
+        stats(&args(&["stats", "--trace", trace_str])).unwrap();
+        sim(&args(&["sim", "--trace", trace_str, "--size", "1024"])).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,80 @@
+//! `sdbp` — command-line driver for the static+dynamic branch prediction
+//! simulator (Patil & Emer, HPCA 2000 reproduction).
+//!
+//! Run `sdbp help` for the full usage text; typical sessions:
+//!
+//! ```text
+//! sdbp sim --benchmark gcc --predictor gshare --size 16384 --scheme static_acc
+//! sdbp sweep --benchmark m88ksim --predictor 2bcgskew --scheme static_95
+//! sdbp gen --benchmark compress --out compress.sdbt --instructions 1000000
+//! sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `sdbp help` for usage");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command() {
+        "list" => commands::list(),
+        "gen" => commands::gen(&args),
+        "stats" => commands::stats(&args),
+        "profile" => commands::profile(&args),
+        "select" => commands::select(&args),
+        "sim" => commands::sim(&args),
+        "sweep" => commands::sweep(&args),
+        "hotspots" => commands::hotspots(&args),
+        "" | "help" | "-h" | "--help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; run `sdbp help`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+sdbp - static+dynamic branch prediction simulator (Patil & Emer, HPCA 2000)
+
+usage: sdbp <command> [--option value] [--flag]
+
+commands:
+  list                         benchmarks, predictors, schemes
+  gen      --out t.sdbt        generate a branch trace file (--text for text)
+  stats    [--trace t.sdbt]    characterize a trace or workload
+  profile  --out p.prof        collect a per-branch bias profile
+  select   --out h.hints       select static hints (--scheme, --profile)
+  sim                          two-phase experiment (--trace for file mode)
+  sweep                        predictor size sweep (1KB..64KB)
+  hotspots                     top misprediction contributors (--top N)
+
+common options:
+  --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)
+  --input train|ref                                (default ref)
+  --seed N                                         (default 2000)
+  --instructions N                                 (default per workload)
+  --predictor bimodal|ghist|gshare|bi-mode|2bcgskew|agree|yags|e-gskew|tournament|local|gselect
+  --size BYTES                                     (default 8192)
+  --scheme none|static_95|static_<pct>|static_acc|static_col
+  --training self|cross|merged                     (default self)
+  --shift                                          shift static outcomes into ghist
+  --hints h.hints                                  hint database (trace mode)
+
+examples:
+  sdbp sim --benchmark gcc --predictor gshare --size 16384 --scheme static_acc
+  sdbp sweep --benchmark m88ksim --predictor 2bcgskew --scheme static_95
+  sdbp gen --benchmark compress --out compress.sdbt --instructions 1000000
+  sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
+";

@@ -1,0 +1,462 @@
+//! The two-phase experiment protocol.
+//!
+//! Phase one (selection) profiles a run and selects static hints; phase two
+//! (measurement) simulates the combined predictor on the measurement input.
+//! [`ProfileSource`] picks between the paper's three training regimes:
+//! self-trained (§5's upper bound), naive cross-trained, and cross-trained
+//! with the merged/filtered Spike-style database (§5.1 / Figure 13).
+
+use crate::combined::{CombinedPredictor, ShiftPolicy};
+use crate::report::Report;
+use crate::simulator::Simulator;
+use sdbp_predictors::PredictorConfig;
+use sdbp_profiles::{
+    AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectError, SelectionScheme,
+};
+use sdbp_trace::BranchSource;
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Where the profile that drives hint selection comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileSource {
+    /// Profile the *measurement* input itself — the paper's "self-trained"
+    /// upper bound.
+    SelfTrained,
+    /// Profile the `Train` input, measure on `Ref` — naive cross-training.
+    CrossTrained,
+    /// Merge `Train` and `Ref` profiles and drop branches whose taken-rate
+    /// moved by more than the threshold — the Spike database fix
+    /// (Figure 13, fourth bar).
+    MergedCrossTrained {
+        /// Maximum tolerated taken-rate change (the paper suggests 5%).
+        max_bias_change: f64,
+    },
+}
+
+impl ProfileSource {
+    /// The input profiled for bias/accuracy in phase one.
+    pub fn profile_input(self, measure_input: InputSet) -> InputSet {
+        match self {
+            ProfileSource::SelfTrained => measure_input,
+            ProfileSource::CrossTrained | ProfileSource::MergedCrossTrained { .. } => {
+                InputSet::Train
+            }
+        }
+    }
+
+    /// Label used in Figure 13.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileSource::SelfTrained => "self",
+            ProfileSource::CrossTrained => "cross",
+            ProfileSource::MergedCrossTrained { .. } => "cross-merged",
+        }
+    }
+}
+
+/// A complete experiment description.
+///
+/// Build with [`ExperimentSpec::self_trained`] and refine with the `with_*`
+/// builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The dynamic predictor.
+    pub predictor: PredictorConfig,
+    /// The static selection scheme.
+    pub scheme: SelectionScheme,
+    /// History shifting for statically predicted branches.
+    pub shift: ShiftPolicy,
+    /// The training regime.
+    pub profile: ProfileSource,
+    /// The measurement input.
+    pub measure_input: InputSet,
+    /// The experiment seed (fixes workload structure and event streams).
+    pub seed: u64,
+    /// Instruction budget of the profiling run (`None` = workload default).
+    pub profile_instructions: Option<u64>,
+    /// Instruction budget of the measurement run (`None` = workload default).
+    pub measure_instructions: Option<u64>,
+    /// Instructions excluded from the measured statistics at the start of
+    /// the measurement run (tables still train). `0` measures everything,
+    /// like the paper's multi-billion-instruction runs effectively do.
+    pub warmup_instructions: u64,
+}
+
+impl ExperimentSpec {
+    /// The paper's basic configuration: self-trained profiling, measured on
+    /// `Ref`, no history shifting.
+    pub fn self_trained(
+        benchmark: Benchmark,
+        predictor: PredictorConfig,
+        scheme: SelectionScheme,
+    ) -> Self {
+        Self {
+            benchmark,
+            predictor,
+            scheme,
+            shift: ShiftPolicy::NoShift,
+            profile: ProfileSource::SelfTrained,
+            measure_input: InputSet::Ref,
+            seed: 2000,
+            profile_instructions: None,
+            measure_instructions: None,
+            warmup_instructions: 0,
+        }
+    }
+
+    /// Replaces the selection scheme.
+    pub fn with_scheme(mut self, scheme: SelectionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replaces the shift policy.
+    pub fn with_shift(mut self, shift: ShiftPolicy) -> Self {
+        self.shift = shift;
+        self
+    }
+
+    /// Replaces the training regime.
+    pub fn with_profile(mut self, profile: ProfileSource) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replaces the measurement input.
+    pub fn with_measure_input(mut self, input: InputSet) -> Self {
+        self.measure_input = input;
+        self
+    }
+
+    /// Caps both the profiling and the measurement runs at `instructions`.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.profile_instructions = Some(instructions);
+        self.measure_instructions = Some(instructions);
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Excludes the first `instructions` of the measurement run from the
+    /// statistics (cold-start discounting).
+    pub fn with_warmup(mut self, instructions: u64) -> Self {
+        self.warmup_instructions = instructions;
+        self
+    }
+
+    fn budget(&self, input: InputSet, explicit: Option<u64>) -> u64 {
+        explicit.unwrap_or_else(|| {
+            Workload::spec95(self.benchmark)
+                .spec()
+                .default_instructions(input)
+        })
+    }
+}
+
+/// Errors from experiment execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// Hint selection failed.
+    Select(SelectError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Select(e) => write!(f, "hint selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Select(e) => Some(e),
+        }
+    }
+}
+
+impl From<SelectError> for ExperimentError {
+    fn from(e: SelectError) -> Self {
+        ExperimentError::Select(e)
+    }
+}
+
+/// Runs one experiment end to end with a throwaway cache.
+///
+/// Sweeps should use a [`Lab`], which memoizes bias profiles across runs —
+/// profiling gcc once instead of forty times makes the harness binaries an
+/// order of magnitude faster.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from hint selection (e.g. an accuracy-based
+/// scheme without an accuracy profile — cannot happen through this API,
+/// which collects one on demand).
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+    Lab::new().run(spec)
+}
+
+type BiasKey = (Benchmark, InputSet, u64, u64);
+
+/// An experiment runner with memoized profiling.
+///
+/// Bias profiles depend only on `(benchmark, input, seed, budget)` and are
+/// shared across predictor configurations; accuracy profiles additionally
+/// depend on the predictor and are keyed accordingly.
+#[derive(Default)]
+pub struct Lab {
+    bias_cache: HashMap<BiasKey, Rc<BiasProfile>>,
+    accuracy_cache: HashMap<(BiasKey, PredictorConfig), Rc<AccuracyProfile>>,
+}
+
+impl Lab {
+    /// Creates an empty lab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the (cached) bias profile of a run.
+    pub fn bias_profile(
+        &mut self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+    ) -> Rc<BiasProfile> {
+        let key = (benchmark, input, seed, instructions);
+        if let Some(p) = self.bias_cache.get(&key) {
+            return Rc::clone(p);
+        }
+        let source = Workload::spec95(benchmark)
+            .generator(input, seed)
+            .take_instructions(instructions);
+        let profile = Rc::new(BiasProfile::from_source(source));
+        self.bias_cache.insert(key, Rc::clone(&profile));
+        profile
+    }
+
+    /// Returns the (cached) per-branch accuracy profile of `predictor` on a
+    /// run.
+    pub fn accuracy_profile(
+        &mut self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+        predictor: PredictorConfig,
+    ) -> Rc<AccuracyProfile> {
+        let key = ((benchmark, input, seed, instructions), predictor);
+        if let Some(p) = self.accuracy_cache.get(&key) {
+            return Rc::clone(p);
+        }
+        let source = Workload::spec95(benchmark)
+            .generator(input, seed)
+            .take_instructions(instructions);
+        let mut dynamic = predictor.build();
+        let profile = Rc::new(AccuracyProfile::collect(source, dynamic.as_mut()));
+        self.accuracy_cache.insert(key, Rc::clone(&profile));
+        profile
+    }
+
+    /// Selects the hint database for a spec (phase one).
+    pub fn select_hints(&mut self, spec: &ExperimentSpec) -> Result<HintDatabase, ExperimentError> {
+        if spec.scheme == SelectionScheme::None {
+            return Ok(HintDatabase::new());
+        }
+        let profile_input = spec.profile.profile_input(spec.measure_input);
+        let profile_budget = spec.budget(profile_input, spec.profile_instructions);
+
+        let bias: Rc<BiasProfile> = match spec.profile {
+            ProfileSource::SelfTrained | ProfileSource::CrossTrained => {
+                self.bias_profile(spec.benchmark, profile_input, spec.seed, profile_budget)
+            }
+            ProfileSource::MergedCrossTrained { max_bias_change } => {
+                let train =
+                    self.bias_profile(spec.benchmark, InputSet::Train, spec.seed, profile_budget);
+                let ref_budget = spec.budget(InputSet::Ref, spec.profile_instructions);
+                let reference =
+                    self.bias_profile(spec.benchmark, InputSet::Ref, spec.seed, ref_budget);
+                let mut db = ProfileDatabase::new(spec.benchmark.name());
+                db.add_run("train", (*train).clone());
+                db.add_run("ref", (*reference).clone());
+                Rc::new(db.merged_stable(max_bias_change))
+            }
+        };
+
+        let accuracy = if spec.scheme.needs_accuracy_profile() {
+            Some(self.accuracy_profile(
+                spec.benchmark,
+                profile_input,
+                spec.seed,
+                profile_budget,
+                spec.predictor,
+            ))
+        } else {
+            None
+        };
+
+        Ok(spec.scheme.select(&bias, accuracy.as_deref())?)
+    }
+
+    /// Runs one experiment end to end (phase one + phase two).
+    pub fn run(&mut self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+        let hints = self.select_hints(spec)?;
+        let hints_len = hints.len();
+        let mut combined = CombinedPredictor::new(spec.predictor.build(), hints, spec.shift);
+        let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
+        let source = Workload::spec95(spec.benchmark)
+            .generator(spec.measure_input, spec.seed)
+            .take_instructions(measure_budget);
+        let stats = Simulator::new()
+            .with_warmup(spec.warmup_instructions)
+            .run(source, &mut combined);
+        Ok(Report {
+            benchmark: spec.benchmark,
+            predictor: spec.predictor,
+            scheme_label: spec.scheme.label(),
+            shift: spec.shift,
+            measure_input: spec.measure_input,
+            hints: hints_len,
+            stats,
+        })
+    }
+}
+
+impl fmt::Debug for Lab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lab")
+            .field("bias_profiles", &self.bias_cache.len())
+            .field("accuracy_profiles", &self.accuracy_cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::PredictorKind;
+
+    fn spec(scheme: SelectionScheme) -> ExperimentSpec {
+        ExperimentSpec::self_trained(
+            Benchmark::Compress,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+            scheme,
+        )
+        .with_instructions(300_000)
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_stats() {
+        let report = run_experiment(&spec(SelectionScheme::None)).unwrap();
+        assert_eq!(report.hints, 0);
+        assert!(report.stats.branches > 10_000);
+        assert!(report.stats.accuracy() > 0.6, "{}", report.stats.accuracy());
+        assert!(report.stats.misp_per_ki() < report.stats.cbrs_per_ki());
+    }
+
+    #[test]
+    fn static_95_selects_hints_and_never_breaks_the_run() {
+        let report = run_experiment(&spec(SelectionScheme::static_95())).unwrap();
+        assert!(report.hints > 50, "hints: {}", report.hints);
+        assert!(report.stats.static_predicted > 0);
+        assert!(report.stats.static_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn static_acc_beats_or_matches_baseline_when_self_trained() {
+        let baseline = run_experiment(&spec(SelectionScheme::None)).unwrap();
+        let improved = run_experiment(&spec(SelectionScheme::static_acc())).unwrap();
+        assert!(
+            improved.stats.misp_per_ki() <= baseline.stats.misp_per_ki() * 1.02,
+            "static_acc {:.3} vs baseline {:.3}",
+            improved.stats.misp_per_ki(),
+            baseline.stats.misp_per_ki()
+        );
+    }
+
+    #[test]
+    fn identical_specs_reproduce_identical_stats() {
+        let a = run_experiment(&spec(SelectionScheme::static_95())).unwrap();
+        let b = run_experiment(&spec(SelectionScheme::static_95())).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lab_caches_profiles() {
+        let mut lab = Lab::new();
+        let s = spec(SelectionScheme::static_acc());
+        let _ = lab.run(&s).unwrap();
+        let _ = lab
+            .run(&s.clone().with_scheme(SelectionScheme::static_95()))
+            .unwrap();
+        let debug = format!("{lab:?}");
+        assert!(debug.contains("bias_profiles: 1"), "{debug}");
+        assert!(debug.contains("accuracy_profiles: 1"), "{debug}");
+    }
+
+    #[test]
+    fn profile_source_inputs() {
+        assert_eq!(
+            ProfileSource::SelfTrained.profile_input(InputSet::Ref),
+            InputSet::Ref
+        );
+        assert_eq!(
+            ProfileSource::CrossTrained.profile_input(InputSet::Ref),
+            InputSet::Train
+        );
+        assert_eq!(
+            ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05
+            }
+            .profile_input(InputSet::Ref),
+            InputSet::Train
+        );
+        assert_eq!(ProfileSource::SelfTrained.label(), "self");
+        assert_eq!(ProfileSource::CrossTrained.label(), "cross");
+    }
+
+    #[test]
+    fn merged_cross_training_runs() {
+        let s = spec(SelectionScheme::static_95()).with_profile(
+            ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            },
+        );
+        let report = run_experiment(&s).unwrap();
+        assert!(report.stats.branches > 10_000);
+    }
+
+    #[test]
+    fn warmup_discounts_cold_start() {
+        let with = run_experiment(&spec(SelectionScheme::None).with_warmup(100_000)).unwrap();
+        let without = run_experiment(&spec(SelectionScheme::None)).unwrap();
+        assert!(with.stats.branches < without.stats.branches);
+        // On short runs the warm-up window isn't necessarily the worst
+        // window, but the rates must stay in the same neighborhood.
+        let ratio = with.stats.misp_per_ki() / without.stats.misp_per_ki();
+        assert!((0.7..1.3).contains(&ratio), "warm-up shifted rate by {ratio}");
+    }
+
+    #[test]
+    fn builders_apply() {
+        let s = spec(SelectionScheme::None)
+            .with_shift(ShiftPolicy::Shift)
+            .with_seed(7)
+            .with_measure_input(InputSet::Train)
+            .with_profile(ProfileSource::CrossTrained);
+        assert_eq!(s.shift, ShiftPolicy::Shift);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.measure_input, InputSet::Train);
+        assert_eq!(s.profile, ProfileSource::CrossTrained);
+    }
+}

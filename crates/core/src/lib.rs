@@ -1,0 +1,62 @@
+//! Combined static + dynamic branch prediction — the paper's contribution.
+//!
+//! This crate assembles the substrates ([`sdbp_predictors`],
+//! [`sdbp_profiles`], [`sdbp_workloads`], [`sdbp_trace`]) into the system
+//! Patil & Emer evaluate:
+//!
+//! * [`CombinedPredictor`] — a dynamic predictor plus a static hint
+//!   database. Statically predicted branches bypass the dynamic tables
+//!   entirely (the aliasing-relief mechanism); a [`ShiftPolicy`] decides
+//!   whether their outcomes still shift into the global history register
+//!   (§4 / Table 4 of the paper).
+//! * [`Simulator`] — drives a branch stream through a combined predictor,
+//!   producing [`SimStats`]: MISPs/KI (the paper's headline metric),
+//!   accuracy, and the constructive/destructive collision breakdown of
+//!   Figures 1–6.
+//! * [`ExperimentSpec`] / [`run_experiment`] / [`Lab`] — the two-phase
+//!   experiment protocol (profile → select hints → measure) with
+//!   self-trained, cross-trained, and merged-profile variants.
+//!
+//! # Examples
+//!
+//! A miniature of the paper's core comparison — gshare with and without
+//! `Static_Acc` hints:
+//!
+//! ```
+//! use sdbp_core::{run_experiment, ExperimentSpec, ShiftPolicy};
+//! use sdbp_predictors::{PredictorConfig, PredictorKind};
+//! use sdbp_profiles::SelectionScheme;
+//! use sdbp_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let base = ExperimentSpec::self_trained(
+//!     Benchmark::Gcc,
+//!     PredictorConfig::new(PredictorKind::Gshare, 4096)?,
+//!     SelectionScheme::None,
+//! )
+//! .with_instructions(400_000);
+//! let with_static = base.clone().with_scheme(SelectionScheme::static_acc());
+//!
+//! let baseline = run_experiment(&base)?;
+//! let improved = run_experiment(&with_static)?;
+//! assert!(improved.stats.misp_per_ki() <= baseline.stats.misp_per_ki());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod combined;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod simulator;
+
+pub use analysis::{BranchAnalysis, BranchRecord};
+pub use combined::{BranchResolution, CombinedPredictor, ShiftPolicy};
+pub use experiment::{run_experiment, ExperimentError, ExperimentSpec, Lab, ProfileSource};
+pub use metrics::{CollisionStats, SimStats};
+pub use report::Report;
+pub use simulator::Simulator;

@@ -1,0 +1,210 @@
+//! The agree predictor (related-work ablation).
+
+use crate::history::HistoryRegister;
+use crate::table::PredictionTable;
+use crate::traits::{DynamicPredictor, Latched, Prediction};
+use sdbp_trace::BranchAddr;
+
+/// Sprangle et al.'s *agree mechanism*, cited by the paper as an alternative
+/// alias-reduction technique.
+///
+/// A PC-indexed **bias table** stores each branch's likely direction (set to
+/// the branch's first observed outcome, the hardware-only variant). The
+/// gshare-indexed counter table then predicts whether the branch will
+/// **agree** with its bias bit instead of predicting taken/not-taken
+/// directly. Two mostly-biased branches sharing a counter now push it the
+/// same way ("agree"), converting destructive aliasing into constructive
+/// aliasing — the dynamic analogue of what the paper does with static hints.
+///
+/// Storage split: the counter table gets the full byte budget; the bias table
+/// (1 bit per entry, same entry count as the counter table) is counted into
+/// [`DynamicPredictor::size_bytes`] as well.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::{Agree, DynamicPredictor};
+/// use sdbp_trace::BranchAddr;
+///
+/// let mut p = Agree::new(1024);
+/// let _ = p.predict(BranchAddr(0x10));
+/// p.update(BranchAddr(0x10), true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Agree {
+    counters: PredictionTable,
+    bias: Vec<Option<bool>>,
+    history: HistoryRegister,
+    latched: Option<Latched<Ctx>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ctx {
+    counter_index: u64,
+    bias_index: usize,
+    bias_bit: bool,
+    agree_pred: bool,
+}
+
+impl Agree {
+    /// Creates an agree predictor with a `size_bytes` budget: 8/9 of the bit
+    /// budget in 2-bit agreement counters, 1/9 in bias bits (bias entries =
+    /// half the counter entries, rounded to powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a power of two.
+    pub fn new(size_bytes: usize) -> Self {
+        // Keep the paper-style convention simple: counters use the full byte
+        // budget, the 1-bit bias table piggybacks with entries equal to the
+        // counter count (documented storage overhead of 1/16 of the budget
+        // in bytes is ignored in size accounting comparisons elsewhere, but
+        // reported by size_bytes()).
+        let counters = PredictionTable::two_bit(size_bytes * 4);
+        let entries = counters.entries();
+        let history = HistoryRegister::new(counters.index_bits());
+        Self {
+            counters,
+            bias: vec![None; entries],
+            history,
+            latched: None,
+        }
+    }
+
+    fn counter_index(&self, pc: BranchAddr) -> u64 {
+        (pc.word_index() ^ self.history.bits(self.counters.index_bits()))
+            & self.counters.index_mask()
+    }
+
+    fn bias_index(&self, pc: BranchAddr) -> usize {
+        (pc.word_index() & (self.bias.len() as u64 - 1)) as usize
+    }
+}
+
+impl DynamicPredictor for Agree {
+    fn name(&self) -> &'static str {
+        "agree"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.counters.size_bytes() + self.bias.len() / 8
+    }
+
+    fn predict(&mut self, pc: BranchAddr) -> Prediction {
+        let counter_index = self.counter_index(pc);
+        let bias_index = self.bias_index(pc);
+        let (agree_pred, collision) = self.counters.lookup(counter_index, pc);
+        // An unset bias defaults to taken (backward-taken heuristics would
+        // slot in here); it is fixed at the branch's first update.
+        let bias_bit = self.bias[bias_index].unwrap_or(true);
+        let taken = if agree_pred { bias_bit } else { !bias_bit };
+        self.latched = Some(Latched {
+            pc,
+            ctx: Ctx {
+                counter_index,
+                bias_index,
+                bias_bit,
+                agree_pred,
+            },
+        });
+        Prediction { taken, collision }
+    }
+
+    fn update(&mut self, pc: BranchAddr, taken: bool) {
+        let ctx = Latched::take_for(&mut self.latched, pc, "agree");
+        // First-execution bias capture.
+        let bias_bit = match self.bias[ctx.bias_index] {
+            Some(b) => b,
+            None => {
+                self.bias[ctx.bias_index] = Some(taken);
+                taken
+            }
+        };
+        // The counter learns agreement with the (possibly just-set) bias.
+        self.counters.train(ctx.counter_index, taken == bias_bit);
+        let _ = ctx.bias_bit;
+        let _ = ctx.agree_pred;
+        self.history.push(taken);
+    }
+
+    fn shift_history(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn total_collisions(&self) -> u64 {
+        self.counters.collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Agree::new(1024);
+        let pc = BranchAddr(0x40);
+        for _ in 0..20 {
+            let _ = p.predict(pc);
+            p.update(pc, false);
+        }
+        assert!(!p.predict(pc).taken);
+        p.update(pc, false);
+    }
+
+    #[test]
+    fn opposite_bias_branches_agree_in_shared_counters() {
+        // The agree mechanism's claim: branches with opposite directions but
+        // both strongly biased drive shared counters the SAME way. Simulate
+        // a mostly-taken and a mostly-not-taken branch and require high
+        // accuracy on both despite a tiny table.
+        let mut p = Agree::new(16); // 64 counters: plenty of sharing
+        let a = BranchAddr(0x100);
+        let b = BranchAddr(0x104);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..3000 {
+            let pa = p.predict(a);
+            if i >= 1000 {
+                total += 1;
+                if pa.taken {
+                    correct += 1;
+                }
+            }
+            p.update(a, true);
+            let pb = p.predict(b);
+            if i >= 1000 {
+                total += 1;
+                if !pb.taken {
+                    correct += 1;
+                }
+            }
+            p.update(b, false);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.97, "agree accuracy with heavy sharing: {acc}");
+    }
+
+    #[test]
+    fn bias_is_fixed_at_first_outcome() {
+        let mut p = Agree::new(64);
+        let pc = BranchAddr(0x10);
+        let _ = p.predict(pc);
+        p.update(pc, false); // bias latches not-taken
+        assert_eq!(p.bias[p.bias_index(pc)], Some(false));
+        for _ in 0..10 {
+            let _ = p.predict(pc);
+            p.update(pc, true);
+        }
+        // Bias bit itself never changes; the counters learned to DISagree.
+        assert_eq!(p.bias[p.bias_index(pc)], Some(false));
+        assert!(p.predict(pc).taken, "disagree-with-bias yields taken");
+        p.update(pc, true);
+    }
+
+    #[test]
+    fn size_includes_bias_bits() {
+        let p = Agree::new(1024);
+        assert_eq!(p.size_bytes(), 1024 + 4096 / 8);
+    }
+}

@@ -1,0 +1,308 @@
+//! Declarative predictor configuration.
+//!
+//! The experiment harness sweeps predictor kind × size; [`PredictorConfig`]
+//! is the serializable description of one point of that grid and
+//! [`PredictorConfig::build`] instantiates the simulator.
+
+use crate::{
+    Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
+    Tournament, TwoBcGskew, Yags,
+};
+use std::fmt;
+use std::str::FromStr;
+
+/// The dynamic prediction schemes available to experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Per-address 2-bit counters ([`Bimodal`]).
+    Bimodal,
+    /// Pure global-history GAg ([`Ghist`]).
+    Ghist,
+    /// PC ⊕ history indexing ([`Gshare`]).
+    Gshare,
+    /// Choice + two direction banks ([`BiMode`]).
+    BiMode,
+    /// Bimodal + skewed vote + meta chooser ([`TwoBcGskew`]).
+    TwoBcGskew,
+    /// Bias-bit agreement counters ([`Agree`]).
+    Agree,
+    /// Tagged exception caches ([`Yags`]).
+    Yags,
+    /// Raw three-bank majority vote ([`EGskew`]).
+    EGskew,
+    /// Bimodal + gshare with a chooser, 21264-style ([`Tournament`]).
+    Tournament,
+    /// Two-level per-address history, PAg ([`Local`]).
+    Local,
+    /// Address ∥ history concatenated index ([`Gselect`]).
+    Gselect,
+}
+
+impl PredictorKind {
+    /// All kinds, in the order the paper's figures present them followed by
+    /// the related-work extensions.
+    pub const ALL: [PredictorKind; 11] = [
+        PredictorKind::Bimodal,
+        PredictorKind::Ghist,
+        PredictorKind::Gshare,
+        PredictorKind::BiMode,
+        PredictorKind::TwoBcGskew,
+        PredictorKind::Agree,
+        PredictorKind::Yags,
+        PredictorKind::EGskew,
+        PredictorKind::Tournament,
+        PredictorKind::Local,
+        PredictorKind::Gselect,
+    ];
+
+    /// The five schemes evaluated in the paper (Figures 7–12, Table 2).
+    pub const PAPER: [PredictorKind; 5] = [
+        PredictorKind::Bimodal,
+        PredictorKind::Ghist,
+        PredictorKind::Gshare,
+        PredictorKind::BiMode,
+        PredictorKind::TwoBcGskew,
+    ];
+
+    /// The scheme name used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Bimodal => "bimodal",
+            PredictorKind::Ghist => "ghist",
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::BiMode => "bi-mode",
+            PredictorKind::TwoBcGskew => "2bcgskew",
+            PredictorKind::Agree => "agree",
+            PredictorKind::Yags => "yags",
+            PredictorKind::EGskew => "e-gskew",
+            PredictorKind::Tournament => "tournament",
+            PredictorKind::Local => "local",
+            PredictorKind::Gselect => "gselect",
+        }
+    }
+
+    /// Whether the scheme keeps a global history register (and therefore
+    /// participates in the paper's shift-vs-no-shift question).
+    pub fn uses_global_history(self) -> bool {
+        !matches!(self, PredictorKind::Bimodal | PredictorKind::Local)
+    }
+}
+
+impl fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PredictorKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bimodal" => Ok(PredictorKind::Bimodal),
+            "ghist" | "gag" => Ok(PredictorKind::Ghist),
+            "gshare" => Ok(PredictorKind::Gshare),
+            "bi-mode" | "bimode" => Ok(PredictorKind::BiMode),
+            "2bcgskew" | "tbcgskew" => Ok(PredictorKind::TwoBcGskew),
+            "agree" => Ok(PredictorKind::Agree),
+            "yags" => Ok(PredictorKind::Yags),
+            "e-gskew" | "egskew" => Ok(PredictorKind::EGskew),
+            "tournament" | "21264" => Ok(PredictorKind::Tournament),
+            "local" | "pag" => Ok(PredictorKind::Local),
+            "gselect" => Ok(PredictorKind::Gselect),
+            other => Err(ConfigError::UnknownKind(other.to_string())),
+        }
+    }
+}
+
+/// Errors from predictor configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The scheme name was not recognized.
+    UnknownKind(String),
+    /// The size is invalid for the scheme (must be a power of two and large
+    /// enough for the scheme's bank split).
+    BadSize {
+        /// The scheme.
+        kind: PredictorKind,
+        /// The rejected size in bytes.
+        size_bytes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownKind(s) => write!(f, "unknown predictor kind '{s}'"),
+            ConfigError::BadSize { kind, size_bytes } => {
+                write!(f, "invalid size {size_bytes} bytes for {kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One predictor configuration: scheme plus byte budget.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::{PredictorConfig, PredictorKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = PredictorConfig::new(PredictorKind::Gshare, 16 * 1024)?;
+/// let p = cfg.build();
+/// assert_eq!(p.size_bytes(), 16 * 1024);
+/// assert_eq!(p.name(), "gshare");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredictorConfig {
+    kind: PredictorKind,
+    size_bytes: usize,
+}
+
+impl PredictorConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadSize`] when `size_bytes` is not a power of two or
+    /// is below the scheme's minimum (16 bytes for the multi-bank hybrids,
+    /// so every bank has at least a handful of entries).
+    pub fn new(kind: PredictorKind, size_bytes: usize) -> Result<Self, ConfigError> {
+        let min = match kind {
+            PredictorKind::Bimodal
+            | PredictorKind::Ghist
+            | PredictorKind::Gshare
+            | PredictorKind::Gselect => 1,
+            _ => 16,
+        };
+        if !size_bytes.is_power_of_two() || size_bytes < min {
+            return Err(ConfigError::BadSize { kind, size_bytes });
+        }
+        Ok(Self { kind, size_bytes })
+    }
+
+    /// The scheme.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// The byte budget.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Instantiates the predictor simulator.
+    ///
+    /// For [`PredictorKind::EGskew`] the three banks split the power-of-two
+    /// budget as closely as representable (each bank gets the largest power
+    /// of two ≤ budget/3), so `size_bytes()` of the result may be slightly
+    /// below the configured budget; every other scheme matches it exactly.
+    pub fn build(&self) -> Box<dyn DynamicPredictor> {
+        match self.kind {
+            PredictorKind::Bimodal => Box::new(Bimodal::new(self.size_bytes)),
+            PredictorKind::Ghist => Box::new(Ghist::new(self.size_bytes)),
+            PredictorKind::Gshare => Box::new(Gshare::new(self.size_bytes)),
+            PredictorKind::BiMode => Box::new(BiMode::new(self.size_bytes)),
+            PredictorKind::TwoBcGskew => Box::new(TwoBcGskew::new(self.size_bytes)),
+            PredictorKind::Agree => Box::new(Agree::new(self.size_bytes)),
+            PredictorKind::Yags => Box::new(Yags::new(self.size_bytes)),
+            PredictorKind::Gselect => Box::new(Gselect::new(self.size_bytes)),
+            PredictorKind::Tournament => Box::new(Tournament::new(self.size_bytes)),
+            PredictorKind::Local => Box::new(Local::new(self.size_bytes)),
+            PredictorKind::EGskew => {
+                // Largest power-of-two bank that fits three times in budget.
+                let per_bank = (self.size_bytes / 3).max(1);
+                let per_bank = if per_bank.is_power_of_two() {
+                    per_bank
+                } else {
+                    per_bank.next_power_of_two() >> 1
+                };
+                Box::new(EGskew::new(3 * per_bank))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PredictorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.size_bytes >= 1024 && self.size_bytes.is_multiple_of(1024) {
+            write!(f, "{} {}KB", self.kind, self.size_bytes / 1024)
+        } else {
+            write!(f, "{} {}B", self.kind, self.size_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_trace::BranchAddr;
+
+    #[test]
+    fn parses_all_kind_names() {
+        for kind in PredictorKind::ALL {
+            let parsed: PredictorKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("GAg".parse::<PredictorKind>().unwrap(), PredictorKind::Ghist);
+        assert!("nonsense".parse::<PredictorKind>().is_err());
+    }
+
+    #[test]
+    fn build_produces_working_predictors_of_declared_size() {
+        for kind in PredictorKind::ALL {
+            let cfg = PredictorConfig::new(kind, 4096).unwrap();
+            let mut p = cfg.build();
+            assert_eq!(p.name(), kind.name());
+            // EGskew rounds its three banks down to powers of two and YAGS
+            // spends part of its budget on tags; both stay within a factor
+            // of two of the request. The plain table schemes match exactly.
+            assert!(
+                p.size_bytes() >= 2048 && p.size_bytes() <= 8192,
+                "{kind}: {} bytes",
+                p.size_bytes()
+            );
+            // Every predictor must run the basic protocol.
+            for i in 0..100u64 {
+                let pc = BranchAddr(0x1000 + 4 * (i % 10));
+                let _ = p.predict(pc);
+                p.update(pc, i % 2 == 0);
+                p.shift_history(i % 3 == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(PredictorConfig::new(PredictorKind::Gshare, 3000).is_err());
+        assert!(PredictorConfig::new(PredictorKind::TwoBcGskew, 8).is_err());
+        assert!(PredictorConfig::new(PredictorKind::Gshare, 0).is_err());
+        assert!(PredictorConfig::new(PredictorKind::BiMode, 16).is_ok());
+    }
+
+    #[test]
+    fn history_usage_classification() {
+        assert!(!PredictorKind::Bimodal.uses_global_history());
+        assert!(PredictorKind::Gshare.uses_global_history());
+        assert!(PredictorKind::TwoBcGskew.uses_global_history());
+    }
+
+    #[test]
+    fn display_formats_sizes() {
+        let cfg = PredictorConfig::new(PredictorKind::Gshare, 16 * 1024).unwrap();
+        assert_eq!(cfg.to_string(), "gshare 16KB");
+        let cfg = PredictorConfig::new(PredictorKind::Gshare, 512).unwrap();
+        assert_eq!(cfg.to_string(), "gshare 512B");
+    }
+
+    #[test]
+    fn paper_set_is_the_published_five() {
+        let names: Vec<&str> = PredictorKind::PAPER.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["bimodal", "ghist", "gshare", "bi-mode", "2bcgskew"]);
+    }
+}

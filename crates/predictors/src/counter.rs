@@ -1,0 +1,192 @@
+//! Saturating up/down counters — the storage cell of every table-based
+//! predictor in this crate.
+
+/// An `n`-bit saturating up/down counter (1 ≤ n ≤ 7).
+///
+/// The counter increments on taken outcomes and decrements on not-taken
+/// outcomes, saturating at the ends of its range. The most significant bit
+/// is the prediction: values in the upper half predict taken.
+///
+/// The canonical 2-bit flavor starts "weakly not-taken" (value 1) so a single
+/// taken outcome flips the prediction — the same neutral initialization used
+/// by the classic simulators.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::two_bit();
+/// assert!(!c.predict_taken());
+/// c.train(true);
+/// assert!(c.predict_taken(), "weakly not-taken flips after one taken");
+/// c.train(true);
+/// c.train(true);
+/// c.train(false);
+/// assert!(c.predict_taken(), "saturated counters tolerate one anomaly");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates an `n`-bit counter initialized to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or if `value` does not fit
+    /// in `bits`.
+    pub fn new(bits: u8, value: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width {bits} out of range");
+        let max = (1u8 << bits) - 1;
+        assert!(value <= max, "initial value {value} exceeds {max}");
+        Self { value, max }
+    }
+
+    /// The classic 2-bit counter initialized weakly not-taken.
+    pub fn two_bit() -> Self {
+        Self::new(2, 1)
+    }
+
+    /// A 2-bit counter biased toward the given initial direction (weak).
+    pub fn two_bit_toward(taken: bool) -> Self {
+        Self::new(2, if taken { 2 } else { 1 })
+    }
+
+    /// Current raw value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Largest representable value.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// The predicted direction: the counter's most significant bit.
+    pub fn predict_taken(&self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Whether the counter is one step from changing its prediction.
+    pub fn is_weak(&self) -> bool {
+        let mid = self.max / 2;
+        self.value == mid || self.value == mid + 1
+    }
+
+    /// Trains the counter toward `taken`, saturating at the limits.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            if self.value < self.max {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Resets the counter to a weak state leaning toward `taken`.
+    pub fn reset_toward(&mut self, taken: bool) {
+        let mid = self.max / 2;
+        self.value = if taken { mid + 1 } else { mid };
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// Equivalent to [`SaturatingCounter::two_bit`].
+    fn default() -> Self {
+        Self::two_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_starts_weak_not_taken() {
+        let c = SaturatingCounter::two_bit();
+        assert_eq!(c.value(), 1);
+        assert!(!c.predict_taken());
+        assert!(c.is_weak());
+    }
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SaturatingCounter::two_bit();
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn msb_is_the_prediction() {
+        let mut c = SaturatingCounter::new(2, 0);
+        assert!(!c.predict_taken()); // 0: strong not-taken
+        c.train(true);
+        assert!(!c.predict_taken()); // 1: weak not-taken
+        c.train(true);
+        assert!(c.predict_taken()); // 2: weak taken
+        c.train(true);
+        assert!(c.predict_taken()); // 3: strong taken
+    }
+
+    #[test]
+    fn hysteresis_filters_single_anomaly() {
+        let mut c = SaturatingCounter::new(2, 3);
+        c.train(false);
+        assert!(c.predict_taken(), "one not-taken should not flip a strong counter");
+        c.train(false);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn three_bit_counter_behaves() {
+        let mut c = SaturatingCounter::new(3, 3);
+        assert!(!c.predict_taken());
+        c.train(true);
+        assert!(c.predict_taken());
+        assert!(c.is_weak());
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 7);
+        assert!(!c.is_weak());
+    }
+
+    #[test]
+    fn reset_toward_is_weak() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.reset_toward(true);
+        assert!(c.predict_taken());
+        assert!(c.is_weak());
+        c.reset_toward(false);
+        assert!(!c.predict_taken());
+        assert!(c.is_weak());
+    }
+
+    #[test]
+    fn two_bit_toward_leans_correctly() {
+        assert!(SaturatingCounter::two_bit_toward(true).predict_taken());
+        assert!(!SaturatingCounter::two_bit_toward(false).predict_taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_rejected() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! The e-gskew majority-vote predictor.
+
+use crate::history::HistoryRegister;
+use crate::skew::skew;
+use crate::table::PredictionTable;
+use crate::traits::{DynamicPredictor, Latched, Prediction};
+use sdbp_trace::BranchAddr;
+
+/// The enhanced skewed predictor (Michaud, Seznec & Uhlig).
+///
+/// Three equally sized banks — a PC-indexed bimodal bank and two
+/// history-indexed banks hashed with *different* skewing functions
+/// ([`crate::skew`]) — vote on the prediction. Two branches colliding in one
+/// bank almost never collide in the others, so the majority vote masks
+/// single-bank destructive aliasing.
+///
+/// Update is the partial policy that the 2bcgskew paper calls "enhanced":
+/// on a misprediction all three banks train; on a correct prediction only
+/// the banks that voted with the outcome train (banks that were outvoted are
+/// left alone — they may be serving another branch).
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::{DynamicPredictor, EGskew};
+/// use sdbp_trace::BranchAddr;
+///
+/// let mut p = EGskew::new(3 * 1024); // three 1 KB banks
+/// let _ = p.predict(BranchAddr(0x20));
+/// p.update(BranchAddr(0x20), true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EGskew {
+    bim: PredictionTable,
+    g0: PredictionTable,
+    g1: PredictionTable,
+    history: HistoryRegister,
+    h0_len: u32,
+    h1_len: u32,
+    latched: Option<Latched<Ctx>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ctx {
+    bim_index: u64,
+    g0_index: u64,
+    g1_index: u64,
+    votes: [bool; 3],
+    taken: bool,
+}
+
+impl EGskew {
+    /// Creates an e-gskew predictor; each of the three banks receives one
+    /// third of the `size_bytes` counter budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes / 3` rounds to a non-power-of-two table (pass
+    /// `3 * 2^k` bytes) or is zero.
+    pub fn new(size_bytes: usize) -> Self {
+        let per_bank = size_bytes / 3;
+        assert!(per_bank > 0, "e-gskew needs at least 3 bytes");
+        let bim = PredictionTable::two_bit(per_bank * 4);
+        let g0 = PredictionTable::two_bit(per_bank * 4);
+        let g1 = PredictionTable::two_bit(per_bank * 4);
+        let n = g0.index_bits();
+        // Shorter history on g0, full-width history on g1: diversity in both
+        // hash function *and* history reach.
+        let h0_len = (n / 2).max(1);
+        let h1_len = n;
+        Self {
+            history: HistoryRegister::new(h1_len.max(1)),
+            bim,
+            g0,
+            g1,
+            h0_len,
+            h1_len,
+            latched: None,
+        }
+    }
+
+    fn indices(&self, pc: BranchAddr) -> (u64, u64, u64) {
+        let n = self.g0.index_bits();
+        let w = pc.word_index();
+        let lo = w & self.g0.index_mask();
+        let hi = (w >> n) & self.g0.index_mask();
+        let f0 = self.history.folded(self.h0_len, n);
+        let f1 = self.history.folded(self.h1_len, n);
+        let bim_index = w & self.bim.index_mask();
+        let g0_index = skew(1, lo ^ f0, hi, f0, n);
+        let g1_index = skew(2, lo ^ f1, hi, f1, n);
+        (bim_index, g0_index, g1_index)
+    }
+}
+
+impl DynamicPredictor for EGskew {
+    fn name(&self) -> &'static str {
+        "e-gskew"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.bim.size_bytes() + self.g0.size_bytes() + self.g1.size_bytes()
+    }
+
+    fn predict(&mut self, pc: BranchAddr) -> Prediction {
+        let (bim_index, g0_index, g1_index) = self.indices(pc);
+        let (v0, c0) = self.bim.lookup(bim_index, pc);
+        let (v1, c1) = self.g0.lookup(g0_index, pc);
+        let (v2, c2) = self.g1.lookup(g1_index, pc);
+        let votes = [v0, v1, v2];
+        let taken = (u8::from(v0) + u8::from(v1) + u8::from(v2)) >= 2;
+        self.latched = Some(Latched {
+            pc,
+            ctx: Ctx {
+                bim_index,
+                g0_index,
+                g1_index,
+                votes,
+                taken,
+            },
+        });
+        Prediction {
+            taken,
+            collision: c0 || c1 || c2,
+        }
+    }
+
+    fn update(&mut self, pc: BranchAddr, taken: bool) {
+        let ctx = Latched::take_for(&mut self.latched, pc, "e-gskew");
+        let mispredicted = ctx.taken != taken;
+        let banks: [(&mut PredictionTable, u64, bool); 3] = [
+            (&mut self.bim, ctx.bim_index, ctx.votes[0]),
+            (&mut self.g0, ctx.g0_index, ctx.votes[1]),
+            (&mut self.g1, ctx.g1_index, ctx.votes[2]),
+        ];
+        for (table, index, vote) in banks {
+            if mispredicted || vote == taken {
+                table.train(index, taken);
+            }
+        }
+        self.history.push(taken);
+    }
+
+    fn shift_history(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn total_collisions(&self) -> u64 {
+        self.bim.collisions() + self.g0.collisions() + self.g1.collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_share_budget_equally() {
+        let p = EGskew::new(3 * 1024);
+        assert_eq!(p.bim.size_bytes(), 1024);
+        assert_eq!(p.g0.size_bytes(), 1024);
+        assert_eq!(p.g1.size_bytes(), 1024);
+    }
+
+    #[test]
+    fn learns_biased_and_pattern_branches() {
+        let mut p = EGskew::new(3 * 256);
+        let pc = BranchAddr(0x40);
+        for _ in 0..30 {
+            let _ = p.predict(pc);
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc).taken);
+        p.update(pc, true);
+
+        let pattern = [true, false];
+        let mut correct = 0;
+        for i in 0..2000 {
+            let outcome = pattern[i % 2];
+            let pred = p.predict(pc);
+            if i >= 1500 && pred.taken == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        assert!(correct > 480, "pattern accuracy {correct}/500");
+    }
+
+    /// Drives all three banks at the branch's current indices to a known
+    /// strong state: `dirs[k]` per bank.
+    fn force_votes(p: &mut EGskew, pc: BranchAddr, dirs: [bool; 3]) {
+        let (bi, g0i, g1i) = p.indices(pc);
+        for _ in 0..4 {
+            p.bim.train(bi, dirs[0]);
+            p.g0.train(g0i, dirs[1]);
+            p.g1.train(g1i, dirs[2]);
+        }
+    }
+
+    #[test]
+    fn majority_vote_masks_single_bank_corruption() {
+        // With two banks strongly taken and one corrupted to not-taken, the
+        // vote must still be taken.
+        let mut p = EGskew::new(3 * 64);
+        let victim = BranchAddr(0x100);
+        force_votes(&mut p, victim, [true, false, true]);
+        let pred = p.predict(victim);
+        assert!(pred.taken, "two healthy banks outvote the corrupted one");
+        p.update(victim, true);
+    }
+
+    #[test]
+    fn partial_update_leaves_outvoted_banks_alone() {
+        let mut p = EGskew::new(3 * 64);
+        let pc = BranchAddr(0x200);
+        force_votes(&mut p, pc, [true, false, true]);
+        let (_, g0i, _) = p.indices(pc);
+        let before = p.g0.counter(g0i).value();
+        let pred = p.predict(pc);
+        assert!(pred.taken);
+        p.update(pc, true); // correct final prediction, g0 voted not-taken
+        let after = p.g0.counter(g0i).value();
+        assert_eq!(
+            after, before,
+            "outvoted bank must not train on a correct prediction"
+        );
+    }
+
+    #[test]
+    fn misprediction_retrains_all_banks() {
+        let mut p = EGskew::new(3 * 64);
+        let pc = BranchAddr(0x200);
+        force_votes(&mut p, pc, [false, false, false]);
+        let (bi, g0i, g1i) = p.indices(pc);
+        let pred = p.predict(pc);
+        assert!(!pred.taken);
+        p.update(pc, true); // mispredicted
+        assert!(p.bim.counter(bi).value() > 0);
+        assert!(p.g0.counter(g0i).value() > 0);
+        assert!(p.g1.counter(g1i).value() > 0);
+    }
+
+    #[test]
+    fn collisions_counted_across_banks() {
+        let mut p = EGskew::new(3 * 16);
+        for i in 0..500u64 {
+            let pc = BranchAddr(i * 4 % 0x4000);
+            let _ = p.predict(pc);
+            p.update(pc, i % 3 == 0);
+        }
+        assert!(p.total_collisions() > 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The global branch history ("ghist") register.
+
+/// A shift register recording the outcomes of the most recent conditional
+/// branches, newest outcome in the least significant bit.
+///
+/// This is the paper's "ghist register": history-indexed predictors read some
+/// or all of it to form table indices, and §4 of the paper studies whether
+/// statically predicted branches should shift their outcomes into it.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::HistoryRegister;
+///
+/// let mut h = HistoryRegister::new(8);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.bits(3), 0b101, "newest outcome in bit 0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryRegister {
+    bits: u64,
+    len: u32,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zeros history of `len` bits (1 ≤ `len` ≤ 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds 64.
+    pub fn new(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "history length {len} out of range");
+        Self { bits: 0, len }
+    }
+
+    /// The register length in bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the register is zero-length (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shifts one branch outcome into the register.
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | u64::from(taken);
+        if self.len < 64 {
+            self.bits &= (1u64 << self.len) - 1;
+        }
+    }
+
+    /// The newest `n` history bits (`n` ≤ length), newest in bit 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the register length.
+    pub fn bits(&self, n: u32) -> u64 {
+        assert!(n <= self.len, "requested {n} bits of a {}-bit history", self.len);
+        if n == 0 {
+            0
+        } else if n == 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << n) - 1)
+        }
+    }
+
+    /// The full register contents.
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// The newest `take` bits XOR-folded down to `into` bits.
+    ///
+    /// Used when a predictor wants a longer history than its index width
+    /// (e.g. the long-history banks of 2bcgskew): the history is split into
+    /// `into`-bit chunks that are XORed together, preserving entropy from
+    /// every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `into` is zero or `take` exceeds the register length.
+    pub fn folded(&self, take: u32, into: u32) -> u64 {
+        assert!(into > 0, "cannot fold into zero bits");
+        let mut remaining = self.bits(take);
+        let mask = if into >= 64 { u64::MAX } else { (1u64 << into) - 1 };
+        let mut acc = 0u64;
+        let mut consumed = 0;
+        while consumed < take {
+            acc ^= remaining & mask;
+            remaining >>= into.min(63);
+            consumed += into;
+        }
+        acc & mask
+    }
+
+    /// Clears the register to all zeros.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_order_is_newest_in_lsb() {
+        let mut h = HistoryRegister::new(4);
+        h.push(true); // 0001
+        h.push(true); // 0011
+        h.push(false); // 0110
+        assert_eq!(h.value(), 0b110);
+        assert_eq!(h.bits(2), 0b10);
+    }
+
+    #[test]
+    fn history_wraps_at_length() {
+        let mut h = HistoryRegister::new(3);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.value(), 0b111, "only 3 bits retained");
+        h.push(false);
+        assert_eq!(h.value(), 0b110);
+    }
+
+    #[test]
+    fn full_64_bit_history_works() {
+        let mut h = HistoryRegister::new(64);
+        for i in 0..70 {
+            h.push(i % 2 == 0);
+        }
+        // Must not panic and must keep exactly 64 bits.
+        let v = h.bits(64);
+        assert_eq!(v, h.value());
+    }
+
+    #[test]
+    fn bits_zero_is_zero() {
+        let mut h = HistoryRegister::new(8);
+        h.push(true);
+        assert_eq!(h.bits(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_length_rejected() {
+        let _ = HistoryRegister::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn oversized_bits_rejected() {
+        let h = HistoryRegister::new(4);
+        let _ = h.bits(5);
+    }
+
+    #[test]
+    fn folding_preserves_short_history() {
+        let mut h = HistoryRegister::new(16);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        // take <= into: folding is the identity on the taken bits.
+        assert_eq!(h.folded(3, 8), 0b101);
+    }
+
+    #[test]
+    fn folding_xors_chunks() {
+        let mut h = HistoryRegister::new(8);
+        // Build 1010_0110.
+        for bit in [true, false, true, false, false, true, true, false] {
+            h.push(bit);
+        }
+        assert_eq!(h.value(), 0b1010_0110);
+        // Fold 8 bits into 4: 0110 ^ 1010 = 1100.
+        assert_eq!(h.folded(8, 4), 0b1100);
+    }
+
+    #[test]
+    fn clear_zeroes_the_register() {
+        let mut h = HistoryRegister::new(8);
+        h.push(true);
+        h.clear();
+        assert_eq!(h.value(), 0);
+    }
+}

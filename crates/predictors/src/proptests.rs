@@ -1,0 +1,177 @@
+//! Property-based tests over the predictor substrate.
+//!
+//! These verify structural invariants that hold for *every* scheme on
+//! arbitrary branch streams: protocol safety (no panics, deterministic
+//! replay), counter/history bounds, hash bijectivity, and collision
+//! accounting.
+
+#![cfg(test)]
+
+use crate::counter::SaturatingCounter;
+use crate::history::HistoryRegister;
+use crate::skew::{h, h_inv, h_inv_pow, h_pow, skew};
+use crate::{PredictorConfig, PredictorKind};
+use proptest::prelude::*;
+use sdbp_trace::BranchAddr;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..2048, any::<bool>()), 1..300)
+        .prop_map(|v| v.into_iter().map(|(w, t)| (w * 4, t)).collect())
+}
+
+proptest! {
+    /// Every predictor kind survives arbitrary streams and replays
+    /// deterministically.
+    #[test]
+    fn predictors_are_deterministic_on_arbitrary_streams(
+        stream in arb_stream(),
+        kind_idx in 0usize..PredictorKind::ALL.len(),
+        size_shift in 4u32..10,
+    ) {
+        let kind = PredictorKind::ALL[kind_idx];
+        let size = 1usize << size_shift.max(5); // >= 32 bytes, covers hybrids
+        let run = || {
+            let mut p = PredictorConfig::new(kind, size).expect("valid").build();
+            let mut outcomes = Vec::new();
+            for &(pc, taken) in &stream {
+                let pred = p.predict(BranchAddr(pc));
+                outcomes.push((pred.taken, pred.collision));
+                p.update(BranchAddr(pc), taken);
+            }
+            (outcomes, p.total_collisions())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ca, cb);
+    }
+
+    /// Collision counters are monotone and bounded by lookups.
+    #[test]
+    fn collisions_bounded_by_lookups(stream in arb_stream()) {
+        let mut p = PredictorConfig::new(PredictorKind::Gshare, 64)
+            .expect("valid")
+            .build();
+        let mut last = 0;
+        for (i, &(pc, taken)) in stream.iter().enumerate() {
+            let _ = p.predict(BranchAddr(pc));
+            p.update(BranchAddr(pc), taken);
+            let now = p.total_collisions();
+            prop_assert!(now >= last, "collision counter went backwards");
+            prop_assert!(now <= (i as u64 + 1), "more collisions than lookups");
+            last = now;
+        }
+    }
+
+    /// Saturating counters stay in range and predict their MSB.
+    #[test]
+    fn counter_invariants(bits in 1u8..8, updates in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits, 0);
+        let max = (1u8 << bits) - 1;
+        for taken in updates {
+            c.train(taken);
+            prop_assert!(c.value() <= max);
+            prop_assert_eq!(c.predict_taken(), c.value() > max / 2);
+        }
+    }
+
+    /// A counter trained n times in one direction from anywhere saturates
+    /// within n >= 2^bits steps and then stays put.
+    #[test]
+    fn counter_saturates(bits in 1u8..8, start_frac in 0.0f64..1.0) {
+        let max = (1u8 << bits) - 1;
+        let start = (start_frac * max as f64) as u8;
+        let mut c = SaturatingCounter::new(bits, start);
+        for _ in 0..=max {
+            c.train(true);
+        }
+        prop_assert_eq!(c.value(), max);
+        c.train(true);
+        prop_assert_eq!(c.value(), max);
+    }
+
+    /// History register: `bits(n)` always returns the newest n outcomes.
+    #[test]
+    fn history_tracks_newest_bits(
+        len in 1u32..64,
+        pushes in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut h = HistoryRegister::new(len);
+        for &taken in &pushes {
+            h.push(taken);
+        }
+        let n = len.min(pushes.len() as u32);
+        let got = h.bits(n);
+        for i in 0..n {
+            let expected = pushes[pushes.len() - 1 - i as usize];
+            prop_assert_eq!((got >> i) & 1 == 1, expected, "bit {} mismatch", i);
+        }
+    }
+
+    /// Folding never exceeds the fold width and is deterministic.
+    #[test]
+    fn history_folding_is_bounded(
+        len in 1u32..64,
+        take_frac in 0.0f64..1.0,
+        into in 1u32..20,
+        pushes in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut h = HistoryRegister::new(len);
+        for &taken in &pushes {
+            h.push(taken);
+        }
+        let take = ((take_frac * len as f64) as u32).min(len);
+        let folded = h.folded(take, into);
+        if into < 64 {
+            prop_assert!(folded < (1u64 << into));
+        }
+        prop_assert_eq!(folded, h.folded(take, into));
+    }
+
+    /// The skewing shift is a bijection for every width: h_inv ∘ h = id.
+    #[test]
+    fn skew_shift_is_bijective(n in 2u32..24, x in any::<u64>()) {
+        let mask = (1u64 << n) - 1;
+        let x = x & mask;
+        prop_assert_eq!(h_inv(h(x, n), n), x);
+        prop_assert_eq!(h(h_inv(x, n), n), x);
+    }
+
+    /// Powered shifts compose and invert.
+    #[test]
+    fn skew_powers_invert(n in 2u32..24, k in 0u32..10, x in any::<u64>()) {
+        let mask = (1u64 << n) - 1;
+        let x = x & mask;
+        prop_assert_eq!(h_inv_pow(h_pow(x, n, k), n, k), x);
+    }
+
+    /// skew() output always fits in n bits and differs between banks for
+    /// most inputs (weak anti-correlation check).
+    #[test]
+    fn skew_is_masked(n in 2u32..24, v1 in any::<u64>(), v2 in any::<u64>(), v3 in any::<u64>()) {
+        for k in 0..4 {
+            let out = skew(k, v1, v2, v3, n);
+            prop_assert!(out < (1u64 << n));
+        }
+    }
+
+    /// `shift_history` between predictions must never corrupt the
+    /// predict/update protocol (e.g. static branches interleaved anywhere).
+    #[test]
+    fn interleaved_history_shifts_are_safe(
+        stream in arb_stream(),
+        kind_idx in 0usize..PredictorKind::ALL.len(),
+    ) {
+        let kind = PredictorKind::ALL[kind_idx];
+        let mut p = PredictorConfig::new(kind, 256).expect("valid").build();
+        for (i, &(pc, taken)) in stream.iter().enumerate() {
+            if i % 3 == 0 {
+                // A "statically predicted" branch: history only.
+                p.shift_history(taken);
+            } else {
+                let _ = p.predict(BranchAddr(pc));
+                p.update(BranchAddr(pc), taken);
+            }
+        }
+    }
+}

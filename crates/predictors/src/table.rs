@@ -1,0 +1,201 @@
+//! Tagged counter tables with collision instrumentation.
+
+use crate::counter::SaturatingCounter;
+use sdbp_trace::BranchAddr;
+
+/// A power-of-two table of saturating counters with per-entry tags.
+///
+/// This is the measurement mechanism of the paper's Figures 1–6: *"The tag
+/// for a counter was used to store the address of the last branch using that
+/// counter. When we looked up the table of counters … if the address of the
+/// branch did not match the tag then we counted the event as a collision."*
+///
+/// Tags are pure instrumentation — they do not influence predictions and are
+/// excluded from [`PredictionTable::size_bytes`].
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::PredictionTable;
+/// use sdbp_trace::BranchAddr;
+///
+/// let mut t = PredictionTable::two_bit(1024);
+/// let (pred, collided) = t.lookup(5, BranchAddr(0x40));
+/// assert!(!collided, "first touch of an entry is not a collision");
+/// let _ = pred;
+/// let (_, collided) = t.lookup(5, BranchAddr(0x80));
+/// assert!(collided, "a different branch reusing entry 5 aliases");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredictionTable {
+    counters: Vec<SaturatingCounter>,
+    tags: Vec<Option<BranchAddr>>,
+    counter_bits: u8,
+    lookups: u64,
+    collisions: u64,
+}
+
+impl PredictionTable {
+    /// Creates a table of `entries` counters, each a copy of `template`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize, template: SaturatingCounter) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table entries {entries} must be a power of two"
+        );
+        Self {
+            counters: vec![template; entries],
+            tags: vec![None; entries],
+            counter_bits: template.max().count_ones() as u8,
+            lookups: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Creates a table of classic 2-bit counters initialized weakly
+    /// not-taken.
+    pub fn two_bit(entries: usize) -> Self {
+        Self::new(entries, SaturatingCounter::two_bit())
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of index bits (`log2(entries)`).
+    pub fn index_bits(&self) -> u32 {
+        self.counters.len().trailing_zeros()
+    }
+
+    /// Bitmask selecting a valid index.
+    pub fn index_mask(&self) -> u64 {
+        self.counters.len() as u64 - 1
+    }
+
+    /// Architectural storage in bytes (counters only; tags are
+    /// instrumentation).
+    pub fn size_bytes(&self) -> usize {
+        (self.counters.len() * self.counter_bits as usize).div_ceil(8)
+    }
+
+    /// Reads the counter at `index` for branch `pc`, recording aliasing.
+    ///
+    /// Returns `(predict_taken, collided)` where `collided` reports whether a
+    /// *different* branch was the last user of the entry. The entry's tag is
+    /// updated to `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (callers mask with
+    /// [`PredictionTable::index_mask`]).
+    pub fn lookup(&mut self, index: u64, pc: BranchAddr) -> (bool, bool) {
+        let i = index as usize;
+        self.lookups += 1;
+        let collided = match self.tags[i] {
+            Some(prev) => prev != pc,
+            None => false,
+        };
+        if collided {
+            self.collisions += 1;
+        }
+        self.tags[i] = Some(pc);
+        (self.counters[i].predict_taken(), collided)
+    }
+
+    /// Reads the counter at `index` without touching tags or statistics.
+    ///
+    /// Used by meta-predictors that consult a bank but do not "use" it in the
+    /// aliasing-measurement sense.
+    pub fn peek(&self, index: u64) -> bool {
+        self.counters[index as usize].predict_taken()
+    }
+
+    /// Direct access to the counter at `index`.
+    pub fn counter(&self, index: u64) -> &SaturatingCounter {
+        &self.counters[index as usize]
+    }
+
+    /// Trains the counter at `index` toward `taken`.
+    pub fn train(&mut self, index: u64, taken: bool) {
+        self.counters[index as usize].train(taken);
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Total collisions observed.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_accounting_matches_paper_convention() {
+        // 4 KB of 2-bit counters = 16K entries.
+        let t = PredictionTable::two_bit(16 * 1024);
+        assert_eq!(t.size_bytes(), 4096);
+        assert_eq!(t.index_bits(), 14);
+        assert_eq!(t.index_mask(), 0x3fff);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = PredictionTable::two_bit(1000);
+    }
+
+    #[test]
+    fn collision_detection_follows_tags() {
+        let mut t = PredictionTable::two_bit(16);
+        let a = BranchAddr(0x100);
+        let b = BranchAddr(0x200);
+        assert!(!t.lookup(3, a).1, "first use: no collision");
+        assert!(!t.lookup(3, a).1, "same branch again: no collision");
+        assert!(t.lookup(3, b).1, "different branch: collision");
+        assert!(!t.lookup(3, b).1, "b owns the entry now");
+        assert!(t.lookup(3, a).1, "a returns: collision again");
+        assert_eq!(t.lookups(), 5);
+        assert_eq!(t.collisions(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_tags() {
+        let mut t = PredictionTable::two_bit(16);
+        let a = BranchAddr(0x100);
+        t.lookup(7, a);
+        let _ = t.peek(7);
+        assert_eq!(t.lookups(), 1);
+        assert!(!t.lookup(7, a).1);
+    }
+
+    #[test]
+    fn training_moves_predictions() {
+        let mut t = PredictionTable::two_bit(8);
+        assert!(!t.peek(0));
+        t.train(0, true);
+        assert!(t.peek(0));
+        t.train(0, false);
+        t.train(0, false);
+        assert!(!t.peek(0));
+        assert!(!t.counter(0).predict_taken());
+    }
+
+    #[test]
+    fn distinct_entries_are_independent() {
+        let mut t = PredictionTable::two_bit(8);
+        t.train(1, true);
+        t.train(1, true);
+        assert!(t.peek(1));
+        assert!(!t.peek(2));
+    }
+}

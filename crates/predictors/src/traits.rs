@@ -1,0 +1,132 @@
+//! The common interface of all dynamic predictor simulators.
+
+use sdbp_trace::BranchAddr;
+
+/// The result of one predictor lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prediction {
+    /// The predicted direction.
+    pub taken: bool,
+    /// Whether any table consulted for this prediction aliased — i.e. its
+    /// last user was a different branch (the paper's collision event).
+    pub collision: bool,
+}
+
+/// A dynamic branch predictor simulator.
+///
+/// # Protocol
+///
+/// For every dynamically predicted branch the simulator calls, in order:
+///
+/// 1. [`DynamicPredictor::predict`] with the branch address — the predictor
+///    reads its tables and internally latches the lookup context (indices,
+///    bank predictions),
+/// 2. [`DynamicPredictor::update`] with the resolved outcome — the predictor
+///    trains its tables *using the latched context* and shifts the outcome
+///    into its global history, if it keeps one.
+///
+/// For a **statically predicted** branch the dynamic tables must stay
+/// untouched (that is the aliasing-relief mechanism of the paper); the
+/// simulator instead optionally calls [`DynamicPredictor::shift_history`] so
+/// the outcome still enters the global history register — §4/Table 4 of the
+/// paper study exactly this choice.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::{Bimodal, DynamicPredictor};
+/// use sdbp_trace::BranchAddr;
+///
+/// let mut p = Bimodal::new(1024);
+/// let pc = BranchAddr(0x400);
+/// for _ in 0..3 {
+///     let _ = p.predict(pc);
+///     p.update(pc, true);
+/// }
+/// assert!(p.predict(pc).taken, "a mostly-taken branch trains the counter up");
+/// ```
+pub trait DynamicPredictor {
+    /// A short scheme name (`"gshare"`, `"2bcgskew"`, …) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// The architectural storage budget in bytes (counters only).
+    fn size_bytes(&self) -> usize;
+
+    /// Looks up a prediction for the branch at `pc`, latching the lookup
+    /// context for the subsequent [`DynamicPredictor::update`] call.
+    fn predict(&mut self, pc: BranchAddr) -> Prediction;
+
+    /// Trains the predictor with the resolved outcome of the branch last
+    /// passed to [`DynamicPredictor::predict`], then shifts the outcome into
+    /// the global history (when the scheme keeps one).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding `predict` for the
+    /// same branch — that is a simulator sequencing bug.
+    fn update(&mut self, pc: BranchAddr, taken: bool);
+
+    /// Shifts `taken` into the global history register **without** touching
+    /// any table. A no-op for history-free schemes (e.g. bimodal).
+    fn shift_history(&mut self, taken: bool);
+
+    /// Total collisions observed across all tables since construction.
+    fn total_collisions(&self) -> u64;
+}
+
+/// Latched per-branch lookup context shared by the predictor
+/// implementations in this crate.
+///
+/// Stored by `predict`, consumed by `update`. Public only for reuse across
+/// the sibling modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Latched<T> {
+    pub pc: BranchAddr,
+    pub ctx: T,
+}
+
+impl<T> Latched<T> {
+    pub(crate) fn take_for(slot: &mut Option<Self>, pc: BranchAddr, scheme: &str) -> T {
+        match slot.take() {
+            Some(l) if l.pc == pc => l.ctx,
+            Some(l) => panic!(
+                "{scheme}: update({pc}) does not match latched predict({})",
+                l.pc
+            ),
+            None => panic!("{scheme}: update({pc}) without a preceding predict"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latched_roundtrip() {
+        let mut slot = Some(Latched {
+            pc: BranchAddr(8),
+            ctx: 42u32,
+        });
+        let ctx = Latched::take_for(&mut slot, BranchAddr(8), "test");
+        assert_eq!(ctx, 42);
+        assert!(slot.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding predict")]
+    fn update_without_predict_panics() {
+        let mut slot: Option<Latched<()>> = None;
+        Latched::take_for(&mut slot, BranchAddr(8), "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_pc_panics() {
+        let mut slot = Some(Latched {
+            pc: BranchAddr(8),
+            ctx: (),
+        });
+        Latched::take_for(&mut slot, BranchAddr(12), "test");
+    }
+}

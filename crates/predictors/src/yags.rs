@@ -1,0 +1,307 @@
+//! The YAGS predictor (related-work ablation).
+
+use crate::counter::SaturatingCounter;
+use crate::history::HistoryRegister;
+use crate::table::PredictionTable;
+use crate::traits::{DynamicPredictor, Latched, Prediction};
+use sdbp_trace::BranchAddr;
+
+/// Eden & Mudge's *Yet Another Global Scheme* — a tagged refinement of
+/// bi-mode used here as an extra alias-reduction baseline.
+///
+/// A PC-indexed bimodal **choice** table supplies the default direction. Two
+/// small tagged **exception caches** (a taken-cache and a not-taken-cache)
+/// store only the branches that *deviate* from their choice-table direction:
+/// when the choice says taken, the not-taken cache is probed for an
+/// exception, and vice versa. Tags (partial, 8-bit) make the caches
+/// conflict-evident, so aliasing mostly turns into capacity misses instead
+/// of silent corruption.
+///
+/// Storage split of the byte budget: half to the choice table, a quarter to
+/// each exception cache (whose entries cost 10 bits: 8-bit tag + 2-bit
+/// counter, all counted by [`DynamicPredictor::size_bytes`]).
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_predictors::{DynamicPredictor, Yags};
+/// use sdbp_trace::BranchAddr;
+///
+/// let mut p = Yags::new(2048);
+/// let _ = p.predict(BranchAddr(0x5c));
+/// p.update(BranchAddr(0x5c), true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Yags {
+    choice: PredictionTable,
+    taken_cache: ExceptionCache,
+    not_taken_cache: ExceptionCache,
+    history: HistoryRegister,
+    latched: Option<Latched<Ctx>>,
+}
+
+/// A direct-mapped tagged cache of 2-bit exception counters.
+#[derive(Debug, Clone)]
+struct ExceptionCache {
+    tags: Vec<Option<u8>>,
+    counters: Vec<SaturatingCounter>,
+    collisions: u64,
+}
+
+impl ExceptionCache {
+    fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "cache entries must be 2^k");
+        Self {
+            tags: vec![None; entries],
+            counters: vec![SaturatingCounter::two_bit(); entries],
+            collisions: 0,
+        }
+    }
+
+    fn index_mask(&self) -> u64 {
+        self.tags.len() as u64 - 1
+    }
+
+    /// Probes the cache; on a tag hit returns the counter's direction.
+    fn probe(&self, index: u64, tag: u8) -> Option<bool> {
+        let i = index as usize;
+        (self.tags[i] == Some(tag)).then(|| self.counters[i].predict_taken())
+    }
+
+    /// Trains a hit entry.
+    fn train(&mut self, index: u64, taken: bool) {
+        self.counters[index as usize].train(taken);
+    }
+
+    /// Allocates (replaces) an entry for `tag`, counting displacement of a
+    /// different branch as a collision, and initializes the counter weakly
+    /// toward `taken`.
+    fn allocate(&mut self, index: u64, tag: u8, taken: bool) {
+        let i = index as usize;
+        if let Some(prev) = self.tags[i] {
+            if prev != tag {
+                self.collisions += 1;
+            }
+        }
+        self.tags[i] = Some(tag);
+        self.counters[i].reset_toward(taken);
+    }
+
+    /// Storage: 8-bit tag + 2-bit counter per entry.
+    fn size_bytes(&self) -> usize {
+        (self.tags.len() * 10).div_ceil(8)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ctx {
+    choice_index: u64,
+    choice_taken: bool,
+    cache_index: u64,
+    tag: u8,
+    cache_hit: Option<bool>,
+    final_pred: bool,
+}
+
+impl Yags {
+    /// Creates a YAGS predictor with roughly a `size_bytes` budget (choice
+    /// table uses half of it; each exception cache holds
+    /// `size_bytes * 8 / 4 / 10`-rounded-down-to-power-of-two entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes < 16` or not a power of two.
+    pub fn new(size_bytes: usize) -> Self {
+        assert!(
+            size_bytes >= 16 && size_bytes.is_power_of_two(),
+            "yags size {size_bytes} must be a power of two >= 16"
+        );
+        let choice = PredictionTable::two_bit(size_bytes / 2 * 4);
+        // A quarter of the bit budget per cache, 10 bits per entry, rounded
+        // down to a power of two.
+        let per_cache_bits = size_bytes * 8 / 4;
+        let raw_entries = (per_cache_bits / 10).max(2);
+        let entries = if raw_entries.is_power_of_two() {
+            raw_entries
+        } else {
+            raw_entries.next_power_of_two() >> 1
+        };
+        let taken_cache = ExceptionCache::new(entries);
+        let not_taken_cache = ExceptionCache::new(entries);
+        let history = HistoryRegister::new(entries.trailing_zeros().max(1));
+        Self {
+            choice,
+            taken_cache,
+            not_taken_cache,
+            history,
+            latched: None,
+        }
+    }
+
+    fn tag_of(pc: BranchAddr) -> u8 {
+        (pc.word_index() & 0xff) as u8
+    }
+
+    fn cache_index(&self, pc: BranchAddr) -> u64 {
+        (pc.word_index() ^ self.history.bits(self.history.len()))
+            & self.taken_cache.index_mask()
+    }
+}
+
+impl DynamicPredictor for Yags {
+    fn name(&self) -> &'static str {
+        "yags"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.choice.size_bytes()
+            + self.taken_cache.size_bytes()
+            + self.not_taken_cache.size_bytes()
+    }
+
+    fn predict(&mut self, pc: BranchAddr) -> Prediction {
+        let choice_index = pc.word_index() & self.choice.index_mask();
+        let (choice_taken, choice_collision) = self.choice.lookup(choice_index, pc);
+        let cache_index = self.cache_index(pc);
+        let tag = Self::tag_of(pc);
+        // Probe the cache of exceptions to the chosen direction.
+        let cache_hit = if choice_taken {
+            self.not_taken_cache.probe(cache_index, tag)
+        } else {
+            self.taken_cache.probe(cache_index, tag)
+        };
+        let final_pred = cache_hit.unwrap_or(choice_taken);
+        self.latched = Some(Latched {
+            pc,
+            ctx: Ctx {
+                choice_index,
+                choice_taken,
+                cache_index,
+                tag,
+                cache_hit,
+                final_pred,
+            },
+        });
+        Prediction {
+            taken: final_pred,
+            collision: choice_collision,
+        }
+    }
+
+    fn update(&mut self, pc: BranchAddr, taken: bool) {
+        let ctx = Latched::take_for(&mut self.latched, pc, "yags");
+        let cache = if ctx.choice_taken {
+            &mut self.not_taken_cache
+        } else {
+            &mut self.taken_cache
+        };
+        if ctx.cache_hit.is_some() {
+            cache.train(ctx.cache_index, taken);
+        } else if taken != ctx.choice_taken {
+            // The branch deviated from its choice direction: record the
+            // exception.
+            cache.allocate(ctx.cache_index, ctx.tag, taken);
+        }
+        // Choice table: bi-mode-style exception — don't punish the choice
+        // when it opposed the outcome but the cache fixed it.
+        let final_correct = ctx.final_pred == taken;
+        let choice_opposed = ctx.choice_taken != taken;
+        if !(choice_opposed && final_correct) {
+            self.choice.train(ctx.choice_index, taken);
+        }
+        self.history.push(taken);
+    }
+
+    fn shift_history(&mut self, taken: bool) {
+        self.history.push(taken);
+    }
+
+    fn total_collisions(&self) -> u64 {
+        self.choice.collisions()
+            + self.taken_cache.collisions
+            + self.not_taken_cache.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Yags::new(1024);
+        let pc = BranchAddr(0x40);
+        for _ in 0..20 {
+            let _ = p.predict(pc);
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc).taken);
+        p.update(pc, true);
+    }
+
+    #[test]
+    fn exception_cache_handles_deviating_history_contexts() {
+        // A loop-exit branch: taken 7 times, then not-taken once. The choice
+        // table says taken; the not-taken cache learns the exit context.
+        let mut p = Yags::new(1024);
+        let pc = BranchAddr(0x80);
+        let mut correct = 0;
+        let mut measured = 0;
+        for i in 0..8000 {
+            let outcome = i % 8 != 7;
+            let pred = p.predict(pc);
+            if i >= 6000 {
+                measured += 1;
+                if pred.taken == outcome {
+                    correct += 1;
+                }
+            }
+            p.update(pc, outcome);
+        }
+        let acc = correct as f64 / measured as f64;
+        assert!(acc > 0.95, "loop-exit accuracy {acc}");
+    }
+
+    #[test]
+    fn caches_store_only_exceptions() {
+        let mut p = Yags::new(1024);
+        let pc = BranchAddr(0x40);
+        // Perfectly-taken branch: no exceptions should ever be allocated.
+        for _ in 0..50 {
+            let _ = p.predict(pc);
+            p.update(pc, true);
+        }
+        let allocated = p
+            .not_taken_cache
+            .tags
+            .iter()
+            .chain(p.taken_cache.tags.iter())
+            .filter(|t| t.is_some())
+            .count();
+        // The very first outcome may deviate from the untrained choice table
+        // and allocate once; after that a perfectly biased branch must never
+        // touch the caches again.
+        assert!(
+            allocated <= 1,
+            "biased branch polluted the caches with {allocated} entries"
+        );
+    }
+
+    #[test]
+    fn displacement_counts_as_collision() {
+        let mut c = ExceptionCache::new(4);
+        c.allocate(1, 0xaa, true);
+        assert_eq!(c.collisions, 0);
+        c.allocate(1, 0xbb, false);
+        assert_eq!(c.collisions, 1);
+        c.allocate(1, 0xbb, true);
+        assert_eq!(c.collisions, 1, "same tag is not a collision");
+    }
+
+    #[test]
+    fn size_accounts_tags() {
+        let p = Yags::new(1024);
+        assert!(p.size_bytes() >= 512, "at least the choice table");
+        assert!(p.size_bytes() <= 1200, "within ~budget: {}", p.size_bytes());
+    }
+}

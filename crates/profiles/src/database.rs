@@ -1,0 +1,202 @@
+//! The Spike-like multi-run profile database.
+
+use crate::bias::BiasProfile;
+use sdbp_trace::BranchAddr;
+use std::collections::HashSet;
+
+/// A store of bias profiles from multiple runs of one program.
+///
+/// Models the workflow the paper proposes for robust profile-directed static
+/// prediction (§5.1): Spike accumulates an execution profile per program
+/// across instrumented runs, and the optimizer later draws hints from the
+/// *merged* database. The key robustness operation is
+/// [`ProfileDatabase::merged_stable`], which drops branches whose bias moved
+/// by more than a threshold between runs — the fix that rescues `perl` and
+/// `m88ksim` from naive cross-training in the paper's Figure 13.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_profiles::{BiasProfile, ProfileDatabase};
+/// use sdbp_trace::{BranchAddr, BranchEvent, SliceSource};
+///
+/// let run1 = BiasProfile::from_source(SliceSource::new(&[
+///     BranchEvent::new(BranchAddr(0x10), true, 0),
+/// ]));
+/// let run2 = BiasProfile::from_source(SliceSource::new(&[
+///     BranchEvent::new(BranchAddr(0x10), false, 0),
+/// ]));
+/// let mut db = ProfileDatabase::new("demo");
+/// db.add_run("in1", run1);
+/// db.add_run("in2", run2);
+/// // 0x10 flipped 100% -> 0%: dropped at any reasonable threshold.
+/// let stable = db.merged_stable(0.05);
+/// assert!(stable.site(BranchAddr(0x10)).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileDatabase {
+    program: String,
+    runs: Vec<(String, BiasProfile)>,
+}
+
+impl ProfileDatabase {
+    /// Creates an empty database for `program`.
+    pub fn new(program: impl Into<String>) -> Self {
+        Self {
+            program: program.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The program this database profiles.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Adds one run's profile under a label (e.g. the input name).
+    pub fn add_run(&mut self, label: impl Into<String>, profile: BiasProfile) -> &mut Self {
+        self.runs.push((label.into(), profile));
+        self
+    }
+
+    /// Number of stored runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The profile of a labeled run.
+    pub fn run(&self, label: &str) -> Option<&BiasProfile> {
+        self.runs
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p)
+    }
+
+    /// Iterates over `(label, profile)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BiasProfile)> {
+        self.runs.iter().map(|(l, p)| (l.as_str(), p))
+    }
+
+    /// Merges all runs by summing counts (Spike's accumulate).
+    pub fn merged(&self) -> BiasProfile {
+        let mut out = BiasProfile::new();
+        for (_, profile) in &self.runs {
+            out.merge(profile);
+        }
+        out
+    }
+
+    /// Merges all runs, then drops every branch whose taken-rate differs by
+    /// more than `max_bias_change` between any two runs that executed it.
+    ///
+    /// A branch observed in only one run is kept (there is no evidence of
+    /// instability). With fewer than two runs this equals
+    /// [`ProfileDatabase::merged`].
+    pub fn merged_stable(&self, max_bias_change: f64) -> BiasProfile {
+        let mut merged = self.merged();
+        for pc in self.unstable_sites(max_bias_change) {
+            merged.remove(pc);
+        }
+        merged
+    }
+
+    /// The set of branches whose taken-rate moved by more than
+    /// `max_bias_change` between some pair of runs.
+    pub fn unstable_sites(&self, max_bias_change: f64) -> HashSet<BranchAddr> {
+        let mut unstable = HashSet::new();
+        if self.runs.len() < 2 {
+            return unstable;
+        }
+        // Collect every pc observed anywhere.
+        let mut all: HashSet<BranchAddr> = HashSet::new();
+        for (_, p) in &self.runs {
+            all.extend(p.iter().map(|(pc, _)| pc));
+        }
+        for pc in all {
+            let rates: Vec<f64> = self
+                .runs
+                .iter()
+                .filter_map(|(_, p)| p.site(pc))
+                .filter(|s| s.executed > 0)
+                .map(|s| s.taken_rate())
+                .collect();
+            if rates.len() < 2 {
+                continue;
+            }
+            let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if max - min > max_bias_change {
+                unstable.insert(pc);
+            }
+        }
+        unstable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_trace::SiteStats;
+
+    fn profile_with(entries: &[(u64, u64, u64)]) -> BiasProfile {
+        let mut p = BiasProfile::new();
+        for &(pc, executed, taken) in entries {
+            p.insert(BranchAddr(pc), SiteStats { executed, taken });
+        }
+        p
+    }
+
+    #[test]
+    fn merged_sums_counts() {
+        let mut db = ProfileDatabase::new("gcc");
+        db.add_run("train", profile_with(&[(0x10, 100, 90), (0x20, 10, 1)]));
+        db.add_run("ref", profile_with(&[(0x10, 50, 45), (0x30, 5, 5)]));
+        assert_eq!(db.num_runs(), 2);
+        assert_eq!(db.program(), "gcc");
+        let m = db.merged();
+        let s = m.site(BranchAddr(0x10)).unwrap();
+        assert_eq!((s.executed, s.taken), (150, 135));
+        assert!(m.site(BranchAddr(0x20)).is_some());
+        assert!(m.site(BranchAddr(0x30)).is_some());
+    }
+
+    #[test]
+    fn stable_merge_drops_flippers() {
+        let mut db = ProfileDatabase::new("perl");
+        db.add_run("train", profile_with(&[(0x10, 100, 98), (0x20, 100, 95)]));
+        db.add_run("ref", profile_with(&[(0x10, 100, 2), (0x20, 100, 93)]));
+        let stable = db.merged_stable(0.05);
+        assert!(stable.site(BranchAddr(0x10)).is_none(), "0x10 flipped");
+        assert!(stable.site(BranchAddr(0x20)).is_some(), "0x20 moved 2 points");
+        let unstable = db.unstable_sites(0.05);
+        assert_eq!(unstable.len(), 1);
+        assert!(unstable.contains(&BranchAddr(0x10)));
+    }
+
+    #[test]
+    fn single_run_everything_is_stable() {
+        let mut db = ProfileDatabase::new("go");
+        db.add_run("train", profile_with(&[(0x10, 10, 0)]));
+        assert!(db.unstable_sites(0.01).is_empty());
+        assert_eq!(db.merged_stable(0.01), db.merged());
+    }
+
+    #[test]
+    fn branch_seen_in_one_run_is_kept() {
+        let mut db = ProfileDatabase::new("go");
+        db.add_run("train", profile_with(&[(0x10, 10, 10)]));
+        db.add_run("ref", profile_with(&[(0x20, 10, 0)]));
+        let stable = db.merged_stable(0.01);
+        assert!(stable.site(BranchAddr(0x10)).is_some());
+        assert!(stable.site(BranchAddr(0x20)).is_some());
+    }
+
+    #[test]
+    fn run_lookup_by_label() {
+        let mut db = ProfileDatabase::new("x");
+        db.add_run("train", profile_with(&[(0x10, 1, 1)]));
+        assert!(db.run("train").is_some());
+        assert!(db.run("ref").is_none());
+        assert_eq!(db.iter().count(), 1);
+    }
+}

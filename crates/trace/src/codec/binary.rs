@@ -1,0 +1,229 @@
+//! Compact binary trace format.
+//!
+//! Layout (all multi-byte integers are varints unless noted):
+//!
+//! ```text
+//! magic    : 4 bytes  "SDBT"
+//! version  : u16 little-endian (currently 1)
+//! name_len : varint, then that many UTF-8 bytes
+//! events   : varint count
+//! instrs   : varint total_instructions
+//! per event:
+//!   pc_zig : varint zig-zag delta of pc from the previous event's pc
+//!   packed : varint ((gap << 1) | taken)
+//! ```
+//!
+//! PC deltas are zig-zag encoded because consecutive branches are usually
+//! close together in the address space, so deltas are small in magnitude but
+//! signed; packing `taken` into the gap word saves one byte per event.
+
+use super::varint;
+use crate::error::TraceError;
+use crate::event::{BranchAddr, BranchEvent};
+use crate::trace::{Trace, TraceMeta};
+use std::io::{Read, Write};
+
+const MAGIC: [u8; 4] = *b"SDBT";
+const VERSION: u16 = 1;
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes `trace` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::{read_binary, write_binary, BranchAddr, BranchEvent, TraceBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TraceBuilder::named("tiny");
+/// b.push(BranchEvent::new(BranchAddr(0x1000), true, 5));
+/// let trace = b.finish();
+///
+/// let mut buf = Vec::new();
+/// write_binary(&mut buf, &trace)?;
+/// let back = read_binary(&mut &buf[..])?;
+/// assert_eq!(back, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_binary<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.meta().name.as_bytes();
+    varint::write_u64(w, name.len() as u64)?;
+    w.write_all(name)?;
+    varint::write_u64(w, trace.len() as u64)?;
+    varint::write_u64(w, trace.meta().total_instructions)?;
+    let mut prev_pc = 0u64;
+    for e in trace.iter() {
+        let delta = e.pc.0.wrapping_sub(prev_pc) as i64;
+        varint::write_u64(w, zigzag_encode(delta))?;
+        varint::write_u64(w, (u64::from(e.gap) << 1) | u64::from(e.taken))?;
+        prev_pc = e.pc.0;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_binary`].
+///
+/// # Errors
+///
+/// * [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`] for
+///   foreign input,
+/// * [`TraceError::TruncatedVarint`] / [`TraceError::TruncatedEvents`] for
+///   cut-off payloads,
+/// * [`TraceError::Io`] for underlying reader failures.
+pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { found: magic });
+    }
+    let mut version = [0u8; 2];
+    r.read_exact(&mut version)?;
+    let version = u16::from_le_bytes(version);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+    let name_len = varint::read_u64(r)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8_lossy(&name_bytes).into_owned();
+    let count = varint::read_u64(r)?;
+    let total_instructions = varint::read_u64(r)?;
+
+    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut prev_pc = 0u64;
+    for decoded in 0..count {
+        let delta = match varint::read_u64(r) {
+            Ok(v) => zigzag_decode(v),
+            Err(TraceError::TruncatedVarint) => {
+                return Err(TraceError::TruncatedEvents {
+                    expected: count,
+                    decoded,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let packed = varint::read_u64(r)?;
+        let pc = prev_pc.wrapping_add(delta as u64);
+        let taken = packed & 1 == 1;
+        let gap = (packed >> 1) as u32;
+        events.push(BranchEvent::new(BranchAddr(pc), taken, gap));
+        prev_pc = pc;
+    }
+    Ok(Trace::from_parts(
+        TraceMeta {
+            total_instructions,
+            name,
+        },
+        events,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::named("sample");
+        b.push(BranchEvent::new(BranchAddr(0x12000), true, 6));
+        b.push(BranchEvent::new(BranchAddr(0x12010), false, 2));
+        b.push(BranchEvent::new(BranchAddr(0x11ff0), true, 0));
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        let back = read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace::default();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        let back = read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn zigzag_is_involutive() {
+        for v in [-1i64, 0, 1, i64::MIN, i64::MAX, -123456, 123456] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01\x00".to_vec();
+        assert!(matches!(
+            read_binary(&mut &buf[..]),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample_trace()).unwrap();
+        buf[4] = 99; // corrupt the version field
+        assert!(matches!(
+            read_binary(&mut &buf[..]),
+            Err(TraceError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_reported() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(&mut &buf[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::TruncatedEvents { .. } | TraceError::TruncatedVarint
+            ),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn delta_encoding_is_compact_for_local_branches() {
+        // 1000 branches within one 4KB page should encode in ~2-3 bytes each.
+        let mut b = TraceBuilder::new();
+        for i in 0..1000u64 {
+            b.push(BranchEvent::new(
+                BranchAddr(0x40_0000 + 4 * (i % 256)),
+                i % 3 == 0,
+                4,
+            ));
+        }
+        let trace = b.finish();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        assert!(
+            buf.len() < 4 * trace.len(),
+            "encoded {} bytes for {} events",
+            buf.len(),
+            trace.len()
+        );
+    }
+}

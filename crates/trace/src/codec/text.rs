@@ -1,0 +1,209 @@
+//! Line-oriented text trace format.
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! !name gcc.train          (optional metadata directive)
+//! 12000 T 6                (hex pc, T/N outcome, decimal gap)
+//! 12010 N 2
+//! 11ff0 T                  (gap defaults to 0)
+//! ```
+//!
+//! This is the interchange format for feeding externally collected branch
+//! traces (from Pin, DynamoRIO, QEMU plugins, …) into the simulator.
+
+use crate::error::TraceError;
+use crate::event::{BranchAddr, BranchEvent};
+use crate::trace::{Trace, TraceBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes `trace` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_text<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError> {
+    if !trace.meta().name.is_empty() {
+        writeln!(w, "!name {}", trace.meta().name)?;
+    }
+    for e in trace.iter() {
+        writeln!(
+            w,
+            "{:x} {} {}",
+            e.pc.0,
+            if e.taken { 'T' } else { 'N' },
+            e.gap
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// Unknown `!` directives are ignored so the format can grow. The trace's
+/// `total_instructions` is recomputed from the events.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] (with a line number) for malformed lines and
+/// [`TraceError::Io`] for reader failures.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::read_text;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "!name demo\n1000 T 4\n1008 N\n";
+/// let trace = read_text(&mut text.as_bytes())?;
+/// assert_eq!(trace.meta().name, "demo");
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.meta().total_instructions, 6, "gaps 4 and 0, plus two branches");
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_text<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+    let reader = BufReader::new(r);
+    let mut builder = TraceBuilder::new();
+    let mut name = String::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(directive) = line.strip_prefix('!') {
+            if let Some(n) = directive.strip_prefix("name ") {
+                name = n.trim().to_string();
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let pc_text = parts.next().ok_or_else(|| TraceError::Parse {
+            line: lineno,
+            message: "missing pc field".into(),
+        })?;
+        let pc = u64::from_str_radix(pc_text.trim_start_matches("0x"), 16).map_err(|e| {
+            TraceError::Parse {
+                line: lineno,
+                message: format!("bad pc '{pc_text}': {e}"),
+            }
+        })?;
+        let outcome = parts.next().ok_or_else(|| TraceError::Parse {
+            line: lineno,
+            message: "missing outcome field".into(),
+        })?;
+        let taken = match outcome {
+            "T" | "t" | "1" => true,
+            "N" | "n" | "0" => false,
+            other => {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad outcome '{other}', expected T or N"),
+                })
+            }
+        };
+        let gap = match parts.next() {
+            Some(g) => g.parse::<u32>().map_err(|e| TraceError::Parse {
+                line: lineno,
+                message: format!("bad gap '{g}': {e}"),
+            })?,
+            None => 0,
+        };
+        if let Some(extra) = parts.next() {
+            return Err(TraceError::Parse {
+                line: lineno,
+                message: format!("unexpected trailing field '{extra}'"),
+            });
+        }
+        builder.push(BranchEvent::new(BranchAddr(pc), taken, gap));
+    }
+    let mut trace = builder.finish();
+    if !name.is_empty() {
+        let meta = crate::trace::TraceMeta {
+            total_instructions: trace.meta().total_instructions,
+            name,
+        };
+        trace = Trace::from_parts(meta, trace.into_iter().collect());
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn roundtrip_with_name() {
+        let mut b = TraceBuilder::named("perl.ref");
+        b.push(BranchEvent::new(BranchAddr(0xabc), true, 3));
+        b.push(BranchEvent::new(BranchAddr(0xac0), false, 0));
+        let trace = b.finish();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &trace).unwrap();
+        let back = read_text(&mut &buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn comments_blanks_and_unknown_directives_are_ignored() {
+        let text = "# header\n\n!future stuff\n10 T 1\n";
+        let trace = read_text(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].pc, BranchAddr(0x10));
+    }
+
+    #[test]
+    fn gap_defaults_to_zero_and_accepts_aliases() {
+        let text = "10 t\n14 1 5\n18 0\n";
+        let trace = read_text(&mut text.as_bytes()).unwrap();
+        assert_eq!(trace.events()[0].gap, 0);
+        assert!(trace.events()[0].taken);
+        assert!(trace.events()[1].taken);
+        assert_eq!(trace.events()[1].gap, 5);
+        assert!(!trace.events()[2].taken);
+    }
+
+    #[test]
+    fn accepts_0x_prefixed_pcs() {
+        let trace = read_text(&mut "0x1000 T 2\n".as_bytes()).unwrap();
+        assert_eq!(trace.events()[0].pc, BranchAddr(0x1000));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "10 T 1\nZZZ T 1\n";
+        match read_text(&mut text.as_bytes()) {
+            Err(TraceError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_outcome_and_trailing_fields() {
+        assert!(matches!(
+            read_text(&mut "10 X 1\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_text(&mut "10 T 1 junk\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_text(&mut "10\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_text(&mut "10 T 4294967296\n".as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace() {
+        let trace = read_text(&mut "".as_bytes()).unwrap();
+        assert!(trace.is_empty());
+        assert_eq!(trace.meta().total_instructions, 0);
+    }
+}

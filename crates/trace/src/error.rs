@@ -1,0 +1,107 @@
+//! Error type for trace I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while encoding or decoding traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The input did not start with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// A varint ran past the end of the input or exceeded 64 bits.
+    TruncatedVarint,
+    /// The payload ended before the declared number of events.
+    TruncatedEvents {
+        /// Events promised by the header.
+        expected: u64,
+        /// Events actually decoded.
+        decoded: u64,
+    },
+    /// A text-format line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:?}, expected \"SDBT\"")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceError::TruncatedVarint => f.write_str("truncated or overlong varint"),
+            TraceError::TruncatedEvents { expected, decoded } => write!(
+                f,
+                "trace payload truncated: expected {expected} events, decoded {decoded}"
+            ),
+            TraceError::Parse { line, message } => {
+                write!(f, "text trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let e = TraceError::BadMagic { found: *b"XXXX" };
+        assert!(e.to_string().contains("SDBT"));
+        let e = TraceError::UnsupportedVersion { found: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = TraceError::TruncatedEvents {
+            expected: 10,
+            decoded: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+        let e = TraceError::Parse {
+            line: 7,
+            message: "bad outcome".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error as _;
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e = TraceError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The branch event observed by every predictor in the stack.
+
+use std::fmt;
+
+/// The address (program counter) of a static conditional branch instruction.
+///
+/// A newtype rather than a bare `u64` so that branch addresses cannot be
+/// confused with table indices, history values, or instruction counts, all of
+/// which also travel as 64-bit integers through the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::BranchAddr;
+///
+/// let pc = BranchAddr(0x0001_2000);
+/// assert_eq!(pc.word_index(), 0x0000_4800, "Alpha instructions are 4 bytes");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BranchAddr(pub u64);
+
+impl BranchAddr {
+    /// The address divided by the 4-byte instruction width.
+    ///
+    /// Branch predictor tables are indexed with instruction-granular address
+    /// bits; the two always-zero byte-offset bits would otherwise waste index
+    /// entropy (the paper's predictors all discard them).
+    pub fn word_index(self) -> u64 {
+        self.0 >> 2
+    }
+}
+
+impl fmt::Display for BranchAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for BranchAddr {
+    fn from(v: u64) -> Self {
+        BranchAddr(v)
+    }
+}
+
+impl From<BranchAddr> for u64 {
+    fn from(a: BranchAddr) -> Self {
+        a.0
+    }
+}
+
+/// The resolved direction of a conditional branch.
+///
+/// A two-variant enum rather than a bare `bool` at API boundaries where the
+/// meaning of `true` would be ambiguous.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::Outcome;
+///
+/// let o = Outcome::from_taken(true);
+/// assert_eq!(o, Outcome::Taken);
+/// assert!(o.is_taken());
+/// assert_eq!(!o, Outcome::NotTaken);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The branch was taken (control transferred to the target).
+    Taken,
+    /// The branch fell through.
+    NotTaken,
+}
+
+impl Outcome {
+    /// Converts from the `taken` flag representation.
+    pub fn from_taken(taken: bool) -> Self {
+        if taken {
+            Outcome::Taken
+        } else {
+            Outcome::NotTaken
+        }
+    }
+
+    /// Whether this outcome is [`Outcome::Taken`].
+    pub fn is_taken(self) -> bool {
+        matches!(self, Outcome::Taken)
+    }
+}
+
+impl std::ops::Not for Outcome {
+    type Output = Outcome;
+
+    fn not(self) -> Outcome {
+        match self {
+            Outcome::Taken => Outcome::NotTaken,
+            Outcome::NotTaken => Outcome::Taken,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Taken => f.write_str("T"),
+            Outcome::NotTaken => f.write_str("N"),
+        }
+    }
+}
+
+/// One executed conditional branch.
+///
+/// `gap` records the number of non-branch instructions retired since the
+/// previous conditional branch (or since program start for the first event),
+/// which is what lets the simulator compute the paper's MISPs/KI metric —
+/// mispredictions per thousand *instructions* — without carrying a separate
+/// instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::{BranchAddr, BranchEvent, Outcome};
+///
+/// let e = BranchEvent::new(BranchAddr(0x400), true, 6);
+/// assert_eq!(e.outcome(), Outcome::Taken);
+/// assert_eq!(e.instructions(), 7, "gap plus the branch itself");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub pc: BranchAddr,
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Non-branch instructions retired since the previous conditional branch.
+    pub gap: u32,
+}
+
+impl BranchEvent {
+    /// Creates an event.
+    pub fn new(pc: BranchAddr, taken: bool, gap: u32) -> Self {
+        Self { pc, taken, gap }
+    }
+
+    /// The direction as an [`Outcome`].
+    pub fn outcome(&self) -> Outcome {
+        Outcome::from_taken(self.taken)
+    }
+
+    /// Instructions this event accounts for: the preceding gap plus the
+    /// branch instruction itself.
+    pub fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+impl fmt::Display for BranchEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} gap={}", self.pc, self.outcome(), self.gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_index_strips_byte_offset() {
+        assert_eq!(BranchAddr(0).word_index(), 0);
+        assert_eq!(BranchAddr(4).word_index(), 1);
+        assert_eq!(BranchAddr(0x1000).word_index(), 0x400);
+    }
+
+    #[test]
+    fn addr_conversions_roundtrip() {
+        let a = BranchAddr::from(0xdead_beefu64);
+        let v: u64 = a.into();
+        assert_eq!(v, 0xdead_beef);
+        assert_eq!(a.to_string(), "0xdeadbeef");
+    }
+
+    #[test]
+    fn outcome_negation_and_flags() {
+        assert!(Outcome::Taken.is_taken());
+        assert!(!Outcome::NotTaken.is_taken());
+        assert_eq!(!Outcome::Taken, Outcome::NotTaken);
+        assert_eq!(!!Outcome::Taken, Outcome::Taken);
+        assert_eq!(Outcome::from_taken(false), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn outcome_display_is_single_letter() {
+        assert_eq!(Outcome::Taken.to_string(), "T");
+        assert_eq!(Outcome::NotTaken.to_string(), "N");
+    }
+
+    #[test]
+    fn event_accounting() {
+        let e = BranchEvent::new(BranchAddr(0x8), false, 0);
+        assert_eq!(e.instructions(), 1);
+        let e = BranchEvent::new(BranchAddr(0x8), true, 9);
+        assert_eq!(e.instructions(), 10);
+    }
+
+    #[test]
+    fn event_display_mentions_all_fields() {
+        let e = BranchEvent::new(BranchAddr(0x10), true, 3);
+        let s = e.to_string();
+        assert!(s.contains("0x10"));
+        assert!(s.contains('T'));
+        assert!(s.contains("gap=3"));
+    }
+}

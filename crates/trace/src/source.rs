@@ -1,0 +1,257 @@
+//! Streaming branch-event sources.
+//!
+//! The paper's runs cover up to 63 billion instructions; materializing such a
+//! trace is out of the question. [`BranchSource`] is the pull-based stream
+//! interface every simulator component consumes: workload generators
+//! implement it directly, and in-memory traces adapt to it via
+//! [`SliceSource`].
+
+use crate::event::BranchEvent;
+use crate::trace::Trace;
+
+/// A pull-based stream of branch events.
+///
+/// Implementors produce events until the underlying workload is exhausted.
+/// Unlike `Iterator`, the trait is object-safe with a tiny surface so
+/// predicate simulators can hold `&mut dyn BranchSource`.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::{BranchAddr, BranchEvent, BranchSource, SliceSource};
+///
+/// let events = [BranchEvent::new(BranchAddr(0x10), true, 1)];
+/// let mut src = SliceSource::new(&events);
+/// assert!(src.next_event().is_some());
+/// assert!(src.next_event().is_none());
+/// ```
+pub trait BranchSource {
+    /// Produces the next branch event, or `None` when the stream ends.
+    fn next_event(&mut self) -> Option<BranchEvent>;
+
+    /// A human-readable label for reports. Defaults to `"<anonymous>"`.
+    fn label(&self) -> &str {
+        "<anonymous>"
+    }
+
+    /// Caps this source at roughly `max_instructions` retired instructions.
+    ///
+    /// The stream ends at the first event that would push the running
+    /// instruction total past the cap (that event is not emitted).
+    fn take_instructions(self, max_instructions: u64) -> TakeSource<Self>
+    where
+        Self: Sized,
+    {
+        TakeSource {
+            inner: self,
+            remaining: max_instructions,
+        }
+    }
+
+    /// Collects the whole stream into an in-memory [`Trace`].
+    ///
+    /// Intended for tests and small experiments; the instruction total of the
+    /// result is recomputed from the collected events.
+    fn collect_trace(mut self) -> Trace
+    where
+        Self: Sized,
+    {
+        let mut builder = crate::trace::TraceBuilder::named(self.label());
+        while let Some(e) = self.next_event() {
+            builder.push(e);
+        }
+        builder.finish()
+    }
+}
+
+impl<S: BranchSource + ?Sized> BranchSource for &mut S {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        (**self).next_event()
+    }
+
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+/// Adapts a slice of events (or an in-memory [`Trace`]) to [`BranchSource`].
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    events: &'a [BranchEvent],
+    pos: usize,
+    label: &'a str,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Streams over a borrowed slice of events.
+    pub fn new(events: &'a [BranchEvent]) -> Self {
+        Self {
+            events,
+            pos: 0,
+            label: "<slice>",
+        }
+    }
+
+    /// Streams over the events of a borrowed trace, inheriting its name.
+    pub fn from_trace(trace: &'a Trace) -> Self {
+        Self {
+            events: trace.events(),
+            pos: 0,
+            label: &trace.meta().name,
+        }
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.pos
+    }
+}
+
+impl BranchSource for SliceSource<'_> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        let e = self.events.get(self.pos)?;
+        self.pos += 1;
+        Some(*e)
+    }
+
+    fn label(&self) -> &str {
+        self.label
+    }
+}
+
+/// A source capped at an instruction budget; see
+/// [`BranchSource::take_instructions`].
+#[derive(Debug, Clone)]
+pub struct TakeSource<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: BranchSource> BranchSource for TakeSource<S> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        let e = self.inner.next_event()?;
+        let cost = e.instructions();
+        if cost > self.remaining {
+            self.remaining = 0;
+            return None;
+        }
+        self.remaining -= cost;
+        Some(e)
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// Adapts any iterator of events to [`BranchSource`].
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    iter: I,
+    label: String,
+}
+
+impl<I> IterSource<I> {
+    /// Wraps `iter` with a report label.
+    pub fn new(iter: I, label: impl Into<String>) -> Self {
+        Self {
+            iter,
+            label: label.into(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = BranchEvent>> BranchSource for IterSource<I> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        self.iter.next()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BranchAddr;
+    use crate::trace::TraceBuilder;
+
+    fn ev(pc: u64, gap: u32) -> BranchEvent {
+        BranchEvent::new(BranchAddr(pc), true, gap)
+    }
+
+    #[test]
+    fn slice_source_streams_in_order() {
+        let events = [ev(0, 0), ev(4, 1), ev(8, 2)];
+        let mut s = SliceSource::new(&events);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_event(), Some(events[0]));
+        assert_eq!(s.next_event(), Some(events[1]));
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.next_event(), Some(events[2]));
+        assert_eq!(s.next_event(), None);
+        assert_eq!(s.next_event(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn from_trace_inherits_label() {
+        let mut b = TraceBuilder::named("go.train");
+        b.push(ev(0, 0));
+        let t = b.finish();
+        let s = SliceSource::from_trace(&t);
+        assert_eq!(s.label(), "go.train");
+    }
+
+    #[test]
+    fn take_instructions_caps_the_stream() {
+        // Each event costs gap+1 = 5 instructions.
+        let events: Vec<BranchEvent> = (0..10).map(|i| ev(i * 4, 4)).collect();
+        let src = SliceSource::new(&events);
+        let mut capped = src.take_instructions(12);
+        // 5 + 5 = 10 fits, the third event would reach 15 > 12.
+        assert!(capped.next_event().is_some());
+        assert!(capped.next_event().is_some());
+        assert!(capped.next_event().is_none());
+    }
+
+    #[test]
+    fn take_instructions_zero_is_empty() {
+        let events = [ev(0, 0)];
+        let mut capped = SliceSource::new(&events).take_instructions(0);
+        assert!(capped.next_event().is_none());
+    }
+
+    #[test]
+    fn collect_trace_rebuilds_accounting() {
+        let events = [ev(0, 3), ev(4, 5)];
+        let t = SliceSource::new(&events).collect_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.meta().total_instructions, 4 + 6);
+        assert_eq!(t.meta().name, "<slice>");
+    }
+
+    #[test]
+    fn iter_source_adapts_iterators() {
+        let mut s = IterSource::new((0..3).map(|i| ev(i * 4, 0)), "synthetic");
+        assert_eq!(s.label(), "synthetic");
+        assert_eq!(s.next_event().unwrap().pc, BranchAddr(0));
+        assert_eq!(s.next_event().unwrap().pc, BranchAddr(4));
+        assert_eq!(s.next_event().unwrap().pc, BranchAddr(8));
+        assert!(s.next_event().is_none());
+    }
+
+    #[test]
+    fn mut_ref_is_a_source() {
+        fn drain(src: &mut dyn BranchSource) -> usize {
+            let mut n = 0;
+            while src.next_event().is_some() {
+                n += 1;
+            }
+            n
+        }
+        let events = [ev(0, 0), ev(4, 0)];
+        let mut s = SliceSource::new(&events);
+        assert_eq!(drain(&mut s), 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! Sampling distributions used by the synthetic workload generators.
+//!
+//! * [`Zipf`] — power-law ranks; models the skewed execution frequency of
+//!   branch sites in real programs (a few hot branches dominate the dynamic
+//!   stream).
+//! * [`Alias`] — Walker/Vose alias method for O(1) sampling from an arbitrary
+//!   discrete distribution; used for site traversal once per-site weights are
+//!   fixed.
+//! * [`Bernoulli`] — a fixed-probability coin, the behavior core of biased
+//!   branches.
+//! * [`Normal`] — Box–Muller Gaussian, used to perturb per-site biases when
+//!   deriving a `Ref` input from a `Train` input.
+
+use crate::rng::Rng;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A fixed-probability boolean distribution.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_util::dist::Bernoulli;
+/// use sdbp_util::rng::Xoshiro256StarStar;
+///
+/// let coin = Bernoulli::new(0.9).expect("valid probability");
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let hits = (0..1000).filter(|_| coin.sample(&mut rng)).count();
+/// assert!(hits > 800);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a coin that lands `true` with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `p` is not a finite value in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new(format!("probability {p} not in [0, 1]")));
+        }
+        Ok(Self { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.bernoulli(self.p)
+    }
+}
+
+/// A Zipf (power-law) distribution over ranks `0..n`.
+///
+/// Rank `k` is drawn with probability proportional to `1 / (k+1)^s`. The
+/// implementation precomputes the cumulative distribution and samples by
+/// binary search: O(n) memory, O(log n) per draw, exact for any exponent.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_util::dist::Zipf;
+/// use sdbp_util::rng::Xoshiro256StarStar;
+///
+/// let zipf = Zipf::new(1000, 1.0).expect("valid parameters");
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+/// // Rank 0 is by far the most likely outcome.
+/// let zeros = (0..1000).filter(|_| zipf.sample(&mut rng) == 0).count();
+/// assert!(zeros > 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// `s == 0` degenerates to the uniform distribution, larger `s`
+    /// concentrates mass on low ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("zipf needs at least one rank"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError::new(format!("zipf exponent {s} invalid")));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point drift at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let hi = self.cdf[k];
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        hi - lo
+    }
+
+    /// Draws one rank in `[0, n)`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose cumulative mass covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// O(1) discrete sampling by the Walker/Vose alias method.
+///
+/// Construction is O(n); each draw costs one uniform index plus one biased
+/// coin. Used for hot-path site traversal in the workload generators where a
+/// branch site must be drawn per simulated branch.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_util::dist::Alias;
+/// use sdbp_util::rng::Xoshiro256StarStar;
+///
+/// let alias = Alias::new(&[1.0, 0.0, 3.0]).expect("valid weights");
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+/// for _ in 0..100 {
+///     assert_ne!(alias.sample(&mut rng), 1, "zero-weight bucket never drawn");
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alias {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Alias {
+    /// Builds the alias tables from non-negative `weights`.
+    ///
+    /// Weights need not sum to one; they are normalized internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("alias table needs at least one weight"));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new("weights must be finite and non-negative"));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ParamError::new("weights must not all be zero"));
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        while let Some(s) = small.pop() {
+            // Note: popping both stacks in one tuple pattern would discard a
+            // bucket when the other stack is empty; pop them separately.
+            let Some(l) = large.pop() else {
+                small.push(s);
+                break;
+            };
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are ≈1.0 in exact arithmetic, but floating-point drift
+        // can leave a zero-weight bucket here; such a bucket must never be
+        // returned, so alias it to the heaviest bucket instead.
+        let fallback = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        for i in large.into_iter().chain(small) {
+            if weights[i] > 0.0 {
+                prob[i] = 1.0;
+                alias[i] = i;
+            } else {
+                prob[i] = 0.0;
+                alias[i] = fallback;
+            }
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has zero buckets (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one bucket index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.range(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// A Gaussian distribution sampled with the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_util::dist::Normal;
+/// use sdbp_util::rng::Xoshiro256StarStar;
+///
+/// let n = Normal::new(0.0, 1.0).expect("valid parameters");
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+/// let mean: f64 = (0..10_000).map(|_| n.sample(&mut rng)).sum::<f64>() / 10_000.0;
+/// assert!(mean.abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `sd` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError::new(format!("normal({mean}, {sd}) invalid")));
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 must be nonzero for the logarithm.
+        let mut u1 = rng.next_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.sd * r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn bernoulli_rejects_bad_probability() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+        assert!(Bernoulli::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.9).unwrap();
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let n = 200_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_rejects_bad_weights() {
+        assert!(Alias::new(&[]).is_err());
+        assert!(Alias::new(&[1.0, -1.0]).is_err());
+        assert!(Alias::new(&[0.0, 0.0]).is_err());
+        assert!(Alias::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn alias_sampling_matches_weights() {
+        let weights = [5.0, 1.0, 4.0, 0.0];
+        let alias = Alias::new(&weights).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[alias.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero weight never sampled");
+        let total: f64 = weights.iter().sum();
+        for (k, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            let expected = weights[k] / total;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "bucket {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_never_returns_zero_weight_buckets_under_tiny_weights() {
+        // Regression: thousands of Zipf-tail weights mixed with zeros used
+        // to let floating-point drift hand a zero-weight bucket prob 1.0.
+        let mut weights: Vec<f64> = (0..5000)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(1.1))
+            .collect();
+        for w in weights.iter_mut().skip(2500) {
+            *w = 0.0;
+        }
+        let alias = Alias::new(&weights).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..200_000 {
+            let k = alias.sample(&mut rng);
+            assert!(weights[k] > 0.0, "sampled dead bucket {k}");
+        }
+    }
+
+    #[test]
+    fn alias_single_bucket() {
+        let alias = Alias::new(&[3.5]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(alias.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+}

@@ -1,0 +1,416 @@
+//! Per-site branch behavior models.
+//!
+//! The models are chosen so the synthetic stream has the *entropy structure*
+//! of real programs, which is what separates history-indexed predictors from
+//! bimodal ones:
+//!
+//! * data-dependent branches are **sticky**: a condition tested inside a
+//!   loop usually keeps its value for the whole loop run, so later
+//!   iterations are predictable from the outcome's appearance in the global
+//!   history even though the per-run draw is random;
+//! * **correlated** branches copy (or negate) the outcome of a recent
+//!   earlier branch — the classic `if (x) … if (!x)` pattern;
+//! * loop exits and short patterns repeat deterministically.
+
+use sdbp_util::rng::Rng;
+
+/// The behavior class of one static branch site.
+///
+/// Behaviors are pure functions of `(site state, global history, rng)` so a
+/// site can be replayed deterministically from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchBehavior {
+    /// A biased, per-activation-sticky branch driven by the chain's hidden
+    /// *variant* state.
+    ///
+    /// At the first execution within a chain activation the outcome is
+    /// latched: with probability `1 - noise` it is a **fixed function of the
+    /// activation's variant** (`hash(salt, variant) < p_taken` — the same
+    /// variant always produces the same latch, the way the same input data
+    /// drives the same path through a loop body), otherwise a fresh
+    /// `Bernoulli(p_taken)` draw. Later executions in the activation repeat
+    /// the latch with probability `stickiness`.
+    ///
+    /// A bimodal predictor caps out near the marginal bias; a history
+    /// predictor can recover both the in-loop repeats and — because the
+    /// variant is identifiable from neighboring branches' outcomes — much of
+    /// the deterministic component.
+    Biased {
+        /// Marginal probability of the taken outcome.
+        p_taken: f64,
+        /// Probability that a repeat execution reuses the latched outcome.
+        stickiness: f64,
+        /// Probability that the latch ignores the variant (pure noise).
+        noise: f64,
+        /// Per-site salt for the variant hash.
+        salt: u64,
+    },
+    /// Deterministic loop-style cycle: taken `period - 1` times, then
+    /// not-taken once.
+    Loop {
+        /// Total cycle length (≥ 2).
+        period: u32,
+    },
+    /// A repeating explicit outcome pattern.
+    Pattern {
+        /// The outcome cycle; must be non-empty.
+        pattern: Vec<bool>,
+    },
+    /// Copies the outcome of the branch executed `offset` positions earlier
+    /// in the global stream, optionally inverted, with independent noise —
+    /// cross-branch correlation in its purest form.
+    FollowGlobal {
+        /// How far back in the global outcome stream to look (1–32).
+        offset: u32,
+        /// Invert the copied outcome.
+        invert: bool,
+        /// Probability of flipping the result anyway.
+        noise: f64,
+    },
+    /// Outcome is the parity of the newest `depth` global branch outcomes
+    /// with noise — a harder correlation (kept for custom workloads; the
+    /// calibrated benchmarks use [`BranchBehavior::FollowGlobal`]).
+    Correlated {
+        /// How many recent global outcomes participate (1 ≤ depth ≤ 16).
+        depth: u32,
+        /// Probability that the computed outcome is flipped.
+        noise: f64,
+        /// Invert the parity.
+        invert: bool,
+    },
+    /// The chain back-edge: outcome decided by the traversal engine
+    /// (taken while the chain has iterations left).
+    LoopBack,
+}
+
+impl BranchBehavior {
+    /// Computes the next outcome for this site.
+    ///
+    /// `global_history` carries the most recent branch outcomes of the whole
+    /// program, newest in bit 0 (the same view a ghist register has). The
+    /// generator resets `state.sticky` at every chain activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`BranchBehavior::LoopBack`], whose outcome is owned by
+    /// the traversal engine.
+    pub fn next<R: Rng>(
+        &self,
+        state: &mut SiteState,
+        global_history: u64,
+        variant: u32,
+        rng: &mut R,
+    ) -> bool {
+        match self {
+            BranchBehavior::Biased {
+                p_taken,
+                stickiness,
+                noise,
+                salt,
+            } => match state.sticky {
+                Some(latched) if rng.bernoulli(*stickiness) => latched,
+                Some(_) => rng.bernoulli(*p_taken),
+                None => {
+                    let v = if rng.bernoulli(*noise) {
+                        rng.bernoulli(*p_taken)
+                    } else {
+                        variant_u01(*salt, variant) < *p_taken
+                    };
+                    state.sticky = Some(v);
+                    v
+                }
+            },
+            BranchBehavior::Loop { period } => {
+                let pos = state.counter % period;
+                state.counter = state.counter.wrapping_add(1);
+                pos != period - 1
+            }
+            BranchBehavior::Pattern { pattern } => {
+                let pos = state.counter as usize % pattern.len();
+                state.counter = state.counter.wrapping_add(1);
+                pattern[pos]
+            }
+            BranchBehavior::FollowGlobal {
+                offset,
+                invert,
+                noise,
+            } => {
+                let bit = (global_history >> (offset - 1)) & 1 == 1;
+                let outcome = bit ^ invert;
+                if rng.bernoulli(*noise) {
+                    !outcome
+                } else {
+                    outcome
+                }
+            }
+            BranchBehavior::Correlated {
+                depth,
+                noise,
+                invert,
+            } => {
+                let mask = (1u64 << depth) - 1;
+                let parity = (global_history & mask).count_ones() % 2 == 1;
+                let outcome = parity ^ invert;
+                if rng.bernoulli(*noise) {
+                    !outcome
+                } else {
+                    outcome
+                }
+            }
+            BranchBehavior::LoopBack => {
+                panic!("LoopBack outcomes are resolved by the traversal engine")
+            }
+        }
+    }
+
+    /// The long-run taken probability of the behavior, ignoring
+    /// correlations (used for calibration sanity checks). `None` for
+    /// [`BranchBehavior::LoopBack`], whose rate depends on the chain
+    /// iteration distribution, and for [`BranchBehavior::FollowGlobal`],
+    /// whose rate mirrors the source branch.
+    pub fn expected_taken_rate(&self) -> Option<f64> {
+        match self {
+            // The variant-hash thresholding has marginal rate ≈ p_taken in
+            // expectation over salts; per-site rates are lumpier, as real
+            // branch biases are.
+            BranchBehavior::Biased { p_taken, .. } => Some(*p_taken),
+            BranchBehavior::Loop { period } => Some((*period as f64 - 1.0) / *period as f64),
+            BranchBehavior::Pattern { pattern } => {
+                let taken = pattern.iter().filter(|&&t| t).count();
+                Some(taken as f64 / pattern.len() as f64)
+            }
+            BranchBehavior::Correlated { .. } => Some(0.5),
+            BranchBehavior::FollowGlobal { .. } | BranchBehavior::LoopBack => None,
+        }
+    }
+
+    /// Whether this behavior is *history-predictable*: a predictor that
+    /// observes global history can in principle beat the bias cap on it.
+    pub fn is_history_predictable(&self) -> bool {
+        match self {
+            BranchBehavior::Biased {
+                stickiness, noise, ..
+            } => *stickiness > 0.0 || *noise < 1.0,
+            BranchBehavior::Loop { .. }
+            | BranchBehavior::Pattern { .. }
+            | BranchBehavior::FollowGlobal { .. }
+            | BranchBehavior::Correlated { .. }
+            | BranchBehavior::LoopBack => true,
+        }
+    }
+}
+
+/// Maps `(salt, variant)` to a fixed uniform value in `[0, 1)` — the
+/// deterministic latch component of [`BranchBehavior::Biased`].
+/// SplitMix64-style finalizer: same inputs, same value.
+fn variant_u01(salt: u64, variant: u32) -> f64 {
+    let mut z = salt ^ (variant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Mutable per-site runtime state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteState {
+    /// Behavior-private cycle counter (loop / pattern position).
+    pub counter: u32,
+    /// The activation-latched outcome of a sticky biased site; cleared by
+    /// the traversal engine at each chain activation.
+    pub sticky: Option<bool>,
+}
+
+impl SiteState {
+    /// Clears the activation-scoped state (called at chain activation).
+    pub fn begin_activation(&mut self) {
+        self.sticky = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_util::rng::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(7)
+    }
+
+    #[test]
+    fn biased_marginal_rate_matches_probability() {
+        let b = BranchBehavior::Biased {
+            p_taken: 0.9,
+            stickiness: 0.0,
+            noise: 1.0,
+            salt: 0,
+        };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        let n = 50_000;
+        let mut taken = 0;
+        for _ in 0..n {
+            st.begin_activation();
+            if b.next(&mut st, 0, 0, &mut r) {
+                taken += 1;
+            }
+        }
+        let rate = taken as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.01, "rate {rate}");
+        assert_eq!(b.expected_taken_rate(), Some(0.9));
+    }
+
+    #[test]
+    fn sticky_biased_repeats_within_activation() {
+        let b = BranchBehavior::Biased {
+            p_taken: 0.5,
+            stickiness: 1.0,
+            noise: 1.0,
+            salt: 0,
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut st = SiteState::default();
+            let first = b.next(&mut st, 0, 0, &mut r);
+            for _ in 0..10 {
+                assert_eq!(b.next(&mut st, 0, 0, &mut r), first);
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_activation_redraws() {
+        let b = BranchBehavior::Biased {
+            p_taken: 0.5,
+            stickiness: 1.0,
+            noise: 1.0,
+            salt: 0,
+        };
+        let mut r = rng();
+        let mut st = SiteState::default();
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            st.begin_activation();
+            seen[usize::from(b.next(&mut st, 0, 0, &mut r))] = true;
+        }
+        assert!(seen[0] && seen[1], "a fair sticky coin varies across activations");
+    }
+
+    #[test]
+    fn loop_cycles_deterministically() {
+        let b = BranchBehavior::Loop { period: 4 };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..8).map(|_| b.next(&mut st, 0, 0, &mut r)).collect();
+        assert_eq!(outcomes, [true, true, true, false, true, true, true, false]);
+        assert_eq!(b.expected_taken_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let b = BranchBehavior::Pattern {
+            pattern: vec![true, false, false],
+        };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..6).map(|_| b.next(&mut st, 0, 0, &mut r)).collect();
+        assert_eq!(outcomes, [true, false, false, true, false, false]);
+        let rate = b.expected_taken_rate().unwrap();
+        assert!((rate - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn follow_global_copies_history_bit() {
+        let b = BranchBehavior::FollowGlobal {
+            offset: 3,
+            invert: false,
+            noise: 0.0,
+        };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        // Bit 2 of the history (offset 3 => third-newest outcome).
+        assert!(b.next(&mut st, 0b100, 0, &mut r));
+        assert!(!b.next(&mut st, 0b011, 0, &mut r));
+        let inv = BranchBehavior::FollowGlobal {
+            offset: 1,
+            invert: true,
+            noise: 0.0,
+        };
+        assert!(!inv.next(&mut st, 0b1, 0, &mut r));
+        assert!(inv.next(&mut st, 0b0, 0, &mut r));
+        assert_eq!(b.expected_taken_rate(), None);
+        assert!(b.is_history_predictable());
+    }
+
+    #[test]
+    fn correlated_follows_history_parity() {
+        let b = BranchBehavior::Correlated {
+            depth: 3,
+            noise: 0.0,
+            invert: false,
+        };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        assert!(!b.next(&mut st, 0b000, 0, &mut r));
+        assert!(b.next(&mut st, 0b001, 0, &mut r));
+        assert!(!b.next(&mut st, 0b011, 0, &mut r));
+        assert!(b.next(&mut st, 0b111, 0, &mut r));
+        // Bits beyond `depth` must not matter.
+        assert!(b.next(&mut st, 0b1000_0001, 0, &mut r));
+    }
+
+    #[test]
+    fn noise_flips_sometimes() {
+        let b = BranchBehavior::FollowGlobal {
+            offset: 1,
+            invert: false,
+            noise: 0.25,
+        };
+        let mut st = SiteState::default();
+        let mut r = rng();
+        let n = 20_000;
+        let flipped = (0..n).filter(|_| !b.next(&mut st, 0b1, 0, &mut r)).count();
+        let rate = flipped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "traversal engine")]
+    fn loopback_next_panics() {
+        let b = BranchBehavior::LoopBack;
+        let mut st = SiteState::default();
+        let mut r = rng();
+        let _ = b.next(&mut st, 0, 0, &mut r);
+    }
+
+    #[test]
+    fn history_predictability_classification() {
+        assert!(!BranchBehavior::Biased {
+            p_taken: 0.99,
+            stickiness: 0.0,
+            noise: 1.0,
+            salt: 0
+        }
+        .is_history_predictable());
+        assert!(BranchBehavior::Biased {
+            p_taken: 0.99,
+            stickiness: 0.9,
+            noise: 1.0,
+            salt: 0
+        }
+        .is_history_predictable());
+        assert!(BranchBehavior::Loop { period: 3 }.is_history_predictable());
+        assert!(BranchBehavior::LoopBack.is_history_predictable());
+    }
+
+    #[test]
+    fn begin_activation_clears_sticky_only() {
+        let mut st = SiteState {
+            counter: 7,
+            sticky: Some(true),
+        };
+        st.begin_activation();
+        assert_eq!(st.sticky, None);
+        assert_eq!(st.counter, 7, "cycle position persists across activations");
+    }
+}

@@ -1,0 +1,345 @@
+//! The six calibrated SPECINT95 benchmark models.
+//!
+//! Structural targets (static branch counts, CBRs/KI, dynamic instruction
+//! budgets) come straight from the paper's Table 1. Behavior mixtures are
+//! calibrated so that the Table 2 characterization — the dynamic fraction of
+//! highly biased branches and the relative accuracy of the five predictors —
+//! lands close to the paper's measurements (see `EXPERIMENTS.md` for the
+//! achieved values).
+//!
+//! Run lengths are scaled down from the paper's 0.5–63 *billion* instructions
+//! to tens of millions (DESIGN.md §3, substitution 2).
+
+use crate::spec::{Mixture, Perturbation, WorkloadSpec};
+use std::fmt;
+use std::str::FromStr;
+
+/// The SPECINT95 programs evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// The Go-playing program: few biased branches, hardest to predict.
+    Go,
+    /// The GNU C compiler: the largest static branch population.
+    Gcc,
+    /// The Perl interpreter.
+    Perl,
+    /// The Motorola 88k simulator: overwhelmingly biased branches.
+    M88ksim,
+    /// The LZW compressor.
+    Compress,
+    /// The JPEG codec: branch-sparse, little aliasing.
+    Ijpeg,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's Table 1 order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Go,
+        Benchmark::Gcc,
+        Benchmark::Perl,
+        Benchmark::M88ksim,
+        Benchmark::Compress,
+        Benchmark::Ijpeg,
+    ];
+
+    /// The benchmark's SPEC name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Go => "go",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Perl => "perl",
+            Benchmark::M88ksim => "m88ksim",
+            Benchmark::Compress => "compress",
+            Benchmark::Ijpeg => "ijpeg",
+        }
+    }
+
+    /// The calibrated workload specification.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            // go: only ~16% of dynamic branches are highly biased; large
+            // mass of weakly biased evaluation branches, a solid correlated
+            // population (board-pattern logic). Lowest accuracies of the
+            // suite for every predictor.
+            Benchmark::Go => WorkloadSpec {
+                name: "go",
+                static_sites: 7777,
+                cbrs_per_ki_train: 113.0,
+                cbrs_per_ki_ref: 117.0,
+                mixture: Mixture {
+                    strong_biased: 0.08,
+                    moderate_biased: 0.20,
+                    weak_biased: 0.48,
+                    correlated: 0.12,
+                    pattern: 0.05,
+                    loop_sites: 0.05,
+                },
+                zipf_exponent: 0.70,
+                biased_stickiness: 0.90,
+                latch_noise: 0.22,
+                micro_chains: 0.30,
+                straight_chains: 0.25,
+                fixed_iter_chains: 0.60,
+                mean_iterations: 3.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.015,
+                    drift_sd: 0.015,
+                    ref_only_chains: 0.02,
+                    train_only_chains: 0.01,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // gcc: the largest static population (38852 sites) and the
+            // highest CBRs/KI — the aliasing-pressure champion. Static
+            // prediction keeps helping gcc at every predictor size.
+            Benchmark::Gcc => WorkloadSpec {
+                name: "gcc",
+                static_sites: 38852,
+                cbrs_per_ki_train: 155.0,
+                cbrs_per_ki_ref: 156.0,
+                mixture: Mixture {
+                    strong_biased: 0.62,
+                    moderate_biased: 0.12,
+                    weak_biased: 0.08,
+                    correlated: 0.10,
+                    pattern: 0.04,
+                    loop_sites: 0.04,
+                },
+                zipf_exponent: 1.00,
+                biased_stickiness: 0.95,
+                latch_noise: 0.10,
+                micro_chains: 0.30,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.70,
+                mean_iterations: 8.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.02,
+                    drift_sd: 0.015,
+                    ref_only_chains: 0.03,
+                    train_only_chains: 0.02,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // perl: interpreter dispatch — mostly biased branches with a
+            // correlated dispatch population; ref input (scrabble) exercises
+            // code the train input misses (worst coverage in Table 5) and
+            // flips some hot branches (the cross-training victim).
+            Benchmark::Perl => WorkloadSpec {
+                name: "perl",
+                static_sites: 9569,
+                cbrs_per_ki_train: 112.0,
+                cbrs_per_ki_ref: 122.0,
+                mixture: Mixture {
+                    strong_biased: 0.70,
+                    moderate_biased: 0.10,
+                    weak_biased: 0.04,
+                    correlated: 0.10,
+                    pattern: 0.03,
+                    loop_sites: 0.03,
+                },
+                zipf_exponent: 1.00,
+                biased_stickiness: 0.95,
+                latch_noise: 0.10,
+                micro_chains: 0.30,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.75,
+                mean_iterations: 10.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.05,
+                    drift_sd: 0.02,
+                    ref_only_chains: 0.12,
+                    train_only_chains: 0.03,
+                },
+                train_instructions: 4_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // m88ksim: 85% of dynamic branches highly biased; every
+            // predictor does well and Static_95 removes most of the dynamic
+            // working set. A few frequently executed branches change
+            // behavior with input (the other cross-training victim).
+            Benchmark::M88ksim => WorkloadSpec {
+                name: "m88ksim",
+                static_sites: 5365,
+                cbrs_per_ki_train: 108.0,
+                cbrs_per_ki_ref: 115.0,
+                mixture: Mixture {
+                    strong_biased: 0.94,
+                    moderate_biased: 0.01,
+                    weak_biased: 0.01,
+                    correlated: 0.02,
+                    pattern: 0.01,
+                    loop_sites: 0.01,
+                },
+                zipf_exponent: 1.10,
+                biased_stickiness: 0.95,
+                latch_noise: 0.08,
+                micro_chains: 0.30,
+                straight_chains: 0.40,
+                fixed_iter_chains: 0.75,
+                mean_iterations: 24.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.06,
+                    drift_sd: 0.015,
+                    ref_only_chains: 0.02,
+                    train_only_chains: 0.01,
+                },
+                train_instructions: 4_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // compress: small program (2238 sites); half the dynamic
+            // branches are highly biased, but its *non*-biased mass is
+            // largely history-predictable hash-probe logic, so history
+            // predictors jump ~9 points over bimodal (Table 2's outlier).
+            Benchmark::Compress => WorkloadSpec {
+                name: "compress",
+                static_sites: 2238,
+                cbrs_per_ki_train: 108.0,
+                cbrs_per_ki_ref: 123.0,
+                mixture: Mixture {
+                    strong_biased: 0.30,
+                    moderate_biased: 0.15,
+                    weak_biased: 0.30,
+                    correlated: 0.15,
+                    pattern: 0.05,
+                    loop_sites: 0.05,
+                },
+                zipf_exponent: 1.10,
+                biased_stickiness: 0.95,
+                latch_noise: 0.05,
+                micro_chains: 0.45,
+                straight_chains: 0.20,
+                fixed_iter_chains: 0.75,
+                mean_iterations: 20.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.01,
+                    drift_sd: 0.01,
+                    ref_only_chains: 0.01,
+                    train_only_chains: 0.01,
+                },
+                train_instructions: 4_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // ijpeg: branch-sparse (61-69 CBRs/KI), dominated by long
+            // fixed-trip pixel loops; aliasing is NOT its problem, so
+            // neither predictor size nor static prediction moves it much.
+            Benchmark::Ijpeg => WorkloadSpec {
+                name: "ijpeg",
+                static_sites: 5290,
+                cbrs_per_ki_train: 69.0,
+                cbrs_per_ki_ref: 61.0,
+                mixture: Mixture {
+                    strong_biased: 0.52,
+                    moderate_biased: 0.16,
+                    weak_biased: 0.12,
+                    correlated: 0.08,
+                    pattern: 0.06,
+                    loop_sites: 0.06,
+                },
+                zipf_exponent: 1.20,
+                biased_stickiness: 0.55,
+                latch_noise: 0.45,
+                micro_chains: 0.15,
+                straight_chains: 0.25,
+                fixed_iter_chains: 0.80,
+                mean_iterations: 16.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.015,
+                    drift_sd: 0.01,
+                    ref_only_chains: 0.01,
+                    train_only_chains: 0.01,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Benchmark {
+    type Err = UnknownBenchmark;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "go" => Ok(Benchmark::Go),
+            "gcc" => Ok(Benchmark::Gcc),
+            "perl" => Ok(Benchmark::Perl),
+            "m88ksim" => Ok(Benchmark::M88ksim),
+            "compress" => Ok(Benchmark::Compress),
+            "ijpeg" | "jpeg" => Ok(Benchmark::Ijpeg),
+            other => Err(UnknownBenchmark(other.to_string())),
+        }
+    }
+}
+
+/// Error for unrecognized benchmark names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(String);
+
+impl fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark '{}'", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_site_counts_match_table_1() {
+        assert_eq!(Benchmark::Go.spec().static_sites, 7777);
+        assert_eq!(Benchmark::Gcc.spec().static_sites, 38852);
+        assert_eq!(Benchmark::Perl.spec().static_sites, 9569);
+        assert_eq!(Benchmark::M88ksim.spec().static_sites, 5365);
+        assert_eq!(Benchmark::Compress.spec().static_sites, 2238);
+        assert_eq!(Benchmark::Ijpeg.spec().static_sites, 5290);
+    }
+
+    #[test]
+    fn cbr_targets_match_table_1() {
+        let gcc = Benchmark::Gcc.spec();
+        assert_eq!(gcc.cbrs_per_ki_train, 155.0);
+        assert_eq!(gcc.cbrs_per_ki_ref, 156.0);
+        let ijpeg = Benchmark::Ijpeg.spec();
+        assert!(ijpeg.cbrs_per_ki_ref < 70.0, "ijpeg is branch-sparse");
+    }
+
+    #[test]
+    fn all_specs_are_valid() {
+        for b in Benchmark::ALL {
+            let s = b.spec();
+            assert!(s.mixture.is_valid(), "{b}");
+            assert!(s.zipf_exponent >= 0.0, "{b}");
+            assert!(s.train_instructions > 0 && s.ref_instructions > 0, "{b}");
+            assert!(s.perturbation.flip_fraction < 0.2, "{b}");
+        }
+    }
+
+    #[test]
+    fn biased_mass_ordering_matches_table_2() {
+        // m88ksim > perl > gcc ≈ ijpeg ≈ compress > go in strong-bias mass.
+        let strong = |b: Benchmark| b.spec().mixture.strong_biased;
+        assert!(strong(Benchmark::M88ksim) > strong(Benchmark::Perl));
+        assert!(strong(Benchmark::Perl) > strong(Benchmark::Gcc));
+        assert!(strong(Benchmark::Gcc) > strong(Benchmark::Go));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+        }
+        assert!("fortran".parse::<Benchmark>().is_err());
+        assert_eq!("jpeg".parse::<Benchmark>().unwrap(), Benchmark::Ijpeg);
+    }
+}

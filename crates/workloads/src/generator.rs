@@ -1,0 +1,236 @@
+//! The streaming event generator.
+
+use crate::behavior::{BranchBehavior, SiteState};
+use crate::program::ProgramModel;
+use sdbp_trace::{BranchEvent, BranchSource};
+use sdbp_util::rng::{Rng, Xoshiro256StarStar};
+
+/// Streams branch events from a [`ProgramModel`].
+///
+/// The traversal engine activates one chain at a time (sampled by chain
+/// weight), runs its site sequence for a sampled iteration count, resolves
+/// back-edge outcomes from the remaining iterations, and lets every other
+/// site's [`BranchBehavior`] produce its outcome from the site state, the
+/// live global history, and the seeded RNG. The generator is infinite — cap
+/// it with [`BranchSource::take_instructions`].
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_trace::BranchSource;
+/// use sdbp_workloads::{Benchmark, InputSet, Workload};
+///
+/// let w = Workload::spec95(Benchmark::Compress);
+/// let mut g = w.generator(InputSet::Train, 1).take_instructions(10_000);
+/// let trace = g.collect_trace();
+/// assert!(trace.len() > 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    program: ProgramModel,
+    rng: Xoshiro256StarStar,
+    site_states: Vec<SiteState>,
+    global_history: u64,
+    current_chain: Option<ChainCursor>,
+    last_chain: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainCursor {
+    chain: usize,
+    position: usize,
+    iterations_left: u32,
+    variant: u32,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator over `program`, seeded deterministically.
+    ///
+    /// The traversal RNG is derived from `seed` on a sub-stream disjoint
+    /// from the streams used to materialize the program, so regenerating the
+    /// model does not perturb the event sequence.
+    pub fn new(program: ProgramModel, seed: u64) -> Self {
+        let base = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5d_b0_4b_5a);
+        let site_states = vec![SiteState::default(); program.sites().len()];
+        Self {
+            program,
+            rng: base.substream(8),
+            site_states,
+            global_history: 0,
+            current_chain: None,
+            last_chain: None,
+        }
+    }
+
+    /// The underlying program model.
+    pub fn program(&self) -> &ProgramModel {
+        &self.program
+    }
+
+    /// The live global outcome history (newest outcome in bit 0) — exposed
+    /// for tests and for behavior-model debugging.
+    pub fn global_history(&self) -> u64 {
+        self.global_history
+    }
+}
+
+impl BranchSource for WorkloadGenerator {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        let cursor = match self.current_chain {
+            Some(c) => c,
+            None => {
+                // Control flow is a Markov walk over the chain graph; the
+                // first activation — and occasional phase changes — seed it
+                // from the global weight distribution, which keeps program
+                // coverage broad without adding much history entropy.
+                let chain = match self.last_chain {
+                    Some(prev) if !self.rng.bernoulli(0.008) => {
+                        self.program.sample_successor(prev, &mut self.rng)
+                    }
+                    _ => self.program.sample_chain(&mut self.rng),
+                };
+                self.last_chain = Some(chain);
+                // A fresh activation clears the sticky draws of its sites.
+                for &site in &self.program.chains()[chain].sites {
+                    self.site_states[site].begin_activation();
+                }
+                let model = &self.program.chains()[chain];
+                let iterations_left = model.sample_iters(&mut self.rng);
+                let variant = model.sample_variant(&mut self.rng);
+                ChainCursor {
+                    chain,
+                    position: 0,
+                    iterations_left,
+                    variant,
+                }
+            }
+        };
+
+        let chain_model = &self.program.chains()[cursor.chain];
+        let site_index = chain_model.sites[cursor.position];
+        let site = &self.program.sites()[site_index];
+        let is_last = cursor.position + 1 == chain_model.sites.len();
+
+        let taken = match &site.behavior {
+            BranchBehavior::LoopBack => cursor.iterations_left > 1,
+            behavior => behavior.next(
+                &mut self.site_states[site_index],
+                self.global_history,
+                cursor.variant,
+                &mut self.rng,
+            ),
+        };
+
+        // Advance the cursor.
+        self.current_chain = if is_last {
+            if cursor.iterations_left > 1 {
+                Some(ChainCursor {
+                    position: 0,
+                    iterations_left: cursor.iterations_left - 1,
+                    ..cursor
+                })
+            } else {
+                None
+            }
+        } else {
+            Some(ChainCursor {
+                position: cursor.position + 1,
+                ..cursor
+            })
+        };
+
+        self.global_history = (self.global_history << 1) | u64::from(taken);
+        Some(BranchEvent::new(site.pc, taken, site.gap))
+    }
+
+    fn label(&self) -> &str {
+        self.program.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{InputSet, Workload};
+    use crate::Benchmark;
+    use sdbp_trace::TraceStats;
+
+    fn generator(b: Benchmark, input: InputSet, seed: u64) -> WorkloadGenerator {
+        Workload::spec95(b).generator(input, seed)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = generator(Benchmark::Go, InputSet::Train, 3);
+        let mut b = generator(Benchmark::Go, InputSet::Train, 3);
+        for _ in 0..5000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = generator(Benchmark::Go, InputSet::Train, 3);
+        let mut b = generator(Benchmark::Go, InputSet::Train, 4);
+        let same = (0..1000)
+            .filter(|_| a.next_event() == b.next_event())
+            .count();
+        assert!(same < 1000, "streams should diverge");
+    }
+
+    #[test]
+    fn cbr_rate_is_near_target() {
+        for bench in [Benchmark::Gcc, Benchmark::Ijpeg] {
+            let spec = bench.spec();
+            let gen = generator(bench, InputSet::Ref, 1).take_instructions(2_000_000);
+            let stats = TraceStats::from_source(gen);
+            let cbr = stats.cbrs_per_ki();
+            let target = spec.cbrs_per_ki_ref;
+            assert!(
+                (cbr - target).abs() / target < 0.15,
+                "{}: cbr {cbr:.1}, target {target}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn most_sites_get_executed() {
+        let gen = generator(Benchmark::Compress, InputSet::Train, 1)
+            .take_instructions(3_000_000);
+        let stats = TraceStats::from_source(gen);
+        let frac = stats.static_branches() as f64
+            / Benchmark::Compress.spec().static_sites as f64;
+        // Hot-code concentration (two-level Zipf) leaves the cold tail
+        // unexecuted in a short run; half the sites within 3M instructions
+        // is not expected, a third is.
+        assert!(frac > 0.3, "only {frac:.2} of sites executed");
+    }
+
+    #[test]
+    fn backedges_are_mostly_taken_for_loopy_chains() {
+        // ijpeg has long loops: its dynamic taken-rate should lean taken.
+        let gen = generator(Benchmark::Ijpeg, InputSet::Ref, 1).take_instructions(1_000_000);
+        let stats = TraceStats::from_source(gen);
+        let taken: u64 = stats.iter().map(|(_, s)| s.taken).sum();
+        let rate = taken as f64 / stats.dynamic_branches() as f64;
+        assert!(rate > 0.5, "dynamic taken rate {rate}");
+    }
+
+    #[test]
+    fn global_history_tracks_outcomes() {
+        let mut g = generator(Benchmark::Compress, InputSet::Train, 9);
+        let mut expect = 0u64;
+        for _ in 0..200 {
+            let e = g.next_event().unwrap();
+            expect = (expect << 1) | u64::from(e.taken);
+            assert_eq!(g.global_history(), expect);
+        }
+    }
+
+    #[test]
+    fn label_is_benchmark_dot_input() {
+        let g = generator(Benchmark::Perl, InputSet::Ref, 0);
+        assert_eq!(g.label(), "perl.ref");
+    }
+}

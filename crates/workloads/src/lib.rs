@@ -1,0 +1,59 @@
+//! Synthetic SPECINT95-like branch workloads.
+//!
+//! The original study traced Alpha SPECINT95 binaries with Atom. Those
+//! binaries, inputs, and the tracing tool are unavailable, so this crate
+//! substitutes **calibrated synthetic workload models** (see `DESIGN.md` §3):
+//! each of the six benchmarks (go, gcc, perl, m88ksim, compress, ijpeg) is
+//! modeled as a population of static branch *sites* grouped into repeating
+//! *chains* (loop bodies / hot functions), where each site carries a behavior
+//! drawn from a benchmark-specific mixture:
+//!
+//! * **biased** sites — Bernoulli coins at strong/moderate/weak bias levels
+//!   (the bimodal-predictable population; Table 2's "highly biased" mass),
+//! * **correlated** sites — outcomes that are boolean functions of recent
+//!   *global* branch history (the ghist/gshare-predictable population),
+//! * **pattern** and **loop** sites — short deterministic repetitions,
+//! * chain **back-edges** — loop branches whose outcome is decided by the
+//!   traversal (taken while the chain iterates).
+//!
+//! Chains repeat their site sequence for a sampled iteration count, so the
+//! global history stream is locally repetitive exactly the way real loop
+//! nests make it — that is what gives history-indexed predictors their edge
+//! while leaving Bernoulli sites capped at their bias.
+//!
+//! `Train` and `Ref` inputs share the site structure but perturb behaviors
+//! (direction flips, bias drift, input-dependent chains), reproducing the
+//! paper's Table 5 cross-input statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdbp_trace::BranchSource;
+//! use sdbp_workloads::{Benchmark, InputSet, Workload};
+//!
+//! let workload = Workload::spec95(Benchmark::Gcc);
+//! let mut generator = workload.generator(InputSet::Train, 42).take_instructions(100_000);
+//! let mut branches = 0u64;
+//! while let Some(_event) = generator.next_event() {
+//!     branches += 1;
+//! }
+//! assert!(branches > 10_000, "gcc executes ~155 branches per KI");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod benchmarks;
+pub mod generator;
+pub mod program;
+pub mod spec;
+
+pub use behavior::{BranchBehavior, SiteState};
+pub use benchmarks::Benchmark;
+pub use generator::WorkloadGenerator;
+pub use program::{ChainModel, IterModel, ProgramModel, SiteModel};
+pub use spec::{InputSet, Mixture, Perturbation, Workload, WorkloadSpec};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,593 @@
+//! Materialized program models: sites, chains, and their construction.
+
+use crate::behavior::BranchBehavior;
+use crate::spec::{InputSet, WorkloadSpec};
+use sdbp_trace::BranchAddr;
+use sdbp_util::dist::{Alias, Normal, Zipf};
+use sdbp_util::rng::{Rng, Xoshiro256StarStar};
+
+/// One static branch site of a materialized program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteModel {
+    /// The branch instruction address.
+    pub pc: BranchAddr,
+    /// The behavior generating its outcomes.
+    pub behavior: BranchBehavior,
+    /// Non-branch instructions preceding the branch (its basic block body).
+    pub gap: u32,
+}
+
+/// How many times a chain's body repeats per activation.
+///
+/// The split matters for the paper's phenomenology: straight-line chains
+/// give their back-edge a perfect (always not-taken) bias; fixed-trip loops
+/// give history predictors a deterministic exit to learn; geometric loops
+/// leave only the bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IterModel {
+    /// Non-loop code: exactly one pass, back-edge never taken.
+    Straight,
+    /// A counted loop with a constant trip count.
+    Fixed(u32),
+    /// A data-dependent loop: geometric trip count with the given mean.
+    Geometric(f64),
+}
+
+/// A chain: an ordered run of sites ending in a loop back-edge —
+/// the synthetic analogue of a loop body or hot straight-line function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainModel {
+    /// Indices into [`ProgramModel::sites`], executed in order; the last one
+    /// is the back-edge.
+    pub sites: Vec<usize>,
+    /// The trip-count model.
+    pub iter_model: IterModel,
+    /// Number of hidden activation variants (input-data equivalence classes
+    /// that drive the latch vector of the chain's biased sites).
+    pub variants: u32,
+    /// Relative execution weight (0 = never runs under this input).
+    pub weight: f64,
+}
+
+impl ChainModel {
+    /// Samples an activation variant: low ids dominate geometrically, the
+    /// way a few input-data classes dominate a real loop's behavior.
+    pub fn sample_variant<R: Rng>(&self, rng: &mut R) -> u32 {
+        let mut v = 0;
+        while v + 1 < self.variants && rng.bernoulli(0.55) {
+            v += 1;
+        }
+        v
+    }
+
+    /// Samples an iteration count (≥ 1) for one activation of the chain.
+    pub fn sample_iters<R: Rng>(&self, rng: &mut R) -> u32 {
+        match self.iter_model {
+            IterModel::Straight => 1,
+            IterModel::Fixed(n) => n.max(1),
+            IterModel::Geometric(mean) => {
+                // Geometric with mean m: continue with probability 1 - 1/m.
+                let cont = 1.0 - 1.0 / mean.max(1.0);
+                let mut iters = 1u32;
+                while iters < 10_000 && rng.bernoulli(cont) {
+                    iters += 1;
+                }
+                iters
+            }
+        }
+    }
+}
+
+/// A fully materialized synthetic program for one input set.
+///
+/// Deterministic in `(spec, input, seed)`. `Train` and `Ref` models of the
+/// same seed share site addresses and chain structure; they differ in the
+/// behavioral perturbation and in which input-dependent chains are live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramModel {
+    name: String,
+    input: InputSet,
+    sites: Vec<SiteModel>,
+    chains: Vec<ChainModel>,
+    chain_alias: Alias,
+    /// Per-chain successor sets: control flow is a first-order Markov walk
+    /// over a sparse chain graph, so chain *sequences* (and therefore global
+    /// history contexts) recur the way real call/loop structure makes them
+    /// recur. `None` for chains that are dead under this input.
+    successors: Vec<Option<SuccessorSet>>,
+}
+
+/// A chain's possible successors with their transition distribution.
+#[derive(Debug, Clone, PartialEq)]
+struct SuccessorSet {
+    targets: Vec<usize>,
+    alias: Alias,
+}
+
+impl ProgramModel {
+    /// Builds the model for `spec` under `input` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's mixture is invalid or `static_sites < 8`.
+    pub fn materialize(spec: &WorkloadSpec, input: InputSet, seed: u64) -> Self {
+        assert!(spec.mixture.is_valid(), "invalid mixture for {}", spec.name);
+        assert!(spec.static_sites >= 8, "need at least 8 sites");
+
+        // Sub-stream 0: structure (shared between inputs).
+        let base = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5d_b0_4b_5a);
+        let mut structure_rng = base.substream(0);
+        // Sub-stream 3: ref perturbation decisions.
+        let mut perturb_rng = base.substream(3);
+
+        let mixture_alias =
+            Alias::new(&spec.mixture.weights()).expect("mixture validated above");
+        // The static code layout is input-invariant (computed from the Train
+        // CBR target); only the *dynamic* gap emitted in events follows the
+        // per-input CBR target — different inputs retire different amounts
+        // of straight-line code around the same branches.
+        let layout_gap = ((1000.0 / spec.cbrs_per_ki_train) - 1.0).max(0.0);
+        let base_gap = ((1000.0 / spec.cbrs_per_ki(input)) - 1.0).max(0.0);
+
+        // 1. Carve sites into chains: micro-loops of 1-2 branches and
+        //    macro chains of 3..=12.
+        let mut chains_sites: Vec<Vec<usize>> = Vec::new();
+        let mut is_micro: Vec<bool> = Vec::new();
+        let mut next_site = 0usize;
+        while next_site < spec.static_sites {
+            let micro = structure_rng.bernoulli(spec.micro_chains);
+            let len = if micro {
+                1 + structure_rng.range(2) as usize
+            } else {
+                3 + structure_rng.range(10) as usize
+            };
+            let len = len.min(spec.static_sites - next_site).max(1);
+            chains_sites.push((next_site..next_site + len).collect());
+            is_micro.push(micro);
+            next_site += len;
+        }
+        let num_chains = chains_sites.len();
+
+        // 2. Assign chain addresses and site models.
+        let mut sites: Vec<SiteModel> = Vec::with_capacity(spec.static_sites);
+        let mut chain_base = 0x1_0000u64;
+        for chain in &chains_sites {
+            let mut pc = chain_base;
+            for (pos, &site_idx) in chain.iter().enumerate() {
+                debug_assert_eq!(site_idx, sites.len());
+                let is_backedge = pos == chain.len() - 1;
+                let behavior = if is_backedge {
+                    BranchBehavior::LoopBack
+                } else {
+                    sample_behavior(&mixture_alias, spec.biased_stickiness, spec.latch_noise, &mut structure_rng)
+                };
+                // Basic-block length: the workload's CBR target with mild
+                // per-site texture. One jitter draw feeds both the static
+                // layout and the dynamic gap so the structure stream stays
+                // input-invariant.
+                let jitter = structure_rng.range(5) as i64 - 2;
+                let layout = (layout_gap as i64 + jitter).max(0) as u64;
+                let gap = (base_gap.round() as i64 + jitter).max(0) as u32;
+                // Branches sit at the end of their block.
+                pc += (layout + 1) * 4;
+                sites.push(SiteModel {
+                    pc: BranchAddr(pc),
+                    behavior,
+                    gap,
+                });
+            }
+            // Chains are spread across the text segment like functions
+            // (word-aligned starts).
+            chain_base += 0x400 + structure_rng.range(0x200) * 4;
+            chain_base = chain_base.max(pc + 4);
+        }
+
+        // 3. Chain weights. Chains are clustered into groups of ~24 (call
+        //    neighborhoods); group hotness is Zipf over groups and member
+        //    hotness is Zipf within the group. The two-level structure keeps
+        //    hot code concentrated (aliasing pressure) while letting the
+        //    successor graph below stay group-local (bounded in-degree, so
+        //    history contexts at chain entry actually recur).
+        const GROUP_SIZE: usize = 24;
+        let num_groups = num_chains.div_ceil(GROUP_SIZE);
+        let group_zipf = Zipf::new(num_groups, spec.zipf_exponent).expect("validated parameters");
+        let mut group_ranks: Vec<usize> = (0..num_groups).collect();
+        structure_rng.shuffle(&mut group_ranks);
+        let member_zipf = Zipf::new(GROUP_SIZE, 0.6).expect("validated parameters");
+        let mut member_ranks: Vec<usize> = (0..GROUP_SIZE).collect();
+        structure_rng.shuffle(&mut member_ranks);
+        let zipf_weight = |c: usize| {
+            let group = c / GROUP_SIZE;
+            let member = c % GROUP_SIZE;
+            group_zipf.pmf(group_ranks[group]) * member_zipf.pmf(member_ranks[member])
+        };
+        let mut chains: Vec<ChainModel> = Vec::with_capacity(num_chains);
+        for (c, sites_of_chain) in chains_sites.into_iter().enumerate() {
+            let iter_model = if is_micro[c] {
+                // Micro-loops always loop, with small, mostly fixed trip
+                // counts whose full period fits in a history window.
+                if structure_rng.bernoulli(0.8) {
+                    IterModel::Fixed(2 + structure_rng.range(8) as u32)
+                } else {
+                    IterModel::Geometric(2.0 + structure_rng.next_f64() * 4.0)
+                }
+            } else if structure_rng.bernoulli(spec.straight_chains) {
+                IterModel::Straight
+            } else {
+                // Looping chain: trip counts centered on mean_iterations.
+                let m = spec.mean_iterations.max(2.0);
+                if structure_rng.bernoulli(spec.fixed_iter_chains) {
+                    let lo = (m * 0.5).max(2.0) as u64;
+                    let hi = (m * 1.5).max(lo as f64 + 1.0) as u64;
+                    IterModel::Fixed(structure_rng.range_inclusive(lo, hi) as u32)
+                } else {
+                    IterModel::Geometric(2.0 + structure_rng.next_f64() * (m - 2.0).max(0.0))
+                }
+            };
+            // Input-dependent liveness (uses the *perturbation* stream so
+            // the structure stream stays input-invariant).
+            let r = perturb_rng.next_f64();
+            let p = &spec.perturbation;
+            let live = if r < p.ref_only_chains {
+                input == InputSet::Ref
+            } else if r < p.ref_only_chains + p.train_only_chains {
+                input == InputSet::Train
+            } else {
+                true
+            };
+            let weight = if live { zipf_weight(c) } else { 0.0 };
+            chains.push(ChainModel {
+                sites: sites_of_chain,
+                iter_model,
+                variants: 2 + structure_rng.range(3) as u32,
+                weight,
+            });
+        }
+
+        // 4. Ref-input behavioral perturbation of biased sites.
+        if input == InputSet::Ref {
+            let drift = Normal::new(0.0, spec.perturbation.drift_sd)
+                .expect("validated parameters");
+            for site in &mut sites {
+                match &mut site.behavior {
+                    BranchBehavior::Biased { p_taken, .. } => {
+                        if perturb_rng.bernoulli(spec.perturbation.flip_fraction) {
+                            *p_taken = 1.0 - *p_taken;
+                        } else if spec.perturbation.drift_sd > 0.0 {
+                            *p_taken =
+                                (*p_taken + drift.sample(&mut perturb_rng)).clamp(0.001, 0.999);
+                        }
+                    }
+                    BranchBehavior::Correlated { invert, .. } => {
+                        if perturb_rng.bernoulli(spec.perturbation.flip_fraction) {
+                            *invert = !*invert;
+                        }
+                    }
+                    _ => {
+                        // Deterministic local behaviors are input-invariant;
+                        // consume one draw to keep streams aligned across
+                        // behavior kinds.
+                        let _ = perturb_rng.next_u64();
+                    }
+                }
+            }
+        }
+
+        let weights: Vec<f64> = chains.iter().map(|c| c.weight).collect();
+        let chain_alias = Alias::new(&weights)
+            .expect("at least one chain stays live under every input");
+
+        // 5. Sparse successor graph (sub-stream 4). The graph is built
+        //    from the *input-invariant* base weights with identical RNG
+        //    consumption for every chain, so Train and Ref share their
+        //    control-flow structure edge for edge; only then are edges into
+        //    chains dead under this input redirected to a deterministic
+        //    live stand-in (the hottest live member of the dead chain's
+        //    group). Each live chain has one dominant successor — real
+        //    control flow mostly takes the same path — which keeps history
+        //    contexts recurring.
+        let mut graph_rng = base.substream(4);
+        let base_weights: Vec<f64> = (0..num_chains).map(zipf_weight).collect();
+        let base_alias = Alias::new(&base_weights).expect("positive zipf weights");
+        // Input-invariant per-group alias over *base* weights.
+        let group_base: Vec<Option<(Vec<usize>, Alias)>> = (0..num_groups)
+            .map(|g| {
+                let members: Vec<usize> =
+                    (g * GROUP_SIZE..((g + 1) * GROUP_SIZE).min(num_chains)).collect();
+                let w: Vec<f64> = members.iter().map(|&c| base_weights[c]).collect();
+                Alias::new(&w).ok().map(|a| (members, a))
+            })
+            .collect();
+        // Deterministic live stand-in per group (hottest live member).
+        let live_fallback_of_group: Vec<Option<usize>> = (0..num_groups)
+            .map(|g| {
+                (g * GROUP_SIZE..((g + 1) * GROUP_SIZE).min(num_chains))
+                    .filter(|&c| chains[c].weight > 0.0)
+                    .max_by(|&a, &b| chains[a].weight.total_cmp(&chains[b].weight))
+            })
+            .collect();
+        let global_fallback = (0..num_chains)
+            .filter(|&c| chains[c].weight > 0.0)
+            .max_by(|&a, &b| chains[a].weight.total_cmp(&chains[b].weight))
+            .expect("at least one live chain");
+        let redirect = |t: usize| -> usize {
+            if chains[t].weight > 0.0 {
+                t
+            } else {
+                live_fallback_of_group[t / GROUP_SIZE].unwrap_or(global_fallback)
+            }
+        };
+        let successors: Vec<Option<SuccessorSet>> = (0..num_chains)
+            .map(|c| {
+                // Consume identical draws for every chain, live or dead.
+                let degree = 2 + graph_rng.range(4) as usize;
+                let mut targets = Vec::with_capacity(degree);
+                let mut target_weights = Vec::with_capacity(degree);
+                for k in 0..degree {
+                    let local = graph_rng.bernoulli(0.9);
+                    let t = match (&group_base[c / GROUP_SIZE], local) {
+                        (Some((members, alias)), true) => members[alias.sample(&mut graph_rng)],
+                        _ => base_alias.sample(&mut graph_rng),
+                    };
+                    // One dominant successor: real control flow mostly takes
+                    // the same path, which keeps history contexts recurring.
+                    let w = if k == 0 {
+                        16.0
+                    } else {
+                        0.3 + graph_rng.next_f64() * 1.2
+                    };
+                    targets.push(redirect(t));
+                    target_weights.push(w);
+                }
+                if chains[c].weight == 0.0 {
+                    return None;
+                }
+                let alias = Alias::new(&target_weights).expect("positive weights");
+                Some(SuccessorSet { targets, alias })
+            })
+            .collect();
+
+        Self {
+            name: format!("{}.{}", spec.name, input.name()),
+            input,
+            sites,
+            chains,
+            chain_alias,
+            successors,
+        }
+    }
+
+    /// The `"<benchmark>.<input>"` label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input set this model was materialized for.
+    pub fn input(&self) -> InputSet {
+        self.input
+    }
+
+    /// All static sites.
+    pub fn sites(&self) -> &[SiteModel] {
+        &self.sites
+    }
+
+    /// All chains.
+    pub fn chains(&self) -> &[ChainModel] {
+        &self.chains
+    }
+
+    /// Samples an entry chain (used to start the walk).
+    pub fn sample_chain<R: Rng>(&self, rng: &mut R) -> usize {
+        self.chain_alias.sample(rng)
+    }
+
+    /// Samples the chain following `current` on the Markov walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` is dead under this input (the walk can never be
+    /// there).
+    pub fn sample_successor<R: Rng>(&self, current: usize, rng: &mut R) -> usize {
+        let set = self.successors[current].as_ref().unwrap_or_else(|| {
+            panic!(
+                "successor of a live chain: chain {current} weight {}",
+                self.chains[current].weight
+            )
+        });
+        set.targets[set.alias.sample(rng)]
+    }
+
+    /// Static instruction count of the program model (all block bodies plus
+    /// their branches) — the Table 1 "#Instructions (static)" figure.
+    pub fn static_instructions(&self) -> u64 {
+        self.sites.iter().map(|s| s.gap as u64 + 1).sum()
+    }
+}
+
+fn sample_behavior<R: Rng>(
+    mixture: &Alias,
+    stickiness_mean: f64,
+    latch_noise_mean: f64,
+    rng: &mut R,
+) -> BranchBehavior {
+    let direction = rng.bernoulli(0.55); // mild global taken lean
+    // Strong branches are mostly *structural* (their latch follows the
+    // activation's data variant); weak branches are genuinely noisy
+    // per-activation data tests. The extra latch noise per class models
+    // that gradient on top of the benchmark mean.
+    let biased = |bias: f64, extra_noise: f64, sticky_scale: f64, rng: &mut R| {
+        let stickiness = ((stickiness_mean + (rng.next_f64() - 0.5) * 0.3) * sticky_scale)
+            .clamp(0.0, 1.0);
+        let noise = (latch_noise_mean + extra_noise + (rng.next_f64() - 0.5) * 0.2)
+            .clamp(0.0, 1.0);
+        BranchBehavior::Biased {
+            p_taken: if direction { bias } else { 1.0 - bias },
+            stickiness,
+            noise,
+            salt: rng.next_u64(),
+        }
+    };
+    match mixture.sample(rng) {
+        0 => {
+            let bias = 0.965 + rng.next_f64() * 0.034;
+            biased(bias, 0.0, 1.0, rng)
+        }
+        1 => {
+            // Moderately biased: mildly noisier than structural branches.
+            let bias = 0.80 + rng.next_f64() * 0.16;
+            biased(bias, 0.10, 1.0, rng)
+        }
+        2 => {
+            // Weakly biased: fully variant-driven. The balanced latch
+            // assignment makes the branch look like a noisy coin to a
+            // per-address counter while staying a learnable function of the
+            // visible activation context for history predictors — the
+            // "hard but correlated" population of real programs.
+            let bias = 0.55 + rng.next_f64() * 0.25;
+            biased(bias, 0.0, 1.0, rng)
+        }
+        3 => BranchBehavior::FollowGlobal {
+            offset: 1 + rng.range(4) as u32,
+            invert: rng.bernoulli(0.4),
+            noise: 0.01 + rng.next_f64() * 0.05 + latch_noise_mean * 0.3,
+        },
+        4 => {
+            let len = 2 + rng.range(3) as usize;
+            let pattern: Vec<bool> = (0..len).map(|_| rng.bernoulli(0.5)).collect();
+            BranchBehavior::Pattern { pattern }
+        }
+        _ => BranchBehavior::Loop {
+            period: 2 + rng.range(3) as u32,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+
+    fn model(input: InputSet) -> ProgramModel {
+        ProgramModel::materialize(&Benchmark::Compress.spec(), input, 11)
+    }
+
+    #[test]
+    fn site_count_matches_spec() {
+        let m = model(InputSet::Train);
+        assert_eq!(m.sites().len(), Benchmark::Compress.spec().static_sites);
+    }
+
+    #[test]
+    fn every_chain_ends_in_a_backedge() {
+        let m = model(InputSet::Train);
+        for chain in m.chains() {
+            let last = *chain.sites.last().unwrap();
+            assert_eq!(m.sites()[last].behavior, BranchBehavior::LoopBack);
+            // And no interior site is a backedge.
+            for &s in &chain.sites[..chain.sites.len() - 1] {
+                assert_ne!(m.sites()[s].behavior, BranchBehavior::LoopBack);
+            }
+        }
+    }
+
+    #[test]
+    fn chains_partition_the_sites() {
+        let m = model(InputSet::Train);
+        let mut seen = vec![false; m.sites().len()];
+        for chain in m.chains() {
+            for &s in &chain.sites {
+                assert!(!seen[s], "site {s} in two chains");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every site belongs to a chain");
+    }
+
+    #[test]
+    fn site_addresses_are_distinct_and_word_aligned() {
+        let m = model(InputSet::Train);
+        let mut pcs: Vec<u64> = m.sites().iter().map(|s| s.pc.0).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert_eq!(pcs.len(), m.sites().len(), "duplicate site addresses");
+        assert!(m.sites().iter().all(|s| s.pc.0 % 4 == 0));
+    }
+
+    #[test]
+    fn gap_tracks_cbr_target() {
+        let m = model(InputSet::Ref);
+        let spec = Benchmark::Compress.spec();
+        let mean_gap: f64 = m.sites().iter().map(|s| s.gap as f64).sum::<f64>()
+            / m.sites().len() as f64;
+        let target = 1000.0 / spec.cbrs_per_ki_ref - 1.0;
+        assert!(
+            (mean_gap - target).abs() < 1.5,
+            "mean gap {mean_gap}, target {target}"
+        );
+    }
+
+    #[test]
+    fn geometric_iters_have_requested_mean() {
+        let chain = ChainModel {
+            sites: vec![0],
+            iter_model: IterModel::Geometric(4.0),
+            variants: 4,
+            weight: 1.0,
+        };
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| chain.sample_iters(&mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean iters {mean}");
+    }
+
+    #[test]
+    fn fixed_iters_are_fixed() {
+        let chain = ChainModel {
+            sites: vec![0],
+            iter_model: IterModel::Fixed(5),
+            variants: 4,
+            weight: 1.0,
+        };
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(chain.sample_iters(&mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn ref_perturbs_some_biased_sites() {
+        let t = model(InputSet::Train);
+        let r = model(InputSet::Ref);
+        let mut flips = 0;
+        let mut compared = 0;
+        for (a, b) in t.sites().iter().zip(r.sites().iter()) {
+            if let (
+                BranchBehavior::Biased { p_taken: pa, .. },
+                BranchBehavior::Biased { p_taken: pb, .. },
+            ) = (&a.behavior, &b.behavior)
+            {
+                compared += 1;
+                if (pa > &0.5) != (pb > &0.5) {
+                    flips += 1;
+                }
+            }
+        }
+        assert!(compared > 100);
+        assert!(flips > 0, "ref input should flip some directions");
+        assert!(
+            (flips as f64) < compared as f64 * 0.2,
+            "flips should be a small minority: {flips}/{compared}"
+        );
+    }
+
+    #[test]
+    fn static_instructions_accounting() {
+        let m = model(InputSet::Train);
+        let manual: u64 = m.sites().iter().map(|s| s.gap as u64 + 1).sum();
+        assert_eq!(m.static_instructions(), manual);
+    }
+
+    use sdbp_util::rng::Xoshiro256StarStar;
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the workload substrate.
+
+#![cfg(test)]
+
+use crate::spec::{InputSet, Mixture, Perturbation, Workload, WorkloadSpec};
+use proptest::prelude::*;
+use sdbp_trace::{BranchSource, TraceStats};
+
+/// A random — but always valid — workload specification.
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        50usize..800,                 // static sites
+        40.0f64..180.0,               // cbrs/ki
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), // mixture knobs
+        0.0f64..1.3,                  // zipf exponent
+        0.0f64..1.0,                  // stickiness
+        0.0f64..1.0,                  // latch noise
+        (0.0f64..0.6, 0.0f64..0.6, 0.0f64..1.0), // micro / straight / fixed
+        2.0f64..24.0,                 // mean iterations
+    )
+        .prop_map(
+            |(sites, cbr, (m1, m2, m3, m4), zipf, stick, noise, (micro, straight, fixed), iters)| {
+                WorkloadSpec {
+                    name: "prop",
+                    static_sites: sites,
+                    cbrs_per_ki_train: cbr,
+                    cbrs_per_ki_ref: cbr,
+                    mixture: Mixture {
+                        // +0.05 keeps the mixture valid even when all knobs
+                        // draw zero.
+                        strong_biased: m1 + 0.05,
+                        moderate_biased: m2,
+                        weak_biased: m3,
+                        correlated: m4,
+                        pattern: 0.05,
+                        loop_sites: 0.05,
+                    },
+                    zipf_exponent: zipf,
+                    biased_stickiness: stick,
+                    latch_noise: noise,
+                    micro_chains: micro,
+                    straight_chains: straight,
+                    fixed_iter_chains: fixed,
+                    mean_iterations: iters,
+                    perturbation: Perturbation {
+                        flip_fraction: 0.03,
+                        drift_sd: 0.02,
+                        ref_only_chains: 0.05,
+                        train_only_chains: 0.02,
+                    },
+                    train_instructions: 100_000,
+                    ref_instructions: 100_000,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid spec materializes and streams deterministically.
+    #[test]
+    fn any_spec_generates_deterministically(spec in arb_spec(), seed in 0u64..1000) {
+        let w = Workload::from_spec(spec);
+        let collect = |input: InputSet| {
+            let mut g = w.generator(input, seed).take_instructions(30_000);
+            let mut v = Vec::new();
+            while let Some(e) = g.next_event() {
+                v.push(e);
+            }
+            v
+        };
+        prop_assert_eq!(collect(InputSet::Train), collect(InputSet::Train));
+        prop_assert!(!collect(InputSet::Ref).is_empty());
+    }
+
+    /// Site addresses are distinct, word-aligned, and input-invariant.
+    #[test]
+    fn program_structure_is_sound(spec in arb_spec(), seed in 0u64..1000) {
+        let w = Workload::from_spec(spec.clone());
+        let train = w.program(InputSet::Train, seed);
+        let reference = w.program(InputSet::Ref, seed);
+        prop_assert_eq!(train.sites().len(), spec.static_sites);
+        let mut pcs: Vec<u64> = train.sites().iter().map(|s| s.pc.0).collect();
+        pcs.sort_unstable();
+        let before = pcs.len();
+        pcs.dedup();
+        prop_assert_eq!(pcs.len(), before, "duplicate site addresses");
+        for (a, b) in train.sites().iter().zip(reference.sites().iter()) {
+            prop_assert_eq!(a.pc, b.pc);
+            prop_assert!(a.pc.0 % 4 == 0);
+        }
+    }
+
+    /// The generated stream's CBRs/KI lands near the spec's target.
+    #[test]
+    fn cbr_rate_tracks_target(spec in arb_spec()) {
+        let target = spec.cbrs_per_ki_ref;
+        let w = Workload::from_spec(spec);
+        let stats = TraceStats::from_source(
+            w.generator(InputSet::Ref, 5).take_instructions(300_000),
+        );
+        let got = stats.cbrs_per_ki();
+        prop_assert!(
+            (got - target).abs() / target < 0.25,
+            "cbr {} vs target {}",
+            got,
+            target
+        );
+    }
+
+    /// Every emitted pc belongs to the materialized program.
+    #[test]
+    fn events_reference_known_sites(spec in arb_spec(), seed in 0u64..100) {
+        let w = Workload::from_spec(spec);
+        let program = w.program(InputSet::Ref, seed);
+        let known: std::collections::HashSet<u64> =
+            program.sites().iter().map(|s| s.pc.0).collect();
+        let mut g = w.generator(InputSet::Ref, seed).take_instructions(20_000);
+        while let Some(e) = g.next_event() {
+            prop_assert!(known.contains(&e.pc.0), "unknown pc {}", e.pc);
+        }
+    }
+}

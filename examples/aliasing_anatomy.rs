@@ -1,0 +1,55 @@
+//! Anatomy of destructive aliasing.
+//!
+//! Sweeps a gshare predictor across sizes on the gcc model (the paper's most
+//! aliasing-bound program) and dissects every run: constructive vs
+//! destructive collisions, and what happens to each population when static
+//! hints remove the biased branches from the tables. This is the
+//! measurement behind the paper's Figures 1–6.
+//!
+//! Run with: `cargo run --release --example aliasing_anatomy`
+
+use sdbp::prelude::*;
+use sdbp::util::table::{fixed, grouped, TableWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lab = Lab::new();
+    let mut table = TableWriter::with_columns(&[
+        "size",
+        "scheme",
+        "MISPs/KI",
+        "collisions",
+        "constructive",
+        "destructive",
+        "destr. %",
+    ]);
+    table.numeric();
+
+    for size_kb in [1usize, 4, 16, 64] {
+        for scheme in [SelectionScheme::None, SelectionScheme::static_95()] {
+            let spec = ExperimentSpec::self_trained(
+                Benchmark::Gcc,
+                PredictorConfig::new(PredictorKind::Gshare, size_kb * 1024)?,
+                scheme,
+            )
+            .with_instructions(4_000_000);
+            let report = lab.run(&spec)?;
+            let c = report.stats.collisions;
+            table.row(vec![
+                format!("{size_kb}KB"),
+                report.scheme_label.clone(),
+                fixed(report.stats.misp_per_ki(), 3),
+                grouped(c.total),
+                grouped(c.constructive),
+                grouped(c.destructive),
+                format!("{:.0}%", c.destructive_fraction() * 100.0),
+            ]);
+        }
+    }
+
+    println!("gshare on gcc — the aliasing anatomy:\n\n{}", table.render());
+    println!("Things to notice (the paper's observations):");
+    println!(" * collisions fall as the table grows — and fall further with static hints;");
+    println!(" * most collisions are destructive (Young et al.'s finding);");
+    println!(" * the MISPs/KI benefit of static prediction is biggest when the table is small.");
+    Ok(())
+}

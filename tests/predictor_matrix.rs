@@ -1,0 +1,100 @@
+//! Exercises every predictor kind across sizes on real workload streams,
+//! checking protocol soundness and sanity bounds.
+
+use sdbp::prelude::*;
+
+fn measure(kind: PredictorKind, size: usize, benchmark: Benchmark) -> SimStats {
+    let mut predictor = CombinedPredictor::pure_dynamic(
+        PredictorConfig::new(kind, size).expect("valid size").build(),
+    );
+    Simulator::new().run(
+        Workload::spec95(benchmark)
+            .generator(InputSet::Ref, 2000)
+            .take_instructions(600_000),
+        &mut predictor,
+    )
+}
+
+#[test]
+fn every_predictor_beats_a_coin_on_a_biased_workload() {
+    for kind in PredictorKind::ALL {
+        let stats = measure(kind, 4096, Benchmark::M88ksim);
+        assert!(
+            stats.accuracy() > 0.80,
+            "{kind}: accuracy {:.3} on m88ksim",
+            stats.accuracy()
+        );
+    }
+}
+
+#[test]
+fn every_predictor_runs_at_every_sweep_size() {
+    for kind in PredictorKind::ALL {
+        for size in [1024usize, 8 * 1024, 64 * 1024] {
+            let stats = measure(kind, size, Benchmark::Compress);
+            assert!(stats.branches > 10_000, "{kind} at {size}: too few branches");
+            assert!(
+                (0.0..=1.0).contains(&stats.accuracy()),
+                "{kind} at {size}: accuracy out of range"
+            );
+        }
+    }
+}
+
+#[test]
+fn bigger_tables_never_explode_mispredictions() {
+    // Capacity can only help (or at worst plateau) on an aliasing-bound
+    // program; allow a small tolerance for indexing noise.
+    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::TwoBcGskew] {
+        let small = measure(kind, 1024, Benchmark::Gcc);
+        let large = measure(kind, 64 * 1024, Benchmark::Gcc);
+        assert!(
+            large.misp_per_ki() <= small.misp_per_ki() * 1.05,
+            "{kind}: 64KB ({:.3}) worse than 1KB ({:.3})",
+            large.misp_per_ki(),
+            small.misp_per_ki()
+        );
+    }
+}
+
+#[test]
+fn collision_counts_scale_down_with_table_size() {
+    for kind in [PredictorKind::Ghist, PredictorKind::Gshare] {
+        let small = measure(kind, 1024, Benchmark::Gcc);
+        let large = measure(kind, 64 * 1024, Benchmark::Gcc);
+        assert!(
+            large.collisions.total < small.collisions.total,
+            "{kind}: collisions must drop with capacity ({} -> {})",
+            small.collisions.total,
+            large.collisions.total
+        );
+    }
+}
+
+#[test]
+fn bimodal_shows_least_aliasing() {
+    // The paper: almost no aliasing in bimodal tables above 2KB, while the
+    // history-indexed schemes alias heavily at equal size.
+    let bimodal = measure(PredictorKind::Bimodal, 8 * 1024, Benchmark::Gcc);
+    let gshare = measure(PredictorKind::Gshare, 8 * 1024, Benchmark::Gcc);
+    assert!(
+        bimodal.collisions.total * 10 < gshare.collisions.total,
+        "bimodal {} vs gshare {}",
+        bimodal.collisions.total,
+        gshare.collisions.total
+    );
+}
+
+#[test]
+fn declared_sizes_are_honored() {
+    for kind in PredictorKind::ALL {
+        let p = PredictorConfig::new(kind, 16 * 1024).expect("valid").build();
+        let size = p.size_bytes();
+        // agree carries a 1-bit bias table on top of its counters (1.5x);
+        // e-gskew rounds its banks down; everything else matches exactly.
+        assert!(
+            (8 * 1024..=24 * 1024).contains(&size),
+            "{kind}: {size} bytes for a 16KB budget"
+        );
+    }
+}

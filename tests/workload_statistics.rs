@@ -1,0 +1,100 @@
+//! Statistical soundness of the calibrated workload models — the properties
+//! the experiment conclusions lean on, checked at reduced budgets.
+
+use sdbp::prelude::*;
+
+fn stats(benchmark: Benchmark, input: InputSet) -> TraceStats {
+    TraceStats::from_source(
+        Workload::spec95(benchmark)
+            .generator(input, 2000)
+            .take_instructions(2_000_000),
+    )
+}
+
+#[test]
+fn biased_fraction_ordering_matches_table_2() {
+    // The paper's ordering extremes: go lowest, m88ksim highest.
+    let go = stats(Benchmark::Go, InputSet::Ref).dynamic_fraction_biased(0.95);
+    let perl = stats(Benchmark::Perl, InputSet::Ref).dynamic_fraction_biased(0.95);
+    let m88 = stats(Benchmark::M88ksim, InputSet::Ref).dynamic_fraction_biased(0.95);
+    assert!(go < 0.35, "go biased fraction {go}");
+    assert!(m88 > 0.6, "m88ksim biased fraction {m88}");
+    assert!(go < perl && perl < m88, "{go} < {perl} < {m88} violated");
+}
+
+#[test]
+fn cbr_rates_track_table_1() {
+    for (benchmark, lo, hi) in [
+        (Benchmark::Gcc, 130.0, 190.0),
+        (Benchmark::Ijpeg, 45.0, 85.0),
+        (Benchmark::Compress, 95.0, 145.0),
+    ] {
+        let cbr = stats(benchmark, InputSet::Ref).cbrs_per_ki();
+        assert!(
+            (lo..hi).contains(&cbr),
+            "{benchmark}: {cbr} outside [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn gcc_has_the_largest_working_set() {
+    let gcc = stats(Benchmark::Gcc, InputSet::Ref).static_branches();
+    for other in [Benchmark::Compress, Benchmark::M88ksim, Benchmark::Ijpeg] {
+        let n = stats(other, InputSet::Ref).static_branches();
+        assert!(gcc > n, "gcc {gcc} vs {other} {n}");
+    }
+}
+
+#[test]
+fn execution_is_concentrated_on_hot_sites() {
+    // Zipf-style heat: the hottest 10% of executed sites should cover well
+    // over a third of dynamic executions for every benchmark.
+    for benchmark in Benchmark::ALL {
+        let s = stats(benchmark, InputSet::Ref);
+        let mut counts: Vec<u64> = s.iter().map(|(_, site)| site.executed).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = counts.len().div_ceil(10);
+        let hot: u64 = counts.iter().take(top).sum();
+        let frac = hot as f64 / s.dynamic_branches() as f64;
+        assert!(frac > 0.35, "{benchmark}: top-10% sites cover only {frac:.2}");
+    }
+}
+
+#[test]
+fn train_ref_drift_is_moderate_and_perl_is_worst_covered() {
+    let mut coverages = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let train = stats(benchmark, InputSet::Train);
+        let reference = stats(benchmark, InputSet::Ref);
+        let cmp = reference.compare(&train);
+        let dir = cmp.direction_change_rate_static();
+        assert!(
+            (0.005..0.30).contains(&dir),
+            "{benchmark}: direction-change rate {dir}"
+        );
+        assert!(
+            cmp.coverage_dynamic() > 0.5,
+            "{benchmark}: dynamic coverage {}",
+            cmp.coverage_dynamic()
+        );
+        coverages.push((benchmark, cmp.coverage_dynamic()));
+    }
+    // perl models the paper's poorly-covered program: it must sit in the
+    // bottom half of the coverage ranking.
+    coverages.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let perl_rank = coverages
+        .iter()
+        .position(|(b, _)| *b == Benchmark::Perl)
+        .expect("perl present");
+    assert!(perl_rank < 3, "perl coverage rank {perl_rank}: {coverages:?}");
+}
+
+#[test]
+fn same_seed_same_statistics_across_calls() {
+    let a = stats(Benchmark::Go, InputSet::Ref);
+    let b = stats(Benchmark::Go, InputSet::Ref);
+    assert_eq!(a.dynamic_branches(), b.dynamic_branches());
+    assert_eq!(a.static_branches(), b.static_branches());
+    assert_eq!(a.total_instructions(), b.total_instructions());
+}
