@@ -1,6 +1,6 @@
 //! Ablation B — `Static_95` bias-cutoff sweep. See
 //! [`sdbp_bench::experiments::ablate_cutoff`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::ablate_cutoff(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::ablate_cutoff(&lab));
 }

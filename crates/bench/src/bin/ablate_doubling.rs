@@ -1,6 +1,6 @@
 //! Ablation D — static prediction vs doubling the predictor size. See
 //! [`sdbp_bench::experiments::ablate_doubling`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::ablate_doubling(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::ablate_doubling(&lab));
 }

@@ -1,6 +1,6 @@
 //! Ablation E — the McFarling predictor family comparison. See
 //! [`sdbp_bench::experiments::ablate_mcfarling`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::ablate_mcfarling(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::ablate_mcfarling(&lab));
 }

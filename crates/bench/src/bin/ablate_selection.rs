@@ -1,6 +1,6 @@
 //! Ablation C — all selection schemes side by side. See
 //! [`sdbp_bench::experiments::ablate_selection`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::ablate_selection(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::ablate_selection(&lab));
 }

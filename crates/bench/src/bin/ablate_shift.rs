@@ -1,6 +1,6 @@
 //! Ablation A — history shifting across predictors. See
 //! [`sdbp_bench::experiments::ablate_shift`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::ablate_shift(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::ablate_shift(&lab));
 }

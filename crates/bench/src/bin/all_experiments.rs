@@ -1,23 +1,30 @@
 //! Runs the complete experiment suite — every table and figure of the paper
-//! plus the ablations — sharing one [`sdbp_core::Lab`] so each workload is
-//! profiled once. Scale budgets with `SDBP_SCALE` (default 1.0).
+//! plus the ablations — sharing one [`sdbp_core::Lab`] (and therefore one
+//! artifact cache) so each workload is profiled once across all grids. Every
+//! grid runs through the parallel sweep engine; scale budgets with
+//! `SDBP_SCALE` (default 1.0) and pin worker threads with `SDBP_THREADS`.
 use sdbp_bench::experiments;
 
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
+    let lab = sdbp_core::Lab::new();
     let started = std::time::Instant::now();
-    println!("{}", experiments::table1());
-    println!("{}", experiments::table2(&mut lab));
-    println!("{}", experiments::fig1_6(&mut lab));
-    println!("{}", experiments::fig7_12(&mut lab));
-    println!("{}", experiments::table3(&mut lab));
-    println!("{}", experiments::table4(&mut lab));
-    println!("{}", experiments::table5());
-    println!("{}", experiments::fig13(&mut lab));
-    println!("{}", experiments::ablate_shift(&mut lab));
-    println!("{}", experiments::ablate_cutoff(&mut lab));
-    println!("{}", experiments::ablate_selection(&mut lab));
-    println!("{}", experiments::ablate_doubling(&mut lab));
-    println!("{}", experiments::ablate_mcfarling(&mut lab));
-    eprintln!("all experiments completed in {:.1?}", started.elapsed());
+    println!("{}", experiments::table1(&lab));
+    println!("{}", experiments::table2(&lab));
+    println!("{}", experiments::fig1_6(&lab));
+    println!("{}", experiments::fig7_12(&lab));
+    println!("{}", experiments::table3(&lab));
+    println!("{}", experiments::table4(&lab));
+    println!("{}", experiments::table5(&lab));
+    println!("{}", experiments::fig13(&lab));
+    println!("{}", experiments::ablate_shift(&lab));
+    println!("{}", experiments::ablate_cutoff(&lab));
+    println!("{}", experiments::ablate_selection(&lab));
+    println!("{}", experiments::ablate_doubling(&lab));
+    println!("{}", experiments::ablate_mcfarling(&lab));
+    eprintln!(
+        "all experiments completed in {:.1?} on {} threads; lifetime cache: {}",
+        started.elapsed(),
+        sdbp_core::default_threads(),
+        lab.cache().stats()
+    );
 }

@@ -1,6 +1,6 @@
 //! Figure 13 — cross-training regimes. See
 //! [`sdbp_bench::experiments::fig13`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::fig13(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::fig13(&lab));
 }

@@ -1,6 +1,6 @@
 //! Figures 1–6 — gshare size sweep with and without `Static_Acc`. See
 //! [`sdbp_bench::experiments::fig1_6`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::fig1_6(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::fig1_6(&lab));
 }

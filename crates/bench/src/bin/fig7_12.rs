@@ -1,6 +1,6 @@
 //! Figures 7–12 — five predictors × three static schemes. See
 //! [`sdbp_bench::experiments::fig7_12`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::fig7_12(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::fig7_12(&lab));
 }

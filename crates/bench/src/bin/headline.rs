@@ -4,54 +4,52 @@
 //! for a simple branch predictor (ghist) and up to 14% for a very
 //! aggressive hybrid predictor (2bcgskew) for certain programs" — the ghist
 //! number comes from 4 KB on m88ksim, the 2bcgskew number from 2 KB on gcc.
-//! This binary reproduces exactly those two configurations.
+//! This binary reproduces exactly those two configurations, running all six
+//! cells through the parallel sweep engine.
 
-use sdbp_bench::{run_verbose, spec};
+use sdbp_bench::{run_grid, spec};
 use sdbp_core::Lab;
 use sdbp_predictors::PredictorKind;
 use sdbp_profiles::SelectionScheme;
 use sdbp_workloads::Benchmark;
 
 fn main() {
-    let mut lab = Lab::new();
-
-    println!("Headline 1: ghist 4KB on m88ksim (paper: up to +75% MISPs/KI with static prediction)");
-    let base = run_verbose(
-        &mut lab,
-        &spec(
-            Benchmark::M88ksim,
-            PredictorKind::Ghist,
-            4 * 1024,
-            SelectionScheme::None,
-        ),
-    );
-    let mut best = f64::NEG_INFINITY;
-    for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
-        let report = run_verbose(
-            &mut lab,
-            &spec(Benchmark::M88ksim, PredictorKind::Ghist, 4 * 1024, scheme),
-        );
-        best = best.max(report.improvement_over(&base));
+    let lab = Lab::new();
+    let schemes = [
+        SelectionScheme::None,
+        SelectionScheme::static_95(),
+        SelectionScheme::static_acc(),
+    ];
+    let mut specs = Vec::new();
+    for (benchmark, kind, size) in [
+        (Benchmark::M88ksim, PredictorKind::Ghist, 4 * 1024),
+        (Benchmark::Gcc, PredictorKind::TwoBcGskew, 2 * 1024),
+    ] {
+        for scheme in schemes {
+            specs.push(spec(benchmark, kind, size, scheme));
+        }
     }
-    println!("  measured: best improvement {:+.1}%\n", best * 100.0);
+    let reports = run_grid(&lab, specs);
 
-    println!("Headline 2: 2bcgskew 2KB on gcc (paper: up to +14% MISPs/KI with static prediction)");
-    let base = run_verbose(
-        &mut lab,
-        &spec(
-            Benchmark::Gcc,
-            PredictorKind::TwoBcGskew,
-            2 * 1024,
-            SelectionScheme::None,
+    for (i, (label, claim)) in [
+        (
+            "ghist 4KB on m88ksim",
+            "paper: up to +75% MISPs/KI with static prediction",
         ),
-    );
-    let mut best = f64::NEG_INFINITY;
-    for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
-        let report = run_verbose(
-            &mut lab,
-            &spec(Benchmark::Gcc, PredictorKind::TwoBcGskew, 2 * 1024, scheme),
-        );
-        best = best.max(report.improvement_over(&base));
+        (
+            "2bcgskew 2KB on gcc",
+            "paper: up to +14% MISPs/KI with static prediction",
+        ),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let base = &reports[i * 3];
+        let best = reports[i * 3 + 1..i * 3 + 3]
+            .iter()
+            .map(|r| r.improvement_over(base))
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!("Headline {}: {label} ({claim})", i + 1);
+        println!("  measured: best improvement {:+.1}%", best * 100.0);
     }
-    println!("  measured: best improvement {:+.1}%", best * 100.0);
 }

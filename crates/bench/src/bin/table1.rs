@@ -1,5 +1,6 @@
 //! Table 1 — characteristics of the test programs. See
 //! [`sdbp_bench::experiments::table1`].
 fn main() {
-    println!("{}", sdbp_bench::experiments::table1());
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table1(&lab));
 }

@@ -2,6 +2,6 @@
 //! accuracy of the five dynamic predictors. See
 //! [`sdbp_bench::experiments::table2`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::table2(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table2(&lab));
 }

@@ -1,6 +1,6 @@
 //! Table 3 — 2bcgskew improvements for go & gcc across sizes. See
 //! [`sdbp_bench::experiments::table3`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::table3(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table3(&lab));
 }

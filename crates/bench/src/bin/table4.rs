@@ -1,6 +1,6 @@
 //! Table 4 — history shifting for statically predicted branches. See
 //! [`sdbp_bench::experiments::table4`].
 fn main() {
-    let mut lab = sdbp_core::Lab::new();
-    println!("{}", sdbp_bench::experiments::table4(&mut lab));
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table4(&lab));
 }

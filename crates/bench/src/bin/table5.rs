@@ -1,5 +1,6 @@
 //! Table 5 — branch behavior: training vs reference input. See
 //! [`sdbp_bench::experiments::table5`].
 fn main() {
-    println!("{}", sdbp_bench::experiments::table5());
+    let lab = sdbp_core::Lab::new();
+    println!("{}", sdbp_bench::experiments::table5(&lab));
 }

@@ -4,17 +4,28 @@
 //! the rendered report; the binaries under `src/bin/` are thin wrappers, and
 //! `all_experiments` runs the full set in one process (sharing one [`Lab`]
 //! so profiles are computed once).
+//!
+//! Every grid-shaped experiment builds its full spec list up front and runs
+//! it through [`crate::run_grid`] — the parallel [`sdbp_core::Sweep`] engine
+//! backed by the lab's [`sdbp_core::ArtifactCache`] — so cells execute
+//! across worker threads while bias/accuracy profiles and generated event
+//! streams are computed once and shared. Results come back in spec order and
+//! are bit-identical to a serial run, so the rendered tables are unchanged.
 
-use crate::{improvement_pct, measure_budget, run_verbose, spec, COMPARISON_SIZE, SEED, SIZE_SWEEP};
-use sdbp_core::{Lab, ProfileSource, ShiftPolicy};
+use crate::{improvement_pct, measure_budget, run_grid, spec, COMPARISON_SIZE, SEED, SIZE_SWEEP};
+use sdbp_core::{ExperimentSpec, Lab, ProfileSource, ShiftPolicy};
 use sdbp_predictors::PredictorKind;
 use sdbp_profiles::SelectionScheme;
-use sdbp_trace::{BranchSource, TraceStats};
+use sdbp_trace::{SliceSource, TraceStats};
 use sdbp_util::table::{fixed, grouped, pct, TableWriter};
 use sdbp_workloads::{Benchmark, InputSet, Workload};
 
 /// Table 1 — program characteristics.
-pub fn table1() -> String {
+///
+/// Not a predictor grid, so it runs serially, but its train/ref event
+/// streams go through the lab's artifact cache — Table 5 measures the
+/// identical streams and reuses them for free.
+pub fn table1(lab: &Lab) -> String {
     let mut table = TableWriter::with_columns(&[
         "Program",
         "#Instr (static)",
@@ -37,8 +48,8 @@ pub fn table1() -> String {
         for input in [InputSet::Train, InputSet::Ref] {
             let budget =
                 (workload.spec().default_instructions(input) as f64 * crate::scale()) as u64;
-            let source = workload.generator(input, SEED).take_instructions(budget);
-            let stats = TraceStats::from_source(source);
+            let events = lab.cache().events(benchmark, input, SEED, budget);
+            let stats = TraceStats::from_source(SliceSource::new(&events));
             row.push(grouped(stats.total_instructions()));
             row.push(fixed(stats.cbrs_per_ki(), 0));
         }
@@ -51,7 +62,25 @@ pub fn table1() -> String {
 }
 
 /// Table 2 — biased-branch percentages and per-predictor accuracy.
-pub fn table2(lab: &mut Lab) -> String {
+pub fn table2(lab: &Lab) -> String {
+    // Order programs by biased fraction like the paper (go first).
+    let benchmarks = [
+        Benchmark::Go,
+        Benchmark::Compress,
+        Benchmark::Ijpeg,
+        Benchmark::Gcc,
+        Benchmark::Perl,
+        Benchmark::M88ksim,
+    ];
+    let mut specs = Vec::new();
+    for benchmark in benchmarks {
+        for kind in PredictorKind::PAPER {
+            specs.push(spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None));
+        }
+    }
+    eprintln!("table2: sweeping {} predictor cells ...", specs.len());
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "%Biased(>95%)",
@@ -62,29 +91,18 @@ pub fn table2(lab: &mut Lab) -> String {
         "2bcgskew",
     ]);
     table.numeric();
-    // Order programs by biased fraction like the paper (go first).
-    for benchmark in [
-        Benchmark::Go,
-        Benchmark::Compress,
-        Benchmark::Ijpeg,
-        Benchmark::Gcc,
-        Benchmark::Perl,
-        Benchmark::M88ksim,
-    ] {
-        eprintln!("table2: profiling {benchmark} ...");
-        let source = Workload::spec95(benchmark)
-            .generator(InputSet::Ref, SEED)
-            .take_instructions(measure_budget());
-        let stats = TraceStats::from_source(source);
+    for benchmark in benchmarks {
+        // The measurement stream is already in the cache from the sweep above.
+        let events = lab
+            .cache()
+            .events(benchmark, InputSet::Ref, SEED, measure_budget());
+        let stats = TraceStats::from_source(SliceSource::new(&events));
         let mut row = vec![
             benchmark.name().to_string(),
             pct(stats.dynamic_fraction_biased(0.95)),
         ];
-        for kind in PredictorKind::PAPER {
-            let report = run_verbose(
-                lab,
-                &spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None),
-            );
+        for _ in PredictorKind::PAPER {
+            let report = reports.next().expect("one report per spec");
             row.push(pct(report.stats.accuracy()));
         }
         table.row(row);
@@ -97,7 +115,18 @@ pub fn table2(lab: &mut Lab) -> String {
 }
 
 /// Figures 1–6 — gshare size sweep with and without `Static_Acc`.
-pub fn fig1_6(lab: &mut Lab) -> String {
+pub fn fig1_6(lab: &Lab) -> String {
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for size in SIZE_SWEEP {
+            for scheme in [SelectionScheme::None, SelectionScheme::static_acc()] {
+                specs.push(spec(benchmark, PredictorKind::Gshare, size, scheme));
+            }
+        }
+    }
+    eprintln!("fig1_6: sweeping {} cells across 6 figures ...", specs.len());
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut out = String::new();
     for (i, benchmark) in Benchmark::ALL.iter().enumerate() {
         let mut table = TableWriter::with_columns(&[
@@ -109,21 +138,9 @@ pub fn fig1_6(lab: &mut Lab) -> String {
             "Collisions (+static)",
         ]);
         table.numeric();
-        eprintln!("fig1_6: figure {} ({benchmark}) ...", i + 1);
         for size in SIZE_SWEEP {
-            let base = run_verbose(
-                lab,
-                &spec(*benchmark, PredictorKind::Gshare, size, SelectionScheme::None),
-            );
-            let with = run_verbose(
-                lab,
-                &spec(
-                    *benchmark,
-                    PredictorKind::Gshare,
-                    size,
-                    SelectionScheme::static_acc(),
-                ),
-            );
+            let base = reports.next().expect("one report per spec");
+            let with = reports.next().expect("one report per spec");
             table.row(vec![
                 format!("{}KB", size / 1024),
                 fixed(base.stats.misp_per_ki(), 3),
@@ -144,12 +161,26 @@ pub fn fig1_6(lab: &mut Lab) -> String {
 }
 
 /// Figures 7–12 — five predictors × three static schemes.
-pub fn fig7_12(lab: &mut Lab) -> String {
+pub fn fig7_12(lab: &Lab) -> String {
     let schemes = [
         SelectionScheme::None,
         SelectionScheme::static_95(),
         SelectionScheme::static_acc(),
     ];
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for kind in PredictorKind::PAPER {
+            for scheme in schemes {
+                specs.push(spec(benchmark, kind, COMPARISON_SIZE, scheme));
+            }
+        }
+    }
+    eprintln!(
+        "fig7_12: sweeping {} cells across 6 figures ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut out = String::new();
     for (i, benchmark) in Benchmark::ALL.iter().enumerate() {
         let mut table = TableWriter::with_columns(&[
@@ -161,19 +192,18 @@ pub fn fig7_12(lab: &mut Lab) -> String {
             "Δacc",
         ]);
         table.numeric();
-        eprintln!("fig7_12: figure {} ({benchmark}) ...", i + 7);
         for kind in PredictorKind::PAPER {
-            let reports: Vec<_> = schemes
+            let cells: Vec<_> = schemes
                 .iter()
-                .map(|scheme| run_verbose(lab, &spec(*benchmark, kind, COMPARISON_SIZE, *scheme)))
+                .map(|_| reports.next().expect("one report per spec"))
                 .collect();
             table.row(vec![
                 kind.name().to_string(),
-                fixed(reports[0].stats.misp_per_ki(), 3),
-                fixed(reports[1].stats.misp_per_ki(), 3),
-                fixed(reports[2].stats.misp_per_ki(), 3),
-                format!("{:+.1}%", reports[1].improvement_over(&reports[0]) * 100.0),
-                format!("{:+.1}%", reports[2].improvement_over(&reports[0]) * 100.0),
+                fixed(cells[0].stats.misp_per_ki(), 3),
+                fixed(cells[1].stats.misp_per_ki(), 3),
+                fixed(cells[2].stats.misp_per_ki(), 3),
+                format!("{:+.1}%", cells[1].improvement_over(&cells[0]) * 100.0),
+                format!("{:+.1}%", cells[2].improvement_over(&cells[0]) * 100.0),
             ]);
         }
         out.push_str(&format!(
@@ -188,7 +218,23 @@ pub fn fig7_12(lab: &mut Lab) -> String {
 }
 
 /// Table 3 — 2bcgskew improvements for go & gcc across sizes.
-pub fn table3(lab: &mut Lab) -> String {
+pub fn table3(lab: &Lab) -> String {
+    let sizes = [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024];
+    let mut specs = Vec::new();
+    for size in sizes {
+        for benchmark in [Benchmark::Go, Benchmark::Gcc] {
+            for scheme in [
+                SelectionScheme::None,
+                SelectionScheme::static_95(),
+                SelectionScheme::static_acc(),
+            ] {
+                specs.push(spec(benchmark, PredictorKind::TwoBcGskew, size, scheme));
+            }
+        }
+    }
+    eprintln!("table3: sweeping {} 2bcgskew cells ...", specs.len());
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "2bcgskew Size",
         "Go: Static_95",
@@ -197,22 +243,12 @@ pub fn table3(lab: &mut Lab) -> String {
         "Gcc: Static_Acc",
     ]);
     table.numeric();
-    for size in [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024] {
-        eprintln!("table3: 2bcgskew {}KB ...", size / 1024);
+    for size in sizes {
         let mut row = vec![format!("{} KB", size / 1024)];
-        for benchmark in [Benchmark::Go, Benchmark::Gcc] {
-            let base = run_verbose(
-                lab,
-                &spec(
-                    benchmark,
-                    PredictorKind::TwoBcGskew,
-                    size,
-                    SelectionScheme::None,
-                ),
-            );
-            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
-                let report =
-                    run_verbose(lab, &spec(benchmark, PredictorKind::TwoBcGskew, size, scheme));
+        for _benchmark in [Benchmark::Go, Benchmark::Gcc] {
+            let base = reports.next().expect("one report per spec");
+            for _ in 0..2 {
+                let report = reports.next().expect("one report per spec");
                 row.push(improvement_pct(&report, &base));
             }
         }
@@ -225,7 +261,30 @@ pub fn table3(lab: &mut Lab) -> String {
 }
 
 /// Table 4 — effect of shifting history for statically predicted branches.
-pub fn table4(lab: &mut Lab) -> String {
+pub fn table4(lab: &Lab) -> String {
+    let sizes = [32 * 1024, 64 * 1024];
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for size in sizes {
+            specs.push(spec(
+                benchmark,
+                PredictorKind::TwoBcGskew,
+                size,
+                SelectionScheme::None,
+            ));
+            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
+                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
+                    specs.push(
+                        spec(benchmark, PredictorKind::TwoBcGskew, size, scheme)
+                            .with_shift(shift),
+                    );
+                }
+            }
+        }
+    }
+    eprintln!("table4: sweeping {} shift-policy cells ...", specs.len());
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "Size",
@@ -236,27 +295,12 @@ pub fn table4(lab: &mut Lab) -> String {
     ]);
     table.numeric();
     for benchmark in Benchmark::ALL {
-        for size in [32 * 1024, 64 * 1024] {
-            eprintln!("table4: {benchmark} {}KB ...", size / 1024);
-            let base = run_verbose(
-                lab,
-                &spec(
-                    benchmark,
-                    PredictorKind::TwoBcGskew,
-                    size,
-                    SelectionScheme::None,
-                ),
-            );
+        for size in sizes {
+            let base = reports.next().expect("one report per spec");
             let mut row = vec![benchmark.name().to_string(), format!("{}", size)];
-            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
-                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
-                    let report = run_verbose(
-                        lab,
-                        &spec(benchmark, PredictorKind::TwoBcGskew, size, scheme)
-                            .with_shift(shift),
-                    );
-                    row.push(improvement_pct(&report, &base));
-                }
+            for _ in 0..4 {
+                let report = reports.next().expect("one report per spec");
+                row.push(improvement_pct(&report, &base));
             }
             table.row(row);
         }
@@ -268,7 +312,10 @@ pub fn table4(lab: &mut Lab) -> String {
 }
 
 /// Table 5 — train-vs-ref branch behavior.
-pub fn table5() -> String {
+///
+/// Serial like Table 1, but it measures the same cached train/ref event
+/// streams, so after Table 1 every stream here is a cache hit.
+pub fn table5(lab: &Lab) -> String {
     let mut table = TableWriter::with_columns(&[
         "Program",
         "Coverage (static)",
@@ -286,16 +333,14 @@ pub fn table5() -> String {
             * crate::scale()) as u64;
         let ref_budget =
             (workload.spec().default_instructions(InputSet::Ref) as f64 * crate::scale()) as u64;
-        let train = TraceStats::from_source(
-            workload
-                .generator(InputSet::Train, SEED)
-                .take_instructions(train_budget),
-        );
-        let reference = TraceStats::from_source(
-            workload
-                .generator(InputSet::Ref, SEED)
-                .take_instructions(ref_budget),
-        );
+        let train_events = lab
+            .cache()
+            .events(benchmark, InputSet::Train, SEED, train_budget);
+        let ref_events = lab
+            .cache()
+            .events(benchmark, InputSet::Ref, SEED, ref_budget);
+        let train = TraceStats::from_source(SliceSource::new(&train_events));
+        let reference = TraceStats::from_source(SliceSource::new(&ref_events));
         let cmp = reference.compare(&train);
         let frac = |n: u64| {
             if cmp.common_static == 0 {
@@ -321,8 +366,30 @@ pub fn table5() -> String {
 }
 
 /// Figure 13 — cross-training regimes on gshare 16 KB + `Static_95`.
-pub fn fig13(lab: &mut Lab) -> String {
+pub fn fig13(lab: &Lab) -> String {
     let size = 16 * 1024;
+    let variants = |base: ExperimentSpec| {
+        [
+            base.clone().with_scheme(SelectionScheme::None),
+            base.clone().with_profile(ProfileSource::SelfTrained),
+            base.clone().with_profile(ProfileSource::CrossTrained),
+            base.with_profile(ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            }),
+        ]
+    };
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        specs.extend(variants(spec(
+            benchmark,
+            PredictorKind::Gshare,
+            size,
+            SelectionScheme::static_95(),
+        )));
+    }
+    eprintln!("fig13: sweeping {} cross-training cells ...", specs.len());
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "No static",
@@ -332,31 +399,12 @@ pub fn fig13(lab: &mut Lab) -> String {
     ]);
     table.numeric();
     for benchmark in Benchmark::ALL {
-        eprintln!("fig13: {benchmark} ...");
-        let base = spec(
-            benchmark,
-            PredictorKind::Gshare,
-            size,
-            SelectionScheme::static_95(),
-        );
-        let none = run_verbose(lab, &base.clone().with_scheme(SelectionScheme::None));
-        let selfed = run_verbose(lab, &base.clone().with_profile(ProfileSource::SelfTrained));
-        let naive = run_verbose(lab, &base.clone().with_profile(ProfileSource::CrossTrained));
-        let merged = run_verbose(
-            lab,
-            &base
-                .clone()
-                .with_profile(ProfileSource::MergedCrossTrained {
-                    max_bias_change: 0.05,
-                }),
-        );
-        table.row(vec![
-            benchmark.name().to_string(),
-            fixed(none.stats.misp_per_ki(), 3),
-            fixed(selfed.stats.misp_per_ki(), 3),
-            fixed(naive.stats.misp_per_ki(), 3),
-            fixed(merged.stats.misp_per_ki(), 3),
-        ]);
+        let mut row = vec![benchmark.name().to_string()];
+        for _ in 0..4 {
+            let report = reports.next().expect("one report per spec");
+            row.push(fixed(report.stats.misp_per_ki(), 3));
+        }
+        table.row(row);
     }
     format!(
         "Figure 13. Effect of cross-training on profile-based static prediction:\nGSHARE (16 KB) + static prediction (bias > 95%), MISPs/KI\n\n{}",
@@ -367,7 +415,27 @@ pub fn fig13(lab: &mut Lab) -> String {
 /// Ablation E — the classic McFarling family comparison (bimodal, gselect,
 /// gshare, tournament) across sizes on gcc: the combining-predictor story
 /// that 2bcgskew later superseded, as context for Table 2's orderings.
-pub fn ablate_mcfarling(lab: &mut Lab) -> String {
+pub fn ablate_mcfarling(lab: &Lab) -> String {
+    let kinds = [
+        PredictorKind::Bimodal,
+        PredictorKind::Gselect,
+        PredictorKind::Gshare,
+        PredictorKind::Tournament,
+        PredictorKind::TwoBcGskew,
+    ];
+    let sizes = [2 * 1024usize, 8 * 1024, 32 * 1024];
+    let mut specs = Vec::new();
+    for size in sizes {
+        for kind in kinds {
+            specs.push(spec(Benchmark::Gcc, kind, size, SelectionScheme::None));
+        }
+    }
+    eprintln!(
+        "ablate_mcfarling: sweeping {} predictor-family cells ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Size",
         "bimodal",
@@ -377,18 +445,10 @@ pub fn ablate_mcfarling(lab: &mut Lab) -> String {
         "2bcgskew",
     ]);
     table.numeric();
-    let kinds = [
-        PredictorKind::Bimodal,
-        PredictorKind::Gselect,
-        PredictorKind::Gshare,
-        PredictorKind::Tournament,
-        PredictorKind::TwoBcGskew,
-    ];
-    for size in [2 * 1024usize, 8 * 1024, 32 * 1024] {
-        eprintln!("ablate_mcfarling: {}KB ...", size / 1024);
+    for size in sizes {
         let mut row = vec![format!("{}KB", size / 1024)];
-        for kind in kinds {
-            let report = run_verbose(lab, &spec(Benchmark::Gcc, kind, size, SelectionScheme::None));
+        for _ in kinds {
+            let report = reports.next().expect("one report per spec");
             row.push(fixed(report.stats.misp_per_ki(), 3));
         }
         table.row(row);
@@ -402,7 +462,26 @@ pub fn ablate_mcfarling(lab: &mut Lab) -> String {
 /// Ablation D — the paper's §1 claim that static prediction "can achieve
 /// the effect of doubling predictor size" for the simple predictors:
 /// compare `size + static_acc` against `2×size` dynamic-only.
-pub fn ablate_doubling(lab: &mut Lab) -> String {
+pub fn ablate_doubling(lab: &Lab) -> String {
+    let benchmarks = [Benchmark::Gcc, Benchmark::M88ksim, Benchmark::Go];
+    let kinds = [PredictorKind::Ghist, PredictorKind::Gshare];
+    let sizes = [2 * 1024usize, 8 * 1024];
+    let mut specs = Vec::new();
+    for benchmark in benchmarks {
+        for kind in kinds {
+            for size in sizes {
+                specs.push(spec(benchmark, kind, size, SelectionScheme::None));
+                specs.push(spec(benchmark, kind, size * 2, SelectionScheme::None));
+                specs.push(spec(benchmark, kind, size, SelectionScheme::static_acc()));
+            }
+        }
+    }
+    eprintln!(
+        "ablate_doubling: sweeping {} size-doubling cells ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "Predictor",
@@ -412,17 +491,12 @@ pub fn ablate_doubling(lab: &mut Lab) -> String {
         "size + static_acc",
     ]);
     table.numeric();
-    for benchmark in [Benchmark::Gcc, Benchmark::M88ksim, Benchmark::Go] {
-        for kind in [PredictorKind::Ghist, PredictorKind::Gshare] {
-            for size in [2 * 1024usize, 8 * 1024] {
-                eprintln!("ablate_doubling: {benchmark} {kind} {}KB ...", size / 1024);
-                let base = run_verbose(lab, &spec(benchmark, kind, size, SelectionScheme::None));
-                let doubled =
-                    run_verbose(lab, &spec(benchmark, kind, size * 2, SelectionScheme::None));
-                let with_static = run_verbose(
-                    lab,
-                    &spec(benchmark, kind, size, SelectionScheme::static_acc()),
-                );
+    for benchmark in benchmarks {
+        for kind in kinds {
+            for size in sizes {
+                let base = reports.next().expect("one report per spec");
+                let doubled = reports.next().expect("one report per spec");
+                let with_static = reports.next().expect("one report per spec");
                 table.row(vec![
                     benchmark.name().to_string(),
                     kind.name().to_string(),
@@ -441,7 +515,31 @@ pub fn ablate_doubling(lab: &mut Lab) -> String {
 }
 
 /// Ablation A — shift-vs-no-shift across every history-using predictor.
-pub fn ablate_shift(lab: &mut Lab) -> String {
+pub fn ablate_shift(lab: &Lab) -> String {
+    let benchmarks = [Benchmark::Go, Benchmark::Gcc, Benchmark::M88ksim];
+    let kinds = [
+        PredictorKind::Ghist,
+        PredictorKind::Gshare,
+        PredictorKind::BiMode,
+        PredictorKind::TwoBcGskew,
+    ];
+    let mut specs = Vec::new();
+    for benchmark in benchmarks {
+        for kind in kinds {
+            specs.push(spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None));
+            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
+                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
+                    specs.push(spec(benchmark, kind, COMPARISON_SIZE, scheme).with_shift(shift));
+                }
+            }
+        }
+    }
+    eprintln!(
+        "ablate_shift: sweeping {} shift-policy cells ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "Predictor",
@@ -451,27 +549,13 @@ pub fn ablate_shift(lab: &mut Lab) -> String {
         "Static_Acc Shift",
     ]);
     table.numeric();
-    for benchmark in [Benchmark::Go, Benchmark::Gcc, Benchmark::M88ksim] {
-        for kind in [
-            PredictorKind::Ghist,
-            PredictorKind::Gshare,
-            PredictorKind::BiMode,
-            PredictorKind::TwoBcGskew,
-        ] {
-            eprintln!("ablate_shift: {benchmark} {kind} ...");
-            let base = run_verbose(
-                lab,
-                &spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None),
-            );
+    for benchmark in benchmarks {
+        for kind in kinds {
+            let base = reports.next().expect("one report per spec");
             let mut row = vec![benchmark.name().to_string(), kind.name().to_string()];
-            for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
-                for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
-                    let report = run_verbose(
-                        lab,
-                        &spec(benchmark, kind, COMPARISON_SIZE, scheme).with_shift(shift),
-                    );
-                    row.push(improvement_pct(&report, &base));
-                }
+            for _ in 0..4 {
+                let report = reports.next().expect("one report per spec");
+                row.push(improvement_pct(&report, &base));
             }
             table.row(row);
         }
@@ -484,7 +568,40 @@ pub fn ablate_shift(lab: &mut Lab) -> String {
 }
 
 /// Ablation B — `Static_95` bias-cutoff sweep.
-pub fn ablate_cutoff(lab: &mut Lab) -> String {
+pub fn ablate_cutoff(lab: &Lab) -> String {
+    let benchmarks = [Benchmark::Gcc, Benchmark::M88ksim];
+    let cutoffs = [0.80, 0.90, 0.95, 0.99, 0.999];
+    let mut specs: Vec<_> = benchmarks
+        .iter()
+        .map(|b| {
+            spec(
+                *b,
+                PredictorKind::Gshare,
+                COMPARISON_SIZE,
+                SelectionScheme::None,
+            )
+        })
+        .collect();
+    for cutoff in cutoffs {
+        for benchmark in benchmarks {
+            specs.push(spec(
+                benchmark,
+                PredictorKind::Gshare,
+                COMPARISON_SIZE,
+                SelectionScheme::Bias { cutoff },
+            ));
+        }
+    }
+    eprintln!(
+        "ablate_cutoff: sweeping {} bias-cutoff cells ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+    let bases: Vec<_> = benchmarks
+        .iter()
+        .map(|_| reports.next().expect("one report per spec"))
+        .collect();
+
     let mut table = TableWriter::with_columns(&[
         "Cutoff",
         "gcc: hints",
@@ -495,28 +612,10 @@ pub fn ablate_cutoff(lab: &mut Lab) -> String {
         "m88ksim: Δ",
     ]);
     table.numeric();
-    let bases: Vec<_> = [Benchmark::Gcc, Benchmark::M88ksim]
-        .iter()
-        .map(|b| {
-            run_verbose(
-                lab,
-                &spec(*b, PredictorKind::Gshare, COMPARISON_SIZE, SelectionScheme::None),
-            )
-        })
-        .collect();
-    for cutoff in [0.80, 0.90, 0.95, 0.99, 0.999] {
-        eprintln!("ablate_cutoff: bias > {cutoff} ...");
+    for cutoff in cutoffs {
         let mut row = vec![format!("{:.1}%", cutoff * 100.0)];
-        for (base, benchmark) in bases.iter().zip([Benchmark::Gcc, Benchmark::M88ksim]) {
-            let report = run_verbose(
-                lab,
-                &spec(
-                    benchmark,
-                    PredictorKind::Gshare,
-                    COMPARISON_SIZE,
-                    SelectionScheme::Bias { cutoff },
-                ),
-            );
+        for base in &bases {
+            let report = reports.next().expect("one report per spec");
             row.push(grouped(report.hints as u64));
             row.push(fixed(report.stats.misp_per_ki(), 3));
             row.push(improvement_pct(&report, base));
@@ -532,7 +631,7 @@ pub fn ablate_cutoff(lab: &mut Lab) -> String {
 
 /// Ablation C — all selection schemes side by side, including `Static_Fac`
 /// and the future-work collision-aware scheme.
-pub fn ablate_selection(lab: &mut Lab) -> String {
+pub fn ablate_selection(lab: &Lab) -> String {
     let schemes = [
         SelectionScheme::None,
         SelectionScheme::static_95(),
@@ -540,6 +639,23 @@ pub fn ablate_selection(lab: &mut Lab) -> String {
         SelectionScheme::Factor { factor: 1.05 },
         SelectionScheme::collision_aware(),
     ];
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for scheme in schemes {
+            specs.push(spec(
+                benchmark,
+                PredictorKind::Gshare,
+                COMPARISON_SIZE,
+                scheme,
+            ));
+        }
+    }
+    eprintln!(
+        "ablate_selection: sweeping {} selection-scheme cells ...",
+        specs.len()
+    );
+    let mut reports = run_grid(lab, specs).into_iter();
+
     let mut table = TableWriter::with_columns(&[
         "Program",
         "none",
@@ -550,13 +666,9 @@ pub fn ablate_selection(lab: &mut Lab) -> String {
     ]);
     table.numeric();
     for benchmark in Benchmark::ALL {
-        eprintln!("ablate_selection: {benchmark} ...");
         let mut row = vec![benchmark.name().to_string()];
-        for scheme in schemes {
-            let report = run_verbose(
-                lab,
-                &spec(benchmark, PredictorKind::Gshare, COMPARISON_SIZE, scheme),
-            );
+        for _ in schemes {
+            let report = reports.next().expect("one report per spec");
             row.push(fixed(report.stats.misp_per_ki(), 3));
         }
         table.row(row);

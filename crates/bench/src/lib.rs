@@ -18,7 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sdbp_core::{ExperimentSpec, Lab, Report};
+use sdbp_core::{ExperimentSpec, Lab, Report, Sweep};
 use sdbp_predictors::{PredictorConfig, PredictorKind};
 use sdbp_profiles::SelectionScheme;
 use sdbp_workloads::Benchmark;
@@ -82,10 +82,29 @@ pub fn spec(
 }
 
 /// Runs a spec in a lab and prints its one-line summary as progress.
-pub fn run_verbose(lab: &mut Lab, s: &ExperimentSpec) -> Report {
+pub fn run_verbose(lab: &Lab, s: &ExperimentSpec) -> Report {
     let report = lab.run(s).expect("harness specs are well-formed");
     eprintln!("  {report}");
     report
+}
+
+/// Runs a grid of specs through the parallel [`Sweep`] engine, sharing the
+/// lab's artifact cache so profiles and traces computed by earlier grids are
+/// reused. Prints one progress line per cell and a summary line — worker
+/// threads, wall time, speedup, and cache hit/miss counters — to stderr.
+/// Reports come back in spec order, bit-identical to a serial run.
+///
+/// Thread count follows the engine's resolution: the `SDBP_THREADS`
+/// environment variable if set, otherwise all available cores.
+pub fn run_grid(lab: &Lab, specs: Vec<ExperimentSpec>) -> Vec<Report> {
+    let result = Sweep::new(specs)
+        .with_cache(lab.cache())
+        .with_verbose(true)
+        .run();
+    eprintln!("  sweep: {}", result.summary());
+    result
+        .into_reports()
+        .expect("harness specs are well-formed")
 }
 
 /// Formats a signed percentage improvement Table 3/4-style.

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use sdbp_core::{
     BranchAnalysis, CombinedPredictor, ExperimentSpec, Lab, ProfileSource, ShiftPolicy, Simulator,
+    Sweep,
 };
 use sdbp_predictors::{PredictorConfig, PredictorKind};
 use sdbp_profiles::{BiasProfile, HintDatabase, SelectionScheme};
@@ -251,7 +252,14 @@ pub fn sim(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `sdbp sweep` — size sweep of one predictor/scheme on one benchmark.
+/// Reads the `--threads` override (0 or absent = automatic resolution:
+/// `SDBP_THREADS` env, then all available cores).
+fn threads_of(args: &Args) -> Result<usize, String> {
+    args.get_parsed_or("threads", 0usize)
+}
+
+/// `sdbp sweep` — size sweep of one predictor/scheme on one benchmark,
+/// run in parallel through the sweep engine.
 pub fn sweep(args: &Args) -> CmdResult {
     let kind: PredictorKind = args
         .get_or("predictor", "gshare")
@@ -259,19 +267,26 @@ pub fn sweep(args: &Args) -> CmdResult {
         .map_err(|e| format!("{e}"))?;
     let scheme = scheme_of(args)?;
     let opts = run_options(args)?;
-    let mut lab = Lab::new();
-    let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
-    t.numeric();
-    for size_kb in [1usize, 2, 4, 8, 16, 32, 64] {
-        let config =
-            PredictorConfig::new(kind, size_kb * 1024).map_err(|e| e.to_string())?;
+    let threads = threads_of(args)?;
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut specs = Vec::new();
+    for size_kb in sizes {
+        let config = PredictorConfig::new(kind, size_kb * 1024).map_err(|e| e.to_string())?;
         let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
             .with_seed(opts.seed)
             .with_measure_input(opts.input);
         spec.measure_instructions = Some(opts.instructions);
         spec.profile_instructions = Some(opts.instructions);
-        let report = lab.run(&spec).map_err(|e| e.to_string())?;
-        eprintln!("  {report}");
+        specs.push(spec);
+    }
+    let result = Sweep::new(specs)
+        .with_threads(threads)
+        .with_verbose(true)
+        .run();
+    let summary = result.summary();
+    let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
+    t.numeric();
+    for (size_kb, report) in sizes.iter().zip(result.into_reports().map_err(|e| e.to_string())?) {
         t.row(vec![
             format!("{size_kb}KB"),
             fixed(report.stats.misp_per_ki(), 3),
@@ -280,10 +295,78 @@ pub fn sweep(args: &Args) -> CmdResult {
             grouped(report.hints as u64),
         ]);
     }
+    eprintln!("  {summary}");
     println!(
         "{kind} on {} ({}, {scheme}):\n\n{}",
         opts.benchmark,
         opts.input,
+        t.render()
+    );
+    Ok(())
+}
+
+/// `sdbp grid` — the Figure 7–12 experiment for one benchmark: every paper
+/// predictor at `--size` under the three static schemes, run in parallel
+/// with shared profile/trace artifacts.
+pub fn grid(args: &Args) -> CmdResult {
+    let opts = run_options(args)?;
+    let size = args.get_parsed_or("size", 8192usize)?;
+    let threads = threads_of(args)?;
+    let schemes = [
+        SelectionScheme::None,
+        SelectionScheme::static_95(),
+        SelectionScheme::static_acc(),
+    ];
+    let mut specs = Vec::new();
+    for kind in PredictorKind::PAPER {
+        let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
+        for scheme in schemes {
+            let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
+                .with_seed(opts.seed)
+                .with_measure_input(opts.input);
+            spec.measure_instructions = Some(opts.instructions);
+            spec.profile_instructions = Some(opts.instructions);
+            specs.push(spec);
+        }
+    }
+    let result = Sweep::new(specs)
+        .with_threads(threads)
+        .with_verbose(true)
+        .run();
+    let summary = result.summary();
+    let mut reports = result
+        .into_reports()
+        .map_err(|e| e.to_string())?
+        .into_iter();
+    let mut t = TableWriter::with_columns(&[
+        "predictor",
+        "none",
+        "static_95",
+        "static_acc",
+        "Δ95",
+        "Δacc",
+    ]);
+    t.numeric();
+    for kind in PredictorKind::PAPER {
+        let cells: Vec<_> = schemes
+            .iter()
+            .map(|_| reports.next().expect("one report per spec"))
+            .collect();
+        t.row(vec![
+            kind.name().to_string(),
+            fixed(cells[0].stats.misp_per_ki(), 3),
+            fixed(cells[1].stats.misp_per_ki(), 3),
+            fixed(cells[2].stats.misp_per_ki(), 3),
+            format!("{:+.1}%", cells[1].improvement_over(&cells[0]) * 100.0),
+            format!("{:+.1}%", cells[2].improvement_over(&cells[0]) * 100.0),
+        ]);
+    }
+    eprintln!("  {summary}");
+    println!(
+        "MISPs/KI on {} ({}, {} bytes):\n\n{}",
+        opts.benchmark,
+        opts.input,
+        size,
         t.render()
     );
     Ok(())

@@ -32,6 +32,7 @@ fn main() {
         "select" => commands::select(&args),
         "sim" => commands::sim(&args),
         "sweep" => commands::sweep(&args),
+        "grid" => commands::grid(&args),
         "hotspots" => commands::hotspots(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
@@ -57,7 +58,9 @@ commands:
   profile  --out p.prof        collect a per-branch bias profile
   select   --out h.hints       select static hints (--scheme, --profile)
   sim                          two-phase experiment (--trace for file mode)
-  sweep                        predictor size sweep (1KB..64KB)
+  sweep                        parallel predictor size sweep (1KB..64KB)
+  grid                         parallel Figure 7-style grid: paper predictors x
+                               static schemes at --size on one benchmark
   hotspots                     top misprediction contributors (--top N)
 
 common options:
@@ -71,10 +74,23 @@ common options:
   --training self|cross|merged                     (default self)
   --shift                                          shift static outcomes into ghist
   --hints h.hints                                  hint database (trace mode)
+  --threads N                                      sweep/grid worker threads
+                                                   (default: SDBP_THREADS env,
+                                                   then all cores)
+
+parallelism:
+  sweep and grid run their cells across worker threads sharing one artifact
+  cache, so each benchmark's bias/accuracy profiles and branch streams are
+  computed once and reused; results are bit-identical to a serial run. The
+  stderr summary line reports threads, wall time, speedup, and cache
+  hit/miss counters. SDBP_THREADS=N overrides the default thread count
+  process-wide (the --threads flag wins when both are given).
 
 examples:
   sdbp sim --benchmark gcc --predictor gshare --size 16384 --scheme static_acc
   sdbp sweep --benchmark m88ksim --predictor 2bcgskew --scheme static_95
+  # Figure 7 of the paper (go, 8 KB predictors) on 4 threads:
+  sdbp grid --benchmark go --size 8192 --threads 4
   sdbp gen --benchmark compress --out compress.sdbt --instructions 1000000
   sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
 ";

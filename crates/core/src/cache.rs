@@ -1,0 +1,491 @@
+//! The memoized artifact cache shared by serial labs and parallel sweeps.
+//!
+//! Every cell of a paper-style grid (predictor × size × scheme × benchmark)
+//! needs the same expensive artifacts: the generated branch event stream of
+//! a `(benchmark, input, seed, instruction budget)` run, the bias profile of
+//! that run, and — for accuracy-based selection schemes — the per-branch
+//! accuracy profile of a given predictor on it. [`ArtifactCache`] computes
+//! each artifact **once per key** and shares it via [`Arc`] across every
+//! experiment (and every worker thread) that asks, instead of once per
+//! experiment as the pre-sweep [`Lab`](crate::Lab) did.
+//!
+//! The cache is fully thread-safe: keys are claimed under a short-lived map
+//! lock, and the artifact itself is produced inside a per-key
+//! [`OnceLock`], so two threads racing on the *same* key block only each
+//! other while threads working on *different* keys proceed in parallel.
+//! Because generation is deterministic (seeded [`sdbp_util`] RNG all the
+//! way down), a cached artifact is bit-identical to a freshly computed one —
+//! which is what keeps parallel sweeps bit-identical to serial runs.
+//!
+//! Event streams dominate memory (tens of MB per default-budget run), so
+//! the trace store is bounded: completed traces are evicted
+//! least-recently-used once their summed instruction budgets exceed a cap
+//! (default 128 M instructions, override with `SDBP_TRACE_CACHE`; `0`
+//! disables trace caching entirely). Profiles are small and never evicted.
+
+use sdbp_predictors::PredictorConfig;
+use sdbp_profiles::{AccuracyProfile, BiasProfile};
+use sdbp_trace::{BranchEvent, BranchSource, SliceSource};
+use sdbp_workloads::{Benchmark, InputSet, Workload};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The memoization key: a fully determined generated run.
+///
+/// Two experiments share artifacts exactly when all four components match;
+/// in particular the same benchmark under a **different seed is a miss**
+/// (its event stream is a different random draw).
+pub type ArtifactKey = (Benchmark, InputSet, u64, u64);
+
+/// Default trace-store capacity in summed instruction budgets.
+pub const DEFAULT_TRACE_CACHE_INSTRUCTIONS: u64 = 128_000_000;
+
+/// Hit/miss counters of an [`ArtifactCache`], observable at any time.
+///
+/// A *miss* is a call that performed the computation; a *hit* found the
+/// artifact already present (or waited for another thread computing it).
+/// `trace_bypassed` counts event streams regenerated without caching
+/// because their budget exceeded the trace-store capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bias-profile lookups served from the cache.
+    pub bias_hits: u64,
+    /// Bias-profile lookups that computed the profile.
+    pub bias_misses: u64,
+    /// Accuracy-profile lookups served from the cache.
+    pub accuracy_hits: u64,
+    /// Accuracy-profile lookups that computed the profile.
+    pub accuracy_misses: u64,
+    /// Event-stream lookups served from the cache.
+    pub trace_hits: u64,
+    /// Event-stream lookups that generated (and cached) the stream.
+    pub trace_misses: u64,
+    /// Event-stream lookups too large for the store, regenerated uncached.
+    pub trace_bypassed: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.bias_hits + self.accuracy_hits + self.trace_hits
+    }
+
+    /// Total lookups that had to compute their artifact.
+    pub fn misses(&self) -> u64 {
+        self.bias_misses + self.accuracy_misses + self.trace_misses + self.trace_bypassed
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            bias_hits: self.bias_hits - earlier.bias_hits,
+            bias_misses: self.bias_misses - earlier.bias_misses,
+            accuracy_hits: self.accuracy_hits - earlier.accuracy_hits,
+            accuracy_misses: self.accuracy_misses - earlier.accuracy_misses,
+            trace_hits: self.trace_hits - earlier.trace_hits,
+            trace_misses: self.trace_misses - earlier.trace_misses,
+            trace_bypassed: self.trace_bypassed - earlier.trace_bypassed,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache {:.0}% hit (traces {}/{}, bias {}/{}, accuracy {}/{} hit/miss{})",
+            self.hit_rate() * 100.0,
+            self.trace_hits,
+            self.trace_misses,
+            self.bias_hits,
+            self.bias_misses,
+            self.accuracy_hits,
+            self.accuracy_misses,
+            if self.trace_bypassed > 0 {
+                format!(", {} bypassed", self.trace_bypassed)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+
+struct TraceEntry {
+    slot: Slot<Vec<BranchEvent>>,
+    instructions: u64,
+    last_use: u64,
+}
+
+struct TraceStore {
+    entries: HashMap<ArtifactKey, TraceEntry>,
+    capacity: u64,
+    tick: u64,
+}
+
+/// Thread-safe memoization of generated event streams and profiles.
+///
+/// See the [module docs](self) for the caching and eviction policy. Share
+/// one cache across many [`Lab`](crate::Lab)s / [`Sweep`](crate::Sweep)s by
+/// cloning the surrounding [`Arc`].
+pub struct ArtifactCache {
+    bias: Mutex<HashMap<ArtifactKey, Slot<BiasProfile>>>,
+    accuracy: Mutex<HashMap<(ArtifactKey, PredictorConfig), Slot<AccuracyProfile>>>,
+    traces: Mutex<TraceStore>,
+    bias_hits: AtomicU64,
+    bias_misses: AtomicU64,
+    accuracy_hits: AtomicU64,
+    accuracy_misses: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    trace_bypassed: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache with the default trace-store capacity, honouring the
+    /// `SDBP_TRACE_CACHE` environment override (instructions; `0` disables
+    /// trace caching).
+    pub fn new() -> Self {
+        let capacity = std::env::var("SDBP_TRACE_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_TRACE_CACHE_INSTRUCTIONS);
+        Self::with_trace_capacity(capacity)
+    }
+
+    /// An empty cache whose trace store holds at most `capacity` summed
+    /// instruction budgets (`0` disables trace caching).
+    pub fn with_trace_capacity(capacity: u64) -> Self {
+        Self {
+            bias: Mutex::new(HashMap::new()),
+            accuracy: Mutex::new(HashMap::new()),
+            traces: Mutex::new(TraceStore {
+                entries: HashMap::new(),
+                capacity,
+                tick: 0,
+            }),
+            bias_hits: AtomicU64::new(0),
+            bias_misses: AtomicU64::new(0),
+            accuracy_hits: AtomicU64::new(0),
+            accuracy_misses: AtomicU64::new(0),
+            trace_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+            trace_bypassed: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            bias_hits: self.bias_hits.load(Ordering::Relaxed),
+            bias_misses: self.bias_misses.load(Ordering::Relaxed),
+            accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
+            accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            trace_bypassed: self.trace_bypassed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct bias profiles held.
+    pub fn bias_profiles(&self) -> usize {
+        self.bias.lock().expect("cache lock").len()
+    }
+
+    /// Number of distinct accuracy profiles held.
+    pub fn accuracy_profiles(&self) -> usize {
+        self.accuracy.lock().expect("cache lock").len()
+    }
+
+    /// Number of event streams currently resident in the trace store.
+    pub fn cached_traces(&self) -> usize {
+        self.traces.lock().expect("cache lock").entries.len()
+    }
+
+    /// The (cached) branch event stream of a generated run.
+    ///
+    /// Streams whose budget exceeds the trace-store capacity are generated
+    /// fresh on every call and never cached (counted as `trace_bypassed`).
+    pub fn events(
+        &self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+    ) -> Arc<Vec<BranchEvent>> {
+        let key = (benchmark, input, seed, instructions);
+        let capacity = self.traces.lock().expect("cache lock").capacity;
+        if instructions > capacity {
+            self.trace_bypassed.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(generate_events(key));
+        }
+        let slot = {
+            let mut store = self.traces.lock().expect("cache lock");
+            store.tick += 1;
+            let tick = store.tick;
+            let entry = store.entries.entry(key).or_insert_with(|| TraceEntry {
+                slot: Arc::new(OnceLock::new()),
+                instructions,
+                last_use: tick,
+            });
+            entry.last_use = tick;
+            Arc::clone(&entry.slot)
+        };
+        let mut computed = false;
+        let events = slot.get_or_init(|| {
+            computed = true;
+            Arc::new(generate_events(key))
+        });
+        if computed {
+            self.trace_misses.fetch_add(1, Ordering::Relaxed);
+            self.evict_lru(key);
+        } else {
+            self.trace_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(events)
+    }
+
+    /// Drops completed least-recently-used traces until the store fits its
+    /// capacity again (never the entry just touched).
+    fn evict_lru(&self, keep: ArtifactKey) {
+        let mut store = self.traces.lock().expect("cache lock");
+        let mut total: u64 = store
+            .entries
+            .values()
+            .filter(|e| e.slot.get().is_some())
+            .map(|e| e.instructions)
+            .sum();
+        while total > store.capacity {
+            let Some((&victim, _)) = store
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != keep && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_use)
+            else {
+                break;
+            };
+            let removed = store.entries.remove(&victim).expect("victim present");
+            total -= removed.instructions;
+        }
+    }
+
+    /// The (cached) bias profile of a generated run.
+    pub fn bias_profile(
+        &self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+    ) -> Arc<BiasProfile> {
+        let key = (benchmark, input, seed, instructions);
+        let slot = {
+            let mut map = self.bias.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let mut computed = false;
+        let profile = slot.get_or_init(|| {
+            computed = true;
+            let events = self.events(benchmark, input, seed, instructions);
+            Arc::new(BiasProfile::from_source(SliceSource::new(&events)))
+        });
+        let counter = if computed { &self.bias_misses } else { &self.bias_hits };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(profile)
+    }
+
+    /// The (cached) per-branch accuracy profile of `predictor` on a
+    /// generated run.
+    pub fn accuracy_profile(
+        &self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+        predictor: PredictorConfig,
+    ) -> Arc<AccuracyProfile> {
+        let key = ((benchmark, input, seed, instructions), predictor);
+        let slot = {
+            let mut map = self.accuracy.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let mut computed = false;
+        let profile = slot.get_or_init(|| {
+            computed = true;
+            let events = self.events(benchmark, input, seed, instructions);
+            let mut dynamic = predictor.build();
+            Arc::new(AccuracyProfile::collect(
+                SliceSource::new(&events),
+                dynamic.as_mut(),
+            ))
+        });
+        let counter = if computed {
+            &self.accuracy_misses
+        } else {
+            &self.accuracy_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(profile)
+    }
+}
+
+/// Generates one run's event stream from scratch (the uncached path).
+fn generate_events(key: ArtifactKey) -> Vec<BranchEvent> {
+    let (benchmark, input, seed, instructions) = key;
+    let mut source = Workload::spec95(benchmark)
+        .generator(input, seed)
+        .take_instructions(instructions);
+    // Pre-size from the workload's branch density to avoid regrowth churn.
+    let expected = (instructions as f64 * key.0.spec().cbrs_per_ki(input) / 1000.0) as usize;
+    let mut events = Vec::with_capacity(expected.min(1 << 26));
+    while let Some(e) = source.next_event() {
+        events.push(e);
+    }
+    events
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("bias_profiles", &self.bias_profiles())
+            .field("accuracy_profiles", &self.accuracy_profiles())
+            .field("cached_traces", &self.cached_traces())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::PredictorKind;
+
+    const BUDGET: u64 = 50_000;
+
+    fn cache() -> ArtifactCache {
+        ArtifactCache::with_trace_capacity(DEFAULT_TRACE_CACHE_INSTRUCTIONS)
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let c = cache();
+        let a = c.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let b = c.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let s = c.stats();
+        assert_eq!((s.bias_misses, s.bias_hits), (1, 1));
+        // The bias profile's first computation also generated the trace.
+        assert_eq!(s.trace_misses, 1);
+    }
+
+    #[test]
+    fn different_seed_is_a_miss() {
+        let c = cache();
+        let a = c.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let b = c.bias_profile(Benchmark::Compress, InputSet::Ref, 2, BUDGET);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(*a, *b, "different seeds draw different streams");
+        let s = c.stats();
+        assert_eq!((s.bias_misses, s.bias_hits), (2, 0));
+        assert_eq!(c.cached_traces(), 2);
+    }
+
+    #[test]
+    fn every_key_component_separates_entries() {
+        let c = cache();
+        let base = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        for (bench, input, seed, budget) in [
+            (Benchmark::Go, InputSet::Ref, 1, BUDGET),
+            (Benchmark::Compress, InputSet::Train, 1, BUDGET),
+            (Benchmark::Compress, InputSet::Ref, 9, BUDGET),
+            (Benchmark::Compress, InputSet::Ref, 1, BUDGET / 2),
+        ] {
+            let other = c.events(bench, input, seed, budget);
+            assert!(!Arc::ptr_eq(&base, &other));
+        }
+        assert_eq!(c.stats().trace_misses, 5);
+        assert_eq!(c.stats().trace_hits, 0);
+    }
+
+    #[test]
+    fn accuracy_profiles_key_on_predictor_too() {
+        let c = cache();
+        let gshare = PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap();
+        let bimodal = PredictorConfig::new(PredictorKind::Bimodal, 1024).unwrap();
+        let a = c.accuracy_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET, gshare);
+        let b = c.accuracy_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET, bimodal);
+        let a2 = c.accuracy_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET, gshare);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &a2));
+        let s = c.stats();
+        assert_eq!((s.accuracy_misses, s.accuracy_hits), (2, 1));
+        // Both profiles replayed the single cached trace.
+        assert_eq!((s.trace_misses, s.trace_hits), (1, 1));
+    }
+
+    #[test]
+    fn cached_events_match_fresh_generation() {
+        let c = cache();
+        let cached = c.events(Benchmark::Go, InputSet::Train, 7, BUDGET);
+        let fresh = generate_events((Benchmark::Go, InputSet::Train, 7, BUDGET));
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn oversized_streams_bypass_the_store() {
+        let c = ArtifactCache::with_trace_capacity(BUDGET / 2);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let s = c.stats();
+        assert_eq!(s.trace_bypassed, 2);
+        assert_eq!(c.cached_traces(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        // Capacity fits two of the three streams.
+        let c = ArtifactCache::with_trace_capacity(2 * BUDGET);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 2, BUDGET);
+        // Touch seed 1 so seed 2 is the LRU victim.
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 3, BUDGET);
+        assert_eq!(c.cached_traces(), 2);
+        // Seed 1 must still be resident (a hit), seed 2 evicted (a miss).
+        let before = c.stats();
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        assert_eq!(c.stats().trace_hits, before.trace_hits + 1);
+        let _ = c.events(Benchmark::Compress, InputSet::Ref, 2, BUDGET);
+        assert_eq!(c.stats().trace_misses, before.trace_misses + 1);
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let c = cache();
+        let _ = c.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let before = c.stats();
+        let _ = c.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let delta = c.stats().since(&before);
+        assert_eq!(delta.bias_hits, 1);
+        assert_eq!(delta.bias_misses, 0);
+        assert!(delta.hit_rate() > 0.99);
+    }
+}

@@ -6,6 +6,7 @@
 //! self-trained (§5's upper bound), naive cross-trained, and cross-trained
 //! with the merged/filtered Spike-style database (§5.1 / Figure 13).
 
+use crate::cache::ArtifactCache;
 use crate::combined::{CombinedPredictor, ShiftPolicy};
 use crate::report::Report;
 use crate::simulator::Simulator;
@@ -13,11 +14,10 @@ use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{
     AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectError, SelectionScheme,
 };
-use sdbp_trace::BranchSource;
+use sdbp_trace::SliceSource;
 use sdbp_workloads::{Benchmark, InputSet, Workload};
-use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Where the profile that drives hint selection comes from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,7 +193,8 @@ impl From<SelectError> for ExperimentError {
 
 /// Runs one experiment end to end with a throwaway cache.
 ///
-/// Sweeps should use a [`Lab`], which memoizes bias profiles across runs —
+/// Sweeps should use a [`Lab`] (serial) or a [`Sweep`](crate::Sweep)
+/// (parallel), which memoize profiles and event streams across runs —
 /// profiling gcc once instead of forty times makes the harness binaries an
 /// order of magnitude faster.
 ///
@@ -206,77 +207,77 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<Report, ExperimentError> 
     Lab::new().run(spec)
 }
 
-type BiasKey = (Benchmark, InputSet, u64, u64);
-
-/// An experiment runner with memoized profiling.
+/// An experiment runner with memoized profiling, backed by an
+/// [`ArtifactCache`].
 ///
 /// Bias profiles depend only on `(benchmark, input, seed, budget)` and are
 /// shared across predictor configurations; accuracy profiles additionally
-/// depend on the predictor and are keyed accordingly.
-#[derive(Default)]
+/// depend on the predictor and are keyed accordingly; the generated event
+/// streams behind both (and behind the measurement phase) are memoized the
+/// same way. The cache is thread-safe and can be shared with a
+/// [`Sweep`](crate::Sweep) — or across several labs — via [`Lab::with_cache`].
 pub struct Lab {
-    bias_cache: HashMap<BiasKey, Rc<BiasProfile>>,
-    accuracy_cache: HashMap<(BiasKey, PredictorConfig), Rc<AccuracyProfile>>,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Lab {
-    /// Creates an empty lab.
+    /// Creates a lab with a fresh artifact cache.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+
+    /// Creates a lab sharing an existing artifact cache.
+    pub fn with_cache(cache: Arc<ArtifactCache>) -> Self {
+        Self { cache }
+    }
+
+    /// The shared artifact cache behind this lab.
+    pub fn cache(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Returns the (cached) bias profile of a run.
     pub fn bias_profile(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         input: InputSet,
         seed: u64,
         instructions: u64,
-    ) -> Rc<BiasProfile> {
-        let key = (benchmark, input, seed, instructions);
-        if let Some(p) = self.bias_cache.get(&key) {
-            return Rc::clone(p);
-        }
-        let source = Workload::spec95(benchmark)
-            .generator(input, seed)
-            .take_instructions(instructions);
-        let profile = Rc::new(BiasProfile::from_source(source));
-        self.bias_cache.insert(key, Rc::clone(&profile));
-        profile
+    ) -> Arc<BiasProfile> {
+        self.cache.bias_profile(benchmark, input, seed, instructions)
     }
 
     /// Returns the (cached) per-branch accuracy profile of `predictor` on a
     /// run.
     pub fn accuracy_profile(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         input: InputSet,
         seed: u64,
         instructions: u64,
         predictor: PredictorConfig,
-    ) -> Rc<AccuracyProfile> {
-        let key = ((benchmark, input, seed, instructions), predictor);
-        if let Some(p) = self.accuracy_cache.get(&key) {
-            return Rc::clone(p);
-        }
-        let source = Workload::spec95(benchmark)
-            .generator(input, seed)
-            .take_instructions(instructions);
-        let mut dynamic = predictor.build();
-        let profile = Rc::new(AccuracyProfile::collect(source, dynamic.as_mut()));
-        self.accuracy_cache.insert(key, Rc::clone(&profile));
-        profile
+    ) -> Arc<AccuracyProfile> {
+        self.cache
+            .accuracy_profile(benchmark, input, seed, instructions, predictor)
     }
 
     /// Selects the hint database for a spec (phase one).
-    pub fn select_hints(&mut self, spec: &ExperimentSpec) -> Result<HintDatabase, ExperimentError> {
+    pub fn select_hints(&self, spec: &ExperimentSpec) -> Result<HintDatabase, ExperimentError> {
         if spec.scheme == SelectionScheme::None {
             return Ok(HintDatabase::new());
         }
         let profile_input = spec.profile.profile_input(spec.measure_input);
         let profile_budget = spec.budget(profile_input, spec.profile_instructions);
 
-        let bias: Rc<BiasProfile> = match spec.profile {
+        let bias: Arc<BiasProfile> = match spec.profile {
             ProfileSource::SelfTrained | ProfileSource::CrossTrained => {
                 self.bias_profile(spec.benchmark, profile_input, spec.seed, profile_budget)
             }
@@ -289,7 +290,7 @@ impl Lab {
                 let mut db = ProfileDatabase::new(spec.benchmark.name());
                 db.add_run("train", (*train).clone());
                 db.add_run("ref", (*reference).clone());
-                Rc::new(db.merged_stable(max_bias_change))
+                Arc::new(db.merged_stable(max_bias_change))
             }
         };
 
@@ -309,17 +310,17 @@ impl Lab {
     }
 
     /// Runs one experiment end to end (phase one + phase two).
-    pub fn run(&mut self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
         let hints = self.select_hints(spec)?;
         let hints_len = hints.len();
         let mut combined = CombinedPredictor::new(spec.predictor.build(), hints, spec.shift);
         let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
-        let source = Workload::spec95(spec.benchmark)
-            .generator(spec.measure_input, spec.seed)
-            .take_instructions(measure_budget);
+        let events =
+            self.cache
+                .events(spec.benchmark, spec.measure_input, spec.seed, measure_budget);
         let stats = Simulator::new()
             .with_warmup(spec.warmup_instructions)
-            .run(source, &mut combined);
+            .run(SliceSource::new(&events), &mut combined);
         Ok(Report {
             benchmark: spec.benchmark,
             predictor: spec.predictor,
@@ -335,8 +336,9 @@ impl Lab {
 impl fmt::Debug for Lab {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Lab")
-            .field("bias_profiles", &self.bias_cache.len())
-            .field("accuracy_profiles", &self.accuracy_cache.len())
+            .field("bias_profiles", &self.cache.bias_profiles())
+            .field("accuracy_profiles", &self.cache.accuracy_profiles())
+            .field("cached_traces", &self.cache.cached_traces())
             .finish()
     }
 }
@@ -393,7 +395,7 @@ mod tests {
 
     #[test]
     fn lab_caches_profiles() {
-        let mut lab = Lab::new();
+        let lab = Lab::new();
         let s = spec(SelectionScheme::static_acc());
         let _ = lab.run(&s).unwrap();
         let _ = lab

@@ -16,6 +16,14 @@
 //! * [`ExperimentSpec`] / [`run_experiment`] / [`Lab`] — the two-phase
 //!   experiment protocol (profile → select hints → measure) with
 //!   self-trained, cross-trained, and merged-profile variants.
+//! * [`ArtifactCache`] — thread-safe memoization of bias/accuracy profiles
+//!   and generated event streams, keyed by
+//!   `(benchmark, input set, seed, instruction count)`, with hit/miss
+//!   counters and a bounded LRU trace store.
+//! * [`Sweep`] — the parallel sweep engine that runs a grid of
+//!   [`ExperimentSpec`]s across scoped worker threads sharing one
+//!   [`ArtifactCache`], returning bit-identical results to a serial run,
+//!   in deterministic spec order.
 //!
 //! # Examples
 //!
@@ -48,15 +56,19 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod combined;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
 pub mod simulator;
+pub mod sweep;
 
 pub use analysis::{BranchAnalysis, BranchRecord};
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
 pub use combined::{BranchResolution, CombinedPredictor, ShiftPolicy};
 pub use experiment::{run_experiment, ExperimentError, ExperimentSpec, Lab, ProfileSource};
 pub use metrics::{CollisionStats, SimStats};
 pub use report::Report;
 pub use simulator::Simulator;
+pub use sweep::{default_threads, Sweep, SweepCell, SweepResult};

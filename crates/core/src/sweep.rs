@@ -1,0 +1,356 @@
+//! The parallel experiment sweep engine.
+//!
+//! The paper's headline artifacts (Figures 1–13, Tables 1–5) are grids:
+//! predictor × size-in-bytes × selection-scheme × benchmark. [`Sweep`] runs
+//! such a grid across [`std::thread::scope`] workers that pull cells from a
+//! shared queue, while one [`ArtifactCache`] memoizes the bias/accuracy
+//! profiles and generated event streams every cell needs. Results come back
+//! in **spec order regardless of completion order**, and — because artifact
+//! generation is deterministic and cached artifacts are bit-identical to
+//! fresh ones — a parallel sweep produces exactly the same [`Report`]s as
+//! running the same specs serially through a [`Lab`] (this is tested).
+//!
+//! Worker count resolution, in priority order: [`Sweep::with_threads`], the
+//! `SDBP_THREADS` environment variable, then [`std::thread::available_parallelism`];
+//! the result is clamped to the number of cells.
+//!
+//! ```
+//! use sdbp_core::{ExperimentSpec, Sweep};
+//! use sdbp_predictors::{PredictorConfig, PredictorKind};
+//! use sdbp_profiles::SelectionScheme;
+//! use sdbp_workloads::Benchmark;
+//!
+//! let specs: Vec<_> = [1024usize, 2048]
+//!     .into_iter()
+//!     .map(|size| {
+//!         ExperimentSpec::self_trained(
+//!             Benchmark::Compress,
+//!             PredictorConfig::new(PredictorKind::Gshare, size).unwrap(),
+//!             SelectionScheme::static_95(),
+//!         )
+//!         .with_instructions(100_000)
+//!     })
+//!     .collect();
+//! let result = Sweep::new(specs).with_threads(2).run();
+//! let reports = result.into_reports().unwrap();
+//! assert_eq!(reports.len(), 2);
+//! ```
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::experiment::{ExperimentError, ExperimentSpec, Lab};
+use crate::report::Report;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The worker count a sweep uses when none is set explicitly: the
+/// `SDBP_THREADS` environment variable if set to a positive integer,
+/// otherwise all available cores.
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("SDBP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A parallel run of many [`ExperimentSpec`]s sharing one [`ArtifactCache`].
+///
+/// Build with [`Sweep::new`], refine with the `with_*` builders, execute
+/// with [`Sweep::run`]. See the [module docs](self) for determinism and
+/// thread-count semantics.
+pub struct Sweep {
+    specs: Vec<ExperimentSpec>,
+    threads: Option<usize>,
+    cache: Arc<ArtifactCache>,
+    verbose: bool,
+}
+
+impl Sweep {
+    /// A sweep over `specs` with a fresh cache and automatic thread count.
+    pub fn new(specs: impl IntoIterator<Item = ExperimentSpec>) -> Self {
+        Self {
+            specs: specs.into_iter().collect(),
+            threads: None,
+            cache: Arc::new(ArtifactCache::new()),
+            verbose: false,
+        }
+    }
+
+    /// Shares an existing artifact cache (e.g. a [`Lab::cache`], or the
+    /// cache of a previous sweep) instead of starting cold.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Pins the worker count (`0` restores automatic resolution).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = (threads > 0).then_some(threads);
+        self
+    }
+
+    /// Prints one progress line per completed cell to stderr.
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// The worker count [`run`](Sweep::run) will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(default_threads)
+            .min(self.specs.len().max(1))
+    }
+
+    /// Executes every cell and returns the results in spec order.
+    pub fn run(self) -> SweepResult {
+        let threads = self.threads();
+        let Sweep {
+            specs,
+            cache,
+            verbose,
+            ..
+        } = self;
+        let started = Instant::now();
+        let before = cache.stats();
+        let total = specs.len();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(Result<Report, ExperimentError>, Duration)>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let lab = Lab::with_cache(Arc::clone(&cache));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let cell_started = Instant::now();
+                        let report = lab.run(&specs[i]);
+                        let elapsed = cell_started.elapsed();
+                        if verbose {
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            match &report {
+                                Ok(r) => eprintln!("  [{finished:>3}/{total}] {r}  ({elapsed:.1?})"),
+                                Err(e) => eprintln!("  [{finished:>3}/{total}] cell {i} failed: {e}"),
+                            }
+                        }
+                        *slots[i].lock().expect("sweep slot lock") = Some((report, elapsed));
+                    }
+                });
+            }
+        });
+
+        let cells = specs
+            .into_iter()
+            .zip(slots)
+            .enumerate()
+            .map(|(index, (spec, slot))| {
+                let (report, elapsed) = slot
+                    .into_inner()
+                    .expect("sweep slot lock")
+                    .expect("every cell was executed");
+                SweepCell {
+                    index,
+                    spec,
+                    report,
+                    elapsed,
+                }
+            })
+            .collect();
+        SweepResult {
+            cells,
+            wall_time: started.elapsed(),
+            threads,
+            cache_stats: cache.stats().since(&before),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("cells", &self.specs.len())
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// One executed cell of a sweep.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// Position of this cell in the input spec order.
+    pub index: usize,
+    /// The spec that was run.
+    pub spec: ExperimentSpec,
+    /// The outcome (a [`Report`], or the selection error that stopped it).
+    pub report: Result<Report, ExperimentError>,
+    /// Wall-clock time this cell took on its worker.
+    pub elapsed: Duration,
+}
+
+/// Everything a sweep produced: per-cell results in spec order plus timing
+/// and cache observability.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// The executed cells, in the order their specs were given.
+    pub cells: Vec<SweepCell>,
+    /// Wall-clock time of the whole sweep.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cache activity during this sweep (deltas, not lifetime totals).
+    pub cache_stats: CacheStats,
+}
+
+impl SweepResult {
+    /// The reports in spec order, or the first error encountered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest (by spec order) failed cell.
+    pub fn into_reports(self) -> Result<Vec<Report>, ExperimentError> {
+        self.cells.into_iter().map(|c| c.report).collect()
+    }
+
+    /// Summed per-cell compute time (the "serial equivalent" of the sweep).
+    pub fn total_cell_time(&self) -> Duration {
+        self.cells.iter().map(|c| c.elapsed).sum()
+    }
+
+    /// Wall-clock speedup over running the cells back to back:
+    /// `total_cell_time / wall_time`.
+    ///
+    /// Note this understates the full benefit of the engine — cache reuse
+    /// also shrinks the per-cell times themselves.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.total_cell_time().as_secs_f64() / wall
+        }
+    }
+
+    /// A one-line summary: cell count, threads, wall time, speedup, and
+    /// cache hit/miss counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x); {}",
+            self.cells.len(),
+            self.threads,
+            self.wall_time,
+            self.total_cell_time(),
+            self.speedup(),
+            self.cache_stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::{PredictorConfig, PredictorKind};
+    use sdbp_profiles::SelectionScheme;
+    use sdbp_workloads::Benchmark;
+
+    fn grid() -> Vec<ExperimentSpec> {
+        let mut specs = Vec::new();
+        for benchmark in [Benchmark::Compress, Benchmark::Go] {
+            for size in [512usize, 1024] {
+                for scheme in [SelectionScheme::None, SelectionScheme::static_acc()] {
+                    specs.push(
+                        ExperimentSpec::self_trained(
+                            benchmark,
+                            PredictorConfig::new(PredictorKind::Gshare, size).unwrap(),
+                            scheme,
+                        )
+                        .with_instructions(120_000),
+                    );
+                }
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        let specs = grid();
+        let result = Sweep::new(specs.clone()).with_threads(4).run();
+        assert_eq!(result.cells.len(), specs.len());
+        for (i, cell) in result.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.spec, specs[i]);
+            let report = cell.report.as_ref().unwrap();
+            assert_eq!(report.benchmark, specs[i].benchmark);
+            assert_eq!(report.predictor, specs[i].predictor);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let specs = grid();
+        let lab = Lab::new();
+        let serial: Vec<_> = specs.iter().map(|s| lab.run(s).unwrap()).collect();
+        let parallel = Sweep::new(specs)
+            .with_threads(4)
+            .run()
+            .into_reports()
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn shared_cache_turns_repeat_sweeps_into_hits() {
+        let cache = Arc::new(ArtifactCache::new());
+        let first = Sweep::new(grid())
+            .with_cache(Arc::clone(&cache))
+            .with_threads(2)
+            .run();
+        assert!(first.cache_stats.misses() > 0);
+        let second = Sweep::new(grid())
+            .with_cache(Arc::clone(&cache))
+            .with_threads(2)
+            .run();
+        assert_eq!(
+            second.cache_stats.bias_misses + second.cache_stats.accuracy_misses,
+            0,
+            "second identical sweep must reuse every profile: {}",
+            second.cache_stats
+        );
+    }
+
+    #[test]
+    fn thread_count_clamps_to_cells() {
+        let sweep = Sweep::new(grid()).with_threads(64);
+        assert_eq!(sweep.threads(), 8);
+        let empty = Sweep::new(Vec::new()).with_threads(64);
+        assert_eq!(empty.threads(), 1);
+        assert_eq!(empty.run().cells.len(), 0);
+    }
+
+    #[test]
+    fn single_thread_sweep_works() {
+        let result = Sweep::new(grid()[..2].to_vec()).with_threads(1).run();
+        assert_eq!(result.threads, 1);
+        assert!(result.into_reports().is_ok());
+    }
+
+    #[test]
+    fn summary_reports_observability() {
+        let result = Sweep::new(grid()).with_threads(2).run();
+        let summary = result.summary();
+        assert!(summary.contains("8 cells on 2 threads"), "{summary}");
+        assert!(summary.contains("cache"), "{summary}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline, minimal drop-in for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the real `criterion`
+//! crate cannot be fetched. This stand-in keeps `cargo bench` working with
+//! the same bench sources: it runs each benchmark closure in a simple
+//! warm-up + timed loop and prints mean wall-clock time per iteration (plus
+//! throughput when declared). It performs no statistical analysis, keeps no
+//! history, and draws no plots — it exists so the bench targets compile and
+//! give usable relative numbers offline. Swapping the real dependency back
+//! in is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure untimed before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target wall-clock duration of the timed loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self, None, &mut f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput unit.
+pub struct BenchmarkGroup {
+    name: String,
+    config: Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the work per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the minimum sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a function under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &self.config, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &self.config, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value alone.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, p: impl Display) -> Self {
+        Self(format!("{}/{}", function.into(), p))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` in a warm-up phase and then a timed loop, recording the
+    /// mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let deadline = started + self.config.measurement_time;
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline && iters >= self.config.sample_size as u64 {
+                break;
+            }
+        }
+        self.measured = Some((started.elapsed(), iters));
+    }
+}
+
+fn run_one(
+    label: &str,
+    config: &Criterion,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        config,
+        measured: None,
+    };
+    f(&mut bencher);
+    let Some((elapsed, iters)) = bencher.measured else {
+        println!("{label:<40} (no measurement: closure never called iter)");
+        return;
+    };
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Throughput::Bytes(n) => {
+            format!("  {:>9.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+    });
+    println!(
+        "{label:<40} {:>12}  ({iters} iters){}",
+        format_time(per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &2u64, |b, &two| {
+            b.iter(|| {
+                calls += two;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls >= 6, "timed loop ran at least sample_size iters");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-9).ends_with("ns"));
+    }
+}

@@ -12,7 +12,7 @@ use sdbp::prelude::*;
 use sdbp::util::table::{fixed, grouped, TableWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut lab = Lab::new();
+    let lab = Lab::new();
     let mut table = TableWriter::with_columns(&[
         "size",
         "scheme",

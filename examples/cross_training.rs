@@ -13,7 +13,7 @@ use sdbp::prelude::*;
 use sdbp::util::table::{fixed, TableWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut lab = Lab::new();
+    let lab = Lab::new();
     let mut table = TableWriter::with_columns(&[
         "program",
         "no static",

@@ -76,9 +76,9 @@ pub use sdbp_workloads as workloads;
 /// ```
 pub mod prelude {
     pub use sdbp_core::{
-        run_experiment, BranchAnalysis, BranchRecord, BranchResolution, CombinedPredictor,
-        ExperimentSpec, Lab, ProfileSource,
-        Report, ShiftPolicy, SimStats, Simulator,
+        run_experiment, ArtifactCache, BranchAnalysis, BranchRecord, BranchResolution,
+        CombinedPredictor, ExperimentSpec, Lab, ProfileSource, Report, ShiftPolicy, SimStats,
+        Simulator, Sweep, SweepResult,
     };
     pub use sdbp_predictors::{
         Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local, Prediction,

@@ -106,7 +106,7 @@ fn hint_count_matches_database_and_static_fraction_tracks_it() {
 
 #[test]
 fn lab_cache_equals_fresh_runs() {
-    let mut lab = Lab::new();
+    let lab = Lab::new();
     let s = spec(SelectionScheme::static_acc());
     let cached_first = lab.run(&s).expect("well-formed");
     let cached_second = lab.run(&s).expect("well-formed");
