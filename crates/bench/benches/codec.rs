@@ -30,7 +30,11 @@ fn bench_codec(c: &mut Criterion) {
         })
     });
     group.bench_function("read_binary", |b| {
-        b.iter(|| read_binary(&mut &encoded_binary[..]).expect("valid payload").len())
+        b.iter(|| {
+            read_binary(&mut &encoded_binary[..])
+                .expect("valid payload")
+                .len()
+        })
     });
     group.bench_function("write_text", |b| {
         b.iter(|| {
@@ -40,7 +44,11 @@ fn bench_codec(c: &mut Criterion) {
         })
     });
     group.bench_function("read_text", |b| {
-        b.iter(|| read_text(&mut &encoded_text[..]).expect("valid payload").len())
+        b.iter(|| {
+            read_text(&mut &encoded_text[..])
+                .expect("valid payload")
+                .len()
+        })
     });
     group.finish();
 }

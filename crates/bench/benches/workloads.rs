@@ -17,8 +17,7 @@ fn bench_generation(c: &mut Criterion) {
             &program,
             |b, program| {
                 b.iter(|| {
-                    let mut gen =
-                        sdbp_workloads::WorkloadGenerator::new(program.clone(), 2000);
+                    let mut gen = sdbp_workloads::WorkloadGenerator::new(program.clone(), 2000);
                     let mut taken = 0u64;
                     for _ in 0..EVENTS {
                         let e = gen.next_event().expect("generator is infinite");
@@ -38,9 +37,7 @@ fn bench_materialization(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(benchmark),
             &benchmark,
-            |b, &benchmark| {
-                b.iter(|| Workload::spec95(benchmark).program(InputSet::Ref, 2000))
-            },
+            |b, &benchmark| b.iter(|| Workload::spec95(benchmark).program(InputSet::Ref, 2000)),
         );
     }
     group.finish();

@@ -54,9 +54,8 @@ fn main() {
     let source = workload
         .generator(InputSet::Ref, 2000)
         .take_instructions(6_000_000);
-    let mut predictor = CombinedPredictor::pure_dynamic(
-        PredictorConfig::new(kind, size).unwrap().build(),
-    );
+    let mut predictor =
+        CombinedPredictor::pure_dynamic(PredictorConfig::new(kind, size).unwrap().build());
     let mut per_class: HashMap<&'static str, (u64, u64)> = HashMap::new();
     let stats = Simulator::new().run_with_observer(source, &mut predictor, |event, res| {
         let class = class_by_pc.get(&event.pc.0).copied().unwrap_or("?");
@@ -65,8 +64,12 @@ fn main() {
         entry.1 += u64::from(res.predicted_taken == event.taken);
     });
 
-    println!("{bench} / {kind} {size}B: overall acc {:.2}%  misp/KI {:.2}  collisions {}",
-        stats.accuracy() * 100.0, stats.misp_per_ki(), stats.collisions.total);
+    println!(
+        "{bench} / {kind} {size}B: overall acc {:.2}%  misp/KI {:.2}  collisions {}",
+        stats.accuracy() * 100.0,
+        stats.misp_per_ki(),
+        stats.collisions.total
+    );
     let mut rows: Vec<_> = per_class.into_iter().collect();
     rows.sort_by_key(|(_, (n, _))| std::cmp::Reverse(*n));
     for (class, (n, correct)) in rows {

@@ -24,9 +24,7 @@ fn main() {
         let source = workload
             .generator(InputSet::Ref, 2000)
             .take_instructions(6_000_000);
-        let mut p = CombinedPredictor::pure_dynamic(Box::new(Gshare::with_history_len(
-            size, hist,
-        )));
+        let mut p = CombinedPredictor::pure_dynamic(Box::new(Gshare::with_history_len(size, hist)));
         let stats = Simulator::new().run(source, &mut p);
         println!(
             "{bench} gshare {size}B hist={hist:>2}: acc {:.2}%  misp/KI {:.2}  collisions {}",

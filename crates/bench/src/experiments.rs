@@ -61,23 +61,36 @@ pub fn table1(lab: &Lab) -> String {
     )
 }
 
-/// Table 2 — biased-branch percentages and per-predictor accuracy.
-pub fn table2(lab: &Lab) -> String {
-    // Order programs by biased fraction like the paper (go first).
-    let benchmarks = [
-        Benchmark::Go,
-        Benchmark::Compress,
-        Benchmark::Ijpeg,
-        Benchmark::Gcc,
-        Benchmark::Perl,
-        Benchmark::M88ksim,
-    ];
+/// The programs of Table 2, ordered by biased fraction like the paper.
+const TABLE2_BENCHMARKS: [Benchmark; 6] = [
+    Benchmark::Go,
+    Benchmark::Compress,
+    Benchmark::Ijpeg,
+    Benchmark::Gcc,
+    Benchmark::Perl,
+    Benchmark::M88ksim,
+];
+
+/// The spec grid behind [`table2`].
+pub fn table2_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
-    for benchmark in benchmarks {
+    for benchmark in TABLE2_BENCHMARKS {
         for kind in PredictorKind::PAPER {
-            specs.push(spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None));
+            specs.push(spec(
+                benchmark,
+                kind,
+                COMPARISON_SIZE,
+                SelectionScheme::None,
+            ));
         }
     }
+    specs
+}
+
+/// Table 2 — biased-branch percentages and per-predictor accuracy.
+pub fn table2(lab: &Lab) -> String {
+    let benchmarks = TABLE2_BENCHMARKS;
+    let specs = table2_specs();
     eprintln!("table2: sweeping {} predictor cells ...", specs.len());
     let mut reports = run_grid(lab, specs).into_iter();
 
@@ -114,8 +127,8 @@ pub fn table2(lab: &Lab) -> String {
     )
 }
 
-/// Figures 1–6 — gshare size sweep with and without `Static_Acc`.
-pub fn fig1_6(lab: &Lab) -> String {
+/// The spec grid behind [`fig1_6`].
+pub fn fig1_6_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
     for benchmark in Benchmark::ALL {
         for size in SIZE_SWEEP {
@@ -124,7 +137,16 @@ pub fn fig1_6(lab: &Lab) -> String {
             }
         }
     }
-    eprintln!("fig1_6: sweeping {} cells across 6 figures ...", specs.len());
+    specs
+}
+
+/// Figures 1–6 — gshare size sweep with and without `Static_Acc`.
+pub fn fig1_6(lab: &Lab) -> String {
+    let specs = fig1_6_specs();
+    eprintln!(
+        "fig1_6: sweeping {} cells across 6 figures ...",
+        specs.len()
+    );
     let mut reports = run_grid(lab, specs).into_iter();
 
     let mut out = String::new();
@@ -160,21 +182,32 @@ pub fn fig1_6(lab: &Lab) -> String {
     out
 }
 
-/// Figures 7–12 — five predictors × three static schemes.
-pub fn fig7_12(lab: &Lab) -> String {
-    let schemes = [
+/// The static schemes compared by Figures 7–12 and Table 3.
+fn three_schemes() -> [SelectionScheme; 3] {
+    [
         SelectionScheme::None,
         SelectionScheme::static_95(),
         SelectionScheme::static_acc(),
-    ];
+    ]
+}
+
+/// The spec grid behind [`fig7_12`].
+pub fn fig7_12_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
     for benchmark in Benchmark::ALL {
         for kind in PredictorKind::PAPER {
-            for scheme in schemes {
+            for scheme in three_schemes() {
                 specs.push(spec(benchmark, kind, COMPARISON_SIZE, scheme));
             }
         }
     }
+    specs
+}
+
+/// Figures 7–12 — five predictors × three static schemes.
+pub fn fig7_12(lab: &Lab) -> String {
+    let schemes = three_schemes();
+    let specs = fig7_12_specs();
     eprintln!(
         "fig7_12: sweeping {} cells across 6 figures ...",
         specs.len()
@@ -217,21 +250,26 @@ pub fn fig7_12(lab: &Lab) -> String {
     out
 }
 
-/// Table 3 — 2bcgskew improvements for go & gcc across sizes.
-pub fn table3(lab: &Lab) -> String {
-    let sizes = [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024];
+/// The predictor sizes swept by Table 3.
+const TABLE3_SIZES: [usize; 5] = [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024];
+
+/// The spec grid behind [`table3`].
+pub fn table3_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
-    for size in sizes {
+    for size in TABLE3_SIZES {
         for benchmark in [Benchmark::Go, Benchmark::Gcc] {
-            for scheme in [
-                SelectionScheme::None,
-                SelectionScheme::static_95(),
-                SelectionScheme::static_acc(),
-            ] {
+            for scheme in three_schemes() {
                 specs.push(spec(benchmark, PredictorKind::TwoBcGskew, size, scheme));
             }
         }
     }
+    specs
+}
+
+/// Table 3 — 2bcgskew improvements for go & gcc across sizes.
+pub fn table3(lab: &Lab) -> String {
+    let sizes = TABLE3_SIZES;
+    let specs = table3_specs();
     eprintln!("table3: sweeping {} 2bcgskew cells ...", specs.len());
     let mut reports = run_grid(lab, specs).into_iter();
 
@@ -260,12 +298,14 @@ pub fn table3(lab: &Lab) -> String {
     )
 }
 
-/// Table 4 — effect of shifting history for statically predicted branches.
-pub fn table4(lab: &Lab) -> String {
-    let sizes = [32 * 1024, 64 * 1024];
+/// The predictor sizes swept by Table 4.
+const TABLE4_SIZES: [usize; 2] = [32 * 1024, 64 * 1024];
+
+/// The spec grid behind [`table4`].
+pub fn table4_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
     for benchmark in Benchmark::ALL {
-        for size in sizes {
+        for size in TABLE4_SIZES {
             specs.push(spec(
                 benchmark,
                 PredictorKind::TwoBcGskew,
@@ -275,13 +315,19 @@ pub fn table4(lab: &Lab) -> String {
             for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
                 for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
                     specs.push(
-                        spec(benchmark, PredictorKind::TwoBcGskew, size, scheme)
-                            .with_shift(shift),
+                        spec(benchmark, PredictorKind::TwoBcGskew, size, scheme).with_shift(shift),
                     );
                 }
             }
         }
     }
+    specs
+}
+
+/// Table 4 — effect of shifting history for statically predicted branches.
+pub fn table4(lab: &Lab) -> String {
+    let sizes = TABLE4_SIZES;
+    let specs = table4_specs();
     eprintln!("table4: sweeping {} shift-policy cells ...", specs.len());
     let mut reports = run_grid(lab, specs).into_iter();
 
@@ -329,8 +375,8 @@ pub fn table5(lab: &Lab) -> String {
     for benchmark in Benchmark::ALL {
         eprintln!("table5: comparing {benchmark} train vs ref ...");
         let workload = Workload::spec95(benchmark);
-        let train_budget = (workload.spec().default_instructions(InputSet::Train) as f64
-            * crate::scale()) as u64;
+        let train_budget =
+            (workload.spec().default_instructions(InputSet::Train) as f64 * crate::scale()) as u64;
         let ref_budget =
             (workload.spec().default_instructions(InputSet::Ref) as f64 * crate::scale()) as u64;
         let train_events = lab
@@ -365,8 +411,8 @@ pub fn table5(lab: &Lab) -> String {
     )
 }
 
-/// Figure 13 — cross-training regimes on gshare 16 KB + `Static_95`.
-pub fn fig13(lab: &Lab) -> String {
+/// The spec grid behind [`fig13`].
+pub fn fig13_specs() -> Vec<ExperimentSpec> {
     let size = 16 * 1024;
     let variants = |base: ExperimentSpec| {
         [
@@ -387,6 +433,12 @@ pub fn fig13(lab: &Lab) -> String {
             SelectionScheme::static_95(),
         )));
     }
+    specs
+}
+
+/// Figure 13 — cross-training regimes on gshare 16 KB + `Static_95`.
+pub fn fig13(lab: &Lab) -> String {
+    let specs = fig13_specs();
     eprintln!("fig13: sweeping {} cross-training cells ...", specs.len());
     let mut reports = run_grid(lab, specs).into_iter();
 
@@ -412,24 +464,36 @@ pub fn fig13(lab: &Lab) -> String {
     )
 }
 
+/// The predictor family compared by Ablation E.
+const MCFARLING_KINDS: [PredictorKind; 5] = [
+    PredictorKind::Bimodal,
+    PredictorKind::Gselect,
+    PredictorKind::Gshare,
+    PredictorKind::Tournament,
+    PredictorKind::TwoBcGskew,
+];
+
+/// The predictor sizes swept by Ablation E.
+const MCFARLING_SIZES: [usize; 3] = [2 * 1024, 8 * 1024, 32 * 1024];
+
+/// The spec grid behind [`ablate_mcfarling`].
+pub fn ablate_mcfarling_specs() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for size in MCFARLING_SIZES {
+        for kind in MCFARLING_KINDS {
+            specs.push(spec(Benchmark::Gcc, kind, size, SelectionScheme::None));
+        }
+    }
+    specs
+}
+
 /// Ablation E — the classic McFarling family comparison (bimodal, gselect,
 /// gshare, tournament) across sizes on gcc: the combining-predictor story
 /// that 2bcgskew later superseded, as context for Table 2's orderings.
 pub fn ablate_mcfarling(lab: &Lab) -> String {
-    let kinds = [
-        PredictorKind::Bimodal,
-        PredictorKind::Gselect,
-        PredictorKind::Gshare,
-        PredictorKind::Tournament,
-        PredictorKind::TwoBcGskew,
-    ];
-    let sizes = [2 * 1024usize, 8 * 1024, 32 * 1024];
-    let mut specs = Vec::new();
-    for size in sizes {
-        for kind in kinds {
-            specs.push(spec(Benchmark::Gcc, kind, size, SelectionScheme::None));
-        }
-    }
+    let kinds = MCFARLING_KINDS;
+    let sizes = MCFARLING_SIZES;
+    let specs = ablate_mcfarling_specs();
     eprintln!(
         "ablate_mcfarling: sweeping {} predictor-family cells ...",
         specs.len()
@@ -459,23 +523,38 @@ pub fn ablate_mcfarling(lab: &Lab) -> String {
     )
 }
 
-/// Ablation D — the paper's §1 claim that static prediction "can achieve
-/// the effect of doubling predictor size" for the simple predictors:
-/// compare `size + static_acc` against `2×size` dynamic-only.
-pub fn ablate_doubling(lab: &Lab) -> String {
-    let benchmarks = [Benchmark::Gcc, Benchmark::M88ksim, Benchmark::Go];
-    let kinds = [PredictorKind::Ghist, PredictorKind::Gshare];
-    let sizes = [2 * 1024usize, 8 * 1024];
+/// The programs measured by Ablation D.
+const DOUBLING_BENCHMARKS: [Benchmark; 3] = [Benchmark::Gcc, Benchmark::M88ksim, Benchmark::Go];
+
+/// The predictors measured by Ablation D.
+const DOUBLING_KINDS: [PredictorKind; 2] = [PredictorKind::Ghist, PredictorKind::Gshare];
+
+/// The base sizes doubled by Ablation D.
+const DOUBLING_SIZES: [usize; 2] = [2 * 1024, 8 * 1024];
+
+/// The spec grid behind [`ablate_doubling`].
+pub fn ablate_doubling_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
-    for benchmark in benchmarks {
-        for kind in kinds {
-            for size in sizes {
+    for benchmark in DOUBLING_BENCHMARKS {
+        for kind in DOUBLING_KINDS {
+            for size in DOUBLING_SIZES {
                 specs.push(spec(benchmark, kind, size, SelectionScheme::None));
                 specs.push(spec(benchmark, kind, size * 2, SelectionScheme::None));
                 specs.push(spec(benchmark, kind, size, SelectionScheme::static_acc()));
             }
         }
     }
+    specs
+}
+
+/// Ablation D — the paper's §1 claim that static prediction "can achieve
+/// the effect of doubling predictor size" for the simple predictors:
+/// compare `size + static_acc` against `2×size` dynamic-only.
+pub fn ablate_doubling(lab: &Lab) -> String {
+    let benchmarks = DOUBLING_BENCHMARKS;
+    let kinds = DOUBLING_KINDS;
+    let sizes = DOUBLING_SIZES;
+    let specs = ablate_doubling_specs();
     eprintln!(
         "ablate_doubling: sweeping {} size-doubling cells ...",
         specs.len()
@@ -514,19 +593,28 @@ pub fn ablate_doubling(lab: &Lab) -> String {
     )
 }
 
-/// Ablation A — shift-vs-no-shift across every history-using predictor.
-pub fn ablate_shift(lab: &Lab) -> String {
-    let benchmarks = [Benchmark::Go, Benchmark::Gcc, Benchmark::M88ksim];
-    let kinds = [
-        PredictorKind::Ghist,
-        PredictorKind::Gshare,
-        PredictorKind::BiMode,
-        PredictorKind::TwoBcGskew,
-    ];
+/// The programs measured by Ablation A.
+const SHIFT_BENCHMARKS: [Benchmark; 3] = [Benchmark::Go, Benchmark::Gcc, Benchmark::M88ksim];
+
+/// The history-using predictors measured by Ablation A.
+const SHIFT_KINDS: [PredictorKind; 4] = [
+    PredictorKind::Ghist,
+    PredictorKind::Gshare,
+    PredictorKind::BiMode,
+    PredictorKind::TwoBcGskew,
+];
+
+/// The spec grid behind [`ablate_shift`].
+pub fn ablate_shift_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
-    for benchmark in benchmarks {
-        for kind in kinds {
-            specs.push(spec(benchmark, kind, COMPARISON_SIZE, SelectionScheme::None));
+    for benchmark in SHIFT_BENCHMARKS {
+        for kind in SHIFT_KINDS {
+            specs.push(spec(
+                benchmark,
+                kind,
+                COMPARISON_SIZE,
+                SelectionScheme::None,
+            ));
             for scheme in [SelectionScheme::static_95(), SelectionScheme::static_acc()] {
                 for shift in [ShiftPolicy::NoShift, ShiftPolicy::Shift] {
                     specs.push(spec(benchmark, kind, COMPARISON_SIZE, scheme).with_shift(shift));
@@ -534,6 +622,14 @@ pub fn ablate_shift(lab: &Lab) -> String {
             }
         }
     }
+    specs
+}
+
+/// Ablation A — shift-vs-no-shift across every history-using predictor.
+pub fn ablate_shift(lab: &Lab) -> String {
+    let benchmarks = SHIFT_BENCHMARKS;
+    let kinds = SHIFT_KINDS;
+    let specs = ablate_shift_specs();
     eprintln!(
         "ablate_shift: sweeping {} shift-policy cells ...",
         specs.len()
@@ -567,11 +663,15 @@ pub fn ablate_shift(lab: &Lab) -> String {
     )
 }
 
-/// Ablation B — `Static_95` bias-cutoff sweep.
-pub fn ablate_cutoff(lab: &Lab) -> String {
-    let benchmarks = [Benchmark::Gcc, Benchmark::M88ksim];
-    let cutoffs = [0.80, 0.90, 0.95, 0.99, 0.999];
-    let mut specs: Vec<_> = benchmarks
+/// The programs measured by Ablation B.
+const CUTOFF_BENCHMARKS: [Benchmark; 2] = [Benchmark::Gcc, Benchmark::M88ksim];
+
+/// The bias cutoffs swept by Ablation B.
+const CUTOFFS: [f64; 5] = [0.80, 0.90, 0.95, 0.99, 0.999];
+
+/// The spec grid behind [`ablate_cutoff`].
+pub fn ablate_cutoff_specs() -> Vec<ExperimentSpec> {
+    let mut specs: Vec<_> = CUTOFF_BENCHMARKS
         .iter()
         .map(|b| {
             spec(
@@ -582,8 +682,8 @@ pub fn ablate_cutoff(lab: &Lab) -> String {
             )
         })
         .collect();
-    for cutoff in cutoffs {
-        for benchmark in benchmarks {
+    for cutoff in CUTOFFS {
+        for benchmark in CUTOFF_BENCHMARKS {
             specs.push(spec(
                 benchmark,
                 PredictorKind::Gshare,
@@ -592,6 +692,14 @@ pub fn ablate_cutoff(lab: &Lab) -> String {
             ));
         }
     }
+    specs
+}
+
+/// Ablation B — `Static_95` bias-cutoff sweep.
+pub fn ablate_cutoff(lab: &Lab) -> String {
+    let benchmarks = CUTOFF_BENCHMARKS;
+    let cutoffs = CUTOFFS;
+    let specs = ablate_cutoff_specs();
     eprintln!(
         "ablate_cutoff: sweeping {} bias-cutoff cells ...",
         specs.len()
@@ -629,19 +737,22 @@ pub fn ablate_cutoff(lab: &Lab) -> String {
     )
 }
 
-/// Ablation C — all selection schemes side by side, including `Static_Fac`
-/// and the future-work collision-aware scheme.
-pub fn ablate_selection(lab: &Lab) -> String {
-    let schemes = [
+/// Every selection scheme compared by Ablation C.
+fn selection_schemes() -> [SelectionScheme; 5] {
+    [
         SelectionScheme::None,
         SelectionScheme::static_95(),
         SelectionScheme::static_acc(),
         SelectionScheme::Factor { factor: 1.05 },
         SelectionScheme::collision_aware(),
-    ];
+    ]
+}
+
+/// The spec grid behind [`ablate_selection`].
+pub fn ablate_selection_specs() -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
     for benchmark in Benchmark::ALL {
-        for scheme in schemes {
+        for scheme in selection_schemes() {
             specs.push(spec(
                 benchmark,
                 PredictorKind::Gshare,
@@ -650,6 +761,14 @@ pub fn ablate_selection(lab: &Lab) -> String {
             ));
         }
     }
+    specs
+}
+
+/// Ablation C — all selection schemes side by side, including `Static_Fac`
+/// and the future-work collision-aware scheme.
+pub fn ablate_selection(lab: &Lab) -> String {
+    let schemes = selection_schemes();
+    let specs = ablate_selection_specs();
     eprintln!(
         "ablate_selection: sweeping {} selection-scheme cells ...",
         specs.len()
@@ -678,4 +797,66 @@ pub fn ablate_selection(lab: &Lab) -> String {
         COMPARISON_SIZE / 1024,
         table.render()
     )
+}
+
+/// Every spec the full experiment suite runs, in execution order.
+///
+/// This is the harness's own pre-flight surface: `sdbp check --suite` and
+/// the suite-hygiene test below lint every one of these through
+/// `sdbp-check` before any long run is attempted.
+pub fn suite_specs() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    specs.extend(table2_specs());
+    specs.extend(fig1_6_specs());
+    specs.extend(fig7_12_specs());
+    specs.extend(table3_specs());
+    specs.extend(table4_specs());
+    specs.extend(fig13_specs());
+    specs.extend(ablate_mcfarling_specs());
+    specs.extend(ablate_doubling_specs());
+    specs.extend(ablate_shift_specs());
+    specs.extend(ablate_cutoff_specs());
+    specs.extend(ablate_selection_specs());
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_nonempty_and_covers_every_grid() {
+        let specs = suite_specs();
+        // Every grid experiment contributes at least one cell.
+        assert!(specs.len() > 300, "suite has only {} cells", specs.len());
+        // The paper predictors all appear somewhere in the suite.
+        for kind in PredictorKind::PAPER {
+            assert!(
+                specs.iter().any(|s| s.predictor.kind() == kind),
+                "suite never exercises {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_suite_spec_passes_the_static_checker() {
+        // The acceptance bar for the diagnostics engine: the harness's own
+        // grids must lint clean (notes are fine, warnings and errors are
+        // not) — otherwise `run_grid`'s pre-flight would abort a real run.
+        for (i, spec) in suite_specs().iter().enumerate() {
+            let diags = sdbp_check::lint_spec(spec, "<suite>");
+            assert!(
+                diags.is_clean(),
+                "suite spec #{i} ({spec:?}) is not clean:\n{}",
+                diags.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn every_suite_spec_passes_preflight() {
+        for spec in suite_specs() {
+            sdbp_check::preflight(&spec).expect("suite spec must pre-flight");
+        }
+    }
 }

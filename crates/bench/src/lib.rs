@@ -73,8 +73,8 @@ pub fn spec(
     size_bytes: usize,
     scheme: SelectionScheme,
 ) -> ExperimentSpec {
-    let predictor = PredictorConfig::new(kind, size_bytes)
-        .expect("harness sizes are powers of two");
+    let predictor =
+        PredictorConfig::new(kind, size_bytes).expect("harness sizes are powers of two");
     let mut s = ExperimentSpec::self_trained(benchmark, predictor, scheme).with_seed(SEED);
     s.profile_instructions = Some(profile_budget());
     s.measure_instructions = Some(measure_budget());
@@ -94,12 +94,17 @@ pub fn run_verbose(lab: &Lab, s: &ExperimentSpec) -> Report {
 /// threads, wall time, speedup, and cache hit/miss counters — to stderr.
 /// Reports come back in spec order, bit-identical to a serial run.
 ///
+/// Every cell is pre-flighted through `sdbp-check`'s coded diagnostics (on
+/// top of the sweep's strict-mode validation), so a misconfigured grid
+/// fails fast with `SDBP`-coded reasons instead of wasting a long run.
+///
 /// Thread count follows the engine's resolution: the `SDBP_THREADS`
 /// environment variable if set, otherwise all available cores.
 pub fn run_grid(lab: &Lab, specs: Vec<ExperimentSpec>) -> Vec<Report> {
     let result = Sweep::new(specs)
         .with_cache(lab.cache())
         .with_verbose(true)
+        .with_preflight(sdbp_check::preflight_hook())
         .run();
     eprintln!("  sweep: {}", result.summary());
     result

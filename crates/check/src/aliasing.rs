@@ -1,0 +1,420 @@
+//! Static destructive-aliasing analysis.
+//!
+//! The paper's central quantity — destructive interference between branches
+//! sharing a table entry — is normally measured by simulation. This module
+//! *predicts* it from a bias profile alone: it evaluates the predictor's
+//! index function (exposed through
+//! [`DynamicPredictor::probe_indices`]) over every profiled branch under a
+//! sample of global histories, accumulates per-entry taken/not-taken mass,
+//! and scores each branch by how much opposing mass it shares entries
+//! with. The ranking correlates with the simulator's measured
+//! destructive-collision counts (a pinned test cross-checks this), which is
+//! what makes `sdbp check --aliasing` useful before committing to a long
+//! measurement run.
+
+use crate::codes;
+use crate::diag::{Diagnostic, Diagnostics, Span};
+use sdbp_predictors::{DynamicPredictor, PredictorConfig};
+use sdbp_profiles::BiasProfile;
+use sdbp_trace::BranchAddr;
+use std::collections::HashMap;
+
+/// Tuning knobs for [`analyze_aliasing`].
+#[derive(Debug, Clone, Copy)]
+pub struct AliasingOptions {
+    /// Histories are enumerated exhaustively up to `2^exhaustive_bits`;
+    /// longer histories are sampled.
+    pub exhaustive_bits: u32,
+    /// Number of sampled history values for long histories.
+    pub history_samples: usize,
+    /// Number of hotspots reported as SDBP040 notes by [`lint_aliasing`].
+    pub top: usize,
+}
+
+impl Default for AliasingOptions {
+    fn default() -> Self {
+        Self {
+            exhaustive_bits: 10,
+            history_samples: 256,
+            top: 10,
+        }
+    }
+}
+
+/// One predicted hotspot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    /// The branch.
+    pub pc: BranchAddr,
+    /// Predicted destructive-interference mass (executions expected to meet
+    /// an entry trained the opposite way by *other* branches).
+    pub score: f64,
+    /// Profiled execution count.
+    pub executed: u64,
+}
+
+/// The analyzer's output.
+#[derive(Debug, Clone)]
+pub struct AliasingReport {
+    /// Branches ranked by descending predicted destructive interference
+    /// (ties broken by address). Zero-score branches are omitted.
+    pub hotspots: Vec<Hotspot>,
+    /// Sum of all hotspot scores.
+    pub total_score: f64,
+    /// Distinct `(bank, entry)` cells touched.
+    pub cells_touched: usize,
+    /// Profiled branches analyzed.
+    pub branches: usize,
+}
+
+/// `splitmix64`, the standard 64-bit mix — deterministic history sampling
+/// without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn history_samples(bits: u32, options: &AliasingOptions) -> Vec<u64> {
+    if bits == 0 {
+        return vec![0];
+    }
+    if bits <= options.exhaustive_bits {
+        return (0..(1u64 << bits)).collect();
+    }
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut state = 0x5db9_d00d_2000_u64; // fixed seed: analysis is deterministic
+    let mut samples: Vec<u64> = (0..options.history_samples)
+        .map(|_| splitmix64(&mut state) & mask)
+        .collect();
+    samples.sort_unstable();
+    samples.dedup();
+    samples
+}
+
+/// Statically analyzes destructive aliasing of `config` on the branches in
+/// `profile`.
+///
+/// Returns `None` when the scheme does not expose its index function
+/// ([`DynamicPredictor::probe_indices`] returns `false`).
+///
+/// The model: every profiled branch deposits its per-history share of
+/// taken/not-taken mass into each `(bank, entry)` cell its index function
+/// can reach; a branch's destructive score is its mass in a cell times the
+/// fraction of that cell's mass trained the opposite way by *other*
+/// branches. Self-interference (a mixed branch fighting itself) is
+/// excluded — that is mispredictability, not aliasing.
+pub fn analyze_aliasing(
+    profile: &BiasProfile,
+    config: PredictorConfig,
+    options: &AliasingOptions,
+) -> Option<AliasingReport> {
+    let predictor = config.build();
+    let mut scratch = Vec::new();
+    // Deterministic order: HashMap iteration must not leak into float sums.
+    let mut branches: Vec<(BranchAddr, u64, u64)> = profile
+        .iter()
+        .filter(|(_, stats)| stats.executed > 0)
+        .map(|(pc, stats)| (pc, stats.executed, stats.taken))
+        .collect();
+    branches.sort_unstable_by_key(|(pc, _, _)| *pc);
+    if branches.is_empty() {
+        return Some(AliasingReport {
+            hotspots: Vec::new(),
+            total_score: 0.0,
+            cells_touched: 0,
+            branches: 0,
+        });
+    }
+
+    // Probe support check on the first branch.
+    scratch.clear();
+    if !predictor.probe_indices(branches[0].0, 0, &mut scratch) {
+        return None;
+    }
+    let histories = history_samples(DynamicPredictor::history_bits(&*predictor), options);
+    let per_history = 1.0 / histories.len() as f64;
+
+    // Pass 1: accumulate (taken, not-taken) mass per cell.
+    let mut cells: HashMap<(u32, u64), [f64; 2]> = HashMap::new();
+    for &(pc, executed, taken) in &branches {
+        let taken_mass = taken as f64 * per_history;
+        let nt_mass = (executed - taken) as f64 * per_history;
+        for &history in &histories {
+            scratch.clear();
+            predictor.probe_indices(pc, history, &mut scratch);
+            for &(bank, index) in &scratch {
+                let cell = cells.entry((bank, index)).or_default();
+                cell[0] += taken_mass;
+                cell[1] += nt_mass;
+            }
+        }
+    }
+
+    // Pass 2: per-branch destructive mass against the other branches.
+    let mut hotspots = Vec::with_capacity(branches.len());
+    let mut total_score = 0.0;
+    for &(pc, executed, taken) in &branches {
+        let own = [
+            taken as f64 * per_history,
+            (executed - taken) as f64 * per_history,
+        ];
+        let mut score = 0.0;
+        for &history in &histories {
+            scratch.clear();
+            predictor.probe_indices(pc, history, &mut scratch);
+            for &(bank, index) in &scratch {
+                let cell = cells[&(bank, index)];
+                let total = cell[0] + cell[1];
+                if total <= 0.0 {
+                    continue;
+                }
+                for dir in 0..2 {
+                    let opposing = (cell[1 - dir] - own[1 - dir]).max(0.0);
+                    score += own[dir] * opposing / total;
+                }
+            }
+        }
+        if score > 0.0 {
+            total_score += score;
+            hotspots.push(Hotspot {
+                pc,
+                score,
+                executed,
+            });
+        }
+    }
+    hotspots.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+    Some(AliasingReport {
+        hotspots,
+        total_score,
+        cells_touched: cells.len(),
+        branches: branches.len(),
+    })
+}
+
+/// Runs the analyzer and renders its findings as diagnostics: SDBP040 notes
+/// for the top hotspots, or SDBP041 when the scheme is opaque to analysis.
+pub fn lint_aliasing(
+    profile: &BiasProfile,
+    config: PredictorConfig,
+    options: &AliasingOptions,
+    origin: &str,
+) -> (Option<AliasingReport>, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let Some(report) = analyze_aliasing(profile, config, options) else {
+        diags.push(
+            Diagnostic::note(
+                codes::ALIASING_OPAQUE_SCHEME,
+                format!(
+                    "{} does not expose its index function; aliasing analysis skipped",
+                    config.kind()
+                ),
+            )
+            .with_span(Span::field(origin, "predictor")),
+        );
+        return (None, diags);
+    };
+    for hotspot in report.hotspots.iter().take(options.top) {
+        let share = if report.total_score > 0.0 {
+            100.0 * hotspot.score / report.total_score
+        } else {
+            0.0
+        };
+        diags.push(
+            Diagnostic::note(
+                codes::ALIASING_HOTSPOT,
+                format!(
+                    "branch {} carries {share:.1}% of the predicted destructive \
+                     aliasing ({} executions)",
+                    hotspot.pc, hotspot.executed
+                ),
+            )
+            .with_span(Span::field(origin, "profile")),
+        );
+    }
+    (Some(report), diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::PredictorKind;
+    use sdbp_trace::SiteStats;
+
+    fn profile_of(sites: &[(u64, u64, u64)]) -> BiasProfile {
+        let mut profile = BiasProfile::new();
+        for &(pc, executed, taken) in sites {
+            profile.insert(BranchAddr(pc), SiteStats { executed, taken });
+        }
+        profile
+    }
+
+    fn config(kind: PredictorKind, size: usize) -> PredictorConfig {
+        PredictorConfig::new(kind, size).unwrap()
+    }
+
+    #[test]
+    fn opaque_schemes_return_none() {
+        let profile = profile_of(&[(0x100, 100, 100)]);
+        for kind in [
+            PredictorKind::BiMode,
+            PredictorKind::TwoBcGskew,
+            PredictorKind::Yags,
+        ] {
+            assert!(
+                analyze_aliasing(&profile, config(kind, 4096), &AliasingOptions::default())
+                    .is_none(),
+                "{kind} should be opaque"
+            );
+        }
+        let (report, diags) = lint_aliasing(
+            &profile,
+            config(PredictorKind::BiMode, 4096),
+            &AliasingOptions::default(),
+            "<t>",
+        );
+        assert!(report.is_none());
+        assert_eq!(diags.iter().map(|d| d.code.0).collect::<Vec<_>>(), [41]);
+    }
+
+    #[test]
+    fn bimodal_collision_of_opposing_branches_is_detected() {
+        // 64-byte bimodal = 256 entries; word indices 256 apart collide.
+        let stride = 256u64 * 4;
+        let profile = profile_of(&[
+            (0x1000, 1000, 1000),       // always taken
+            (0x1000 + stride, 1000, 0), // same entry, never taken
+            (0x1000 + 8, 1000, 1000),   // private entry
+        ]);
+        let report = analyze_aliasing(
+            &profile,
+            config(PredictorKind::Bimodal, 64),
+            &AliasingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.branches, 3);
+        assert_eq!(report.hotspots.len(), 2, "only the colliding pair scores");
+        let pcs: Vec<u64> = report.hotspots.iter().map(|h| h.pc.0).collect();
+        assert!(pcs.contains(&0x1000) && pcs.contains(&(0x1000 + stride)));
+        // Each branch is half the shared cell's mass, all of it opposing:
+        // score = 1000 × (1000/2000) = 500.
+        assert!((report.hotspots[0].score - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aligned_branches_do_not_alias_destructively() {
+        let profile = profile_of(&[(0x1000, 1000, 1000), (0x1000 + 256 * 4, 1000, 1000)]);
+        let report = analyze_aliasing(
+            &profile,
+            config(PredictorKind::Bimodal, 64),
+            &AliasingOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            report.hotspots.is_empty(),
+            "same-direction sharing is constructive"
+        );
+        assert_eq!(report.total_score, 0.0);
+    }
+
+    #[test]
+    fn self_interference_is_excluded() {
+        // One mixed branch alone in its entry: no *aliasing* to report.
+        let profile = profile_of(&[(0x1000, 1000, 500)]);
+        let report = analyze_aliasing(
+            &profile,
+            config(PredictorKind::Bimodal, 64),
+            &AliasingOptions::default(),
+        )
+        .unwrap();
+        assert!(report.hotspots.is_empty());
+    }
+
+    #[test]
+    fn gshare_congruent_pcs_collide_through_the_xor() {
+        // gshare 16 KB: 65536 entries (16 index bits), 12-bit history. PCs
+        // congruent modulo the table size XOR to the same entry under
+        // *every* history, so the full opposing mass collides — exactly the
+        // worst case the paper's per-entry tagging measures dynamically.
+        let stride = 65536u64 * 4;
+        let sites = [(0x1000u64, 1000u64, 1000u64), (0x1000 + stride, 1000, 0)];
+        let report = analyze_aliasing(
+            &profile_of(&sites),
+            config(PredictorKind::Gshare, 16 * 1024),
+            &AliasingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.hotspots.len(), 2);
+        assert!(
+            (report.hotspots[0].score - 500.0).abs() < 1e-6,
+            "{}",
+            report.hotspots[0].score
+        );
+    }
+
+    #[test]
+    fn gshare_separates_pcs_beyond_the_history_span() {
+        // Branches whose word indices differ above the 12-bit history span
+        // occupy disjoint entry blocks: the XOR can never bring them
+        // together, however the history evolves.
+        let sites = [
+            (0x1000u64, 1000u64, 1000u64),
+            (0x1000 + (1u64 << 13) * 4, 1000, 0),
+        ];
+        let report = analyze_aliasing(
+            &profile_of(&sites),
+            config(PredictorKind::Gshare, 16 * 1024),
+            &AliasingOptions::default(),
+        )
+        .unwrap();
+        assert!(report.hotspots.is_empty(), "{:?}", report.hotspots);
+        assert!(
+            report.cells_touched > 256,
+            "history spread covers many cells"
+        );
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let profile = profile_of(&[
+            (0x1000, 500, 480),
+            (0x2004, 300, 10),
+            (0x3008, 800, 400),
+            (0x400c, 100, 95),
+        ]);
+        let run = || {
+            analyze_aliasing(
+                &profile,
+                config(PredictorKind::Gshare, 4096),
+                &AliasingOptions::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.hotspots, b.hotspots);
+        assert_eq!(a.total_score, b.total_score);
+    }
+
+    #[test]
+    fn history_sampling_enumerates_short_and_samples_long() {
+        let options = AliasingOptions::default();
+        assert_eq!(history_samples(0, &options), vec![0]);
+        assert_eq!(history_samples(3, &options).len(), 8);
+        let long = history_samples(20, &options);
+        assert!(long.len() > 200 && long.len() <= 256, "{}", long.len());
+        assert!(long.iter().all(|h| *h < (1 << 20)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Static analysis and coded diagnostics for experiment configurations.
+//!
+//! A rustc-style checking engine that validates everything an experiment
+//! depends on *before* simulation: specs, hint databases, profiles, and the
+//! predictor's aliasing behavior. Every finding carries a stable code
+//! (`SDBP001`…), a severity, a span naming its origin, and — where a fix is
+//! mechanical — a suggestion. Findings render as rustc-like text or as
+//! JSON ([`Diagnostics::render_text`] / [`Diagnostics::to_json`]).
+//!
+//! The layers:
+//!
+//! * [`diag`] — the diagnostic core: [`Code`], [`Severity`], [`Span`],
+//!   [`Diagnostic`], [`Diagnostics`].
+//! * [`codes`] — the stable code registry (`docs/diagnostics.md` catalogs
+//!   the same table).
+//! * [`spec`] — spec-file parsing and semantic spec lints.
+//! * [`hints`] — hint-database consistency and profile cross-checks.
+//! * [`profile`] — profile metadata, parse, and stability lints.
+//! * [`aliasing`] — the static destructive-aliasing analyzer: evaluates the
+//!   predictor's index function over profiled branches and ranks predicted
+//!   interference hotspots, cross-checked against simulator measurements.
+//!
+//! # Pre-flight integration
+//!
+//! [`preflight`] condenses the spec lints into the `Result<(), String>`
+//! shape [`sdbp_core::Lab::with_preflight`] and
+//! [`sdbp_core::Sweep::with_preflight`] accept; [`preflight_hook`] wraps it
+//! as an installable [`PreflightFn`]:
+//!
+//! ```
+//! use sdbp_core::{ExperimentSpec, Lab};
+//! use sdbp_predictors::{PredictorConfig, PredictorKind};
+//! use sdbp_profiles::SelectionScheme;
+//! use sdbp_workloads::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lab = Lab::new().with_preflight(sdbp_check::preflight_hook());
+//! let spec = ExperimentSpec::self_trained(
+//!     Benchmark::Compress,
+//!     PredictorConfig::new(PredictorKind::Gshare, 1024)?,
+//!     SelectionScheme::Bias { cutoff: 2.0 }, // out of range
+//! );
+//! assert!(lab.run(&spec).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aliasing;
+pub mod codes;
+pub mod diag;
+pub mod hints;
+pub mod profile;
+pub mod spec;
+
+pub use aliasing::{analyze_aliasing, lint_aliasing, AliasingOptions, AliasingReport, Hotspot};
+pub use codes::{lookup, CodeInfo, REGISTRY};
+pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
+pub use hints::{lint_hints_against_profile, parse_hints_text, HintLintOptions};
+pub use profile::{
+    lint_profile_against_spec, lint_profile_database, parse_profile_text, ProfileMetadata,
+};
+pub use spec::{lint_spec, lint_spec_with_history, parse_spec_text, ParsedSpec, SPEC_KEYS};
+
+use sdbp_core::{ExperimentSpec, PreflightFn};
+use std::sync::Arc;
+
+/// Checks a spec the way a pre-flight hook does: clean (or note-only) specs
+/// pass; errors *and warnings* reject, with the rendered diagnostics as the
+/// reason.
+///
+/// Warnings reject here deliberately: a pre-flight hook guards long
+/// unattended sweeps, where a dubious cell wastes hours before anyone reads
+/// a warning. Interactive flows (`sdbp check`) apply warnings more gently.
+///
+/// # Errors
+///
+/// The rendered diagnostic text of every finding.
+pub fn preflight(spec: &ExperimentSpec) -> Result<(), String> {
+    let diags = lint_spec(spec, "<spec>");
+    if diags.is_clean() {
+        Ok(())
+    } else {
+        Err(diags.render_text())
+    }
+}
+
+/// [`preflight`] as an installable hook for
+/// [`Lab::with_preflight`](sdbp_core::Lab::with_preflight) and
+/// [`Sweep::with_preflight`](sdbp_core::Sweep::with_preflight).
+pub fn preflight_hook() -> PreflightFn {
+    Arc::new(preflight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_core::{ExperimentError, Lab, Sweep};
+    use sdbp_predictors::{PredictorConfig, PredictorKind};
+    use sdbp_profiles::SelectionScheme;
+    use sdbp_workloads::Benchmark;
+
+    fn spec(scheme: SelectionScheme) -> ExperimentSpec {
+        ExperimentSpec::self_trained(
+            Benchmark::Compress,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+            scheme,
+        )
+        .with_instructions(300_000)
+    }
+
+    #[test]
+    fn preflight_passes_clean_specs_and_rejects_bad_ones() {
+        assert!(preflight(&spec(SelectionScheme::None)).is_ok());
+        assert!(preflight(&spec(SelectionScheme::static_95())).is_ok());
+        let reason = preflight(&spec(SelectionScheme::Bias { cutoff: 2.0 })).unwrap_err();
+        assert!(reason.contains("SDBP007"), "{reason}");
+    }
+
+    #[test]
+    fn preflight_tolerates_note_only_findings() {
+        // EGskew at 8 KB cannot realize its budget exactly — a note, and
+        // notes must not reject the paper's own suite configurations.
+        let s = ExperimentSpec::self_trained(
+            Benchmark::Compress,
+            PredictorConfig::new(PredictorKind::EGskew, 8192).unwrap(),
+            SelectionScheme::None,
+        )
+        .with_instructions(300_000);
+        assert!(preflight(&s).is_ok());
+    }
+
+    #[test]
+    fn hook_installs_into_lab_and_sweep() {
+        let lab = Lab::new().with_preflight(preflight_hook());
+        match lab.run(&spec(SelectionScheme::Bias { cutoff: 2.0 })) {
+            Err(ExperimentError::Rejected { reason }) => {
+                assert!(reason.contains("SDBP007"), "{reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        let result = Sweep::new([
+            spec(SelectionScheme::None),
+            spec(SelectionScheme::Bias { cutoff: 2.0 }),
+        ])
+        .with_threads(1)
+        .with_preflight(preflight_hook())
+        .run();
+        assert!(result.cells[0].report.is_ok());
+        assert!(matches!(
+            result.cells[1].report,
+            Err(ExperimentError::Rejected { .. })
+        ));
+    }
+}

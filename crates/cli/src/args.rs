@@ -12,12 +12,16 @@ pub struct Args {
 
 impl Args {
     /// Parses `argv[1..]`: the first token is the subcommand, the rest are
-    /// `--key value` pairs or bare `--flag`s.
+    /// `--key value` pairs, `--key=value` tokens, or bare `--flag`s.
+    ///
+    /// The `--key=value` form is the only way to pass a value that itself
+    /// starts with `--` (e.g. a negative number or a dashed string), since
+    /// the space-separated form treats such a token as the next option.
     ///
     /// # Errors
     ///
-    /// Returns a message for options missing their value or tokens that are
-    /// not options.
+    /// Returns a message for empty option names, empty `--key=` values, or
+    /// tokens that are not options.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
         let mut iter = argv.into_iter().peekable();
         let command = iter.next().unwrap_or_default();
@@ -27,9 +31,23 @@ impl Args {
             let Some(key) = token.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{token}' (expected --option)"));
             };
+            if let Some((key, value)) = key.split_once('=') {
+                if key.is_empty() {
+                    return Err(format!("option '{token}' is missing a name before '='"));
+                }
+                if value.is_empty() {
+                    return Err(format!("option '--{key}=' is missing a value after '='"));
+                }
+                options.insert(key.to_string(), value.to_string());
+                continue;
+            }
+            if key.is_empty() {
+                return Err("unexpected bare '--' (expected --option)".to_string());
+            }
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    options.insert(key.to_string(), iter.next().expect("peeked"));
+                    let value = iter.next().unwrap_or_default();
+                    options.insert(key.to_string(), value);
                 }
                 _ => flags.push(key.to_string()),
             }
@@ -67,9 +85,7 @@ impl Args {
     {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| format!("invalid --{key} '{v}': {e}")),
+            Some(v) => v.parse().map_err(|e| format!("invalid --{key} '{v}': {e}")),
         }
     }
 
@@ -120,5 +136,39 @@ mod tests {
     fn trailing_flag_works() {
         let a = parse(&["gen", "--text"]);
         assert!(a.has_flag("text"));
+    }
+
+    #[test]
+    fn equals_syntax_parses_values() {
+        let a = parse(&["sim", "--benchmark=gcc", "--size=8192"]);
+        assert_eq!(a.get("benchmark"), Some("gcc"));
+        assert_eq!(a.get_parsed_or("size", 0usize).unwrap(), 8192);
+    }
+
+    #[test]
+    fn equals_syntax_allows_dashed_values() {
+        let a = parse(&["sim", "--scheme=--weird", "--offset=-42"]);
+        assert_eq!(a.get("scheme"), Some("--weird"));
+        assert_eq!(a.get_parsed_or("offset", 0i64).unwrap(), -42);
+    }
+
+    #[test]
+    fn equals_value_may_contain_equals() {
+        let a = parse(&["sim", "--filter=key=value"]);
+        assert_eq!(a.get("filter"), Some("key=value"));
+    }
+
+    #[test]
+    fn rejects_empty_equals_forms() {
+        assert!(Args::parse(["sim".into(), "--=x".into()]).is_err());
+        assert!(Args::parse(["sim".into(), "--key=".into()]).is_err());
+        assert!(Args::parse(["sim".into(), "--".into()]).is_err());
+    }
+
+    #[test]
+    fn space_form_still_swallows_next_nonoption() {
+        let a = parse(&["sim", "--seed", "7", "--shift"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.has_flag("shift"));
     }
 }

@@ -124,8 +124,14 @@ pub fn stats(args: &Args) -> CmdResult {
     t.row_display(["dynamic branches", &grouped(stats.dynamic_branches())]);
     t.row_display(["instructions", &grouped(stats.total_instructions())]);
     t.row_display(["CBRs/KI", &fixed(stats.cbrs_per_ki(), 1)]);
-    t.row_display(["dyn. biased >95%", &pct(stats.dynamic_fraction_biased(0.95))]);
-    t.row_display(["stat. biased >95%", &pct(stats.static_fraction_biased(0.95))]);
+    t.row_display([
+        "dyn. biased >95%",
+        &pct(stats.dynamic_fraction_biased(0.95)),
+    ]);
+    t.row_display([
+        "stat. biased >95%",
+        &pct(stats.static_fraction_biased(0.95)),
+    ]);
     println!("{}", t.render());
     Ok(())
 }
@@ -141,7 +147,20 @@ pub fn profile(args: &Args) -> CmdResult {
             .generator(opts.input, opts.seed)
             .take_instructions(opts.instructions),
     );
-    fs::write(out, profile.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Metadata header: `sdbp check` cross-checks these fields against the
+    // spec the profile is later used with (SDBP030/031/032).
+    let header = format!(
+        "# benchmark {}\n# input {}\n# seed {}\n# instructions {}\n",
+        opts.benchmark.name(),
+        match opts.input {
+            InputSet::Train => "train",
+            InputSet::Ref => "ref",
+        },
+        opts.seed,
+        opts.instructions
+    );
+    fs::write(out, format!("{header}{}", profile.to_text()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
         "wrote {out}: {} sites, {} executions",
         grouped(profile.len() as u64),
@@ -160,8 +179,7 @@ pub fn select(args: &Args) -> CmdResult {
     let opts = run_options(args)?;
     let bias = match args.get("profile") {
         Some(path) => {
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             BiasProfile::from_text(&text)?
         }
         None => BiasProfile::from_source(
@@ -223,7 +241,8 @@ pub fn sim(args: &Args) -> CmdResult {
             None => HintDatabase::new(),
         };
         let mut combined = CombinedPredictor::new(config.build(), hints, shift);
-        let stats = Simulator::new().run(sdbp_trace::SliceSource::from_trace(&trace), &mut combined);
+        let stats =
+            Simulator::new().run(sdbp_trace::SliceSource::from_trace(&trace), &mut combined);
         println!("{config} on {path}: {stats}");
         return Ok(());
     }
@@ -286,7 +305,10 @@ pub fn sweep(args: &Args) -> CmdResult {
     let summary = result.summary();
     let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
     t.numeric();
-    for (size_kb, report) in sizes.iter().zip(result.into_reports().map_err(|e| e.to_string())?) {
+    for (size_kb, report) in sizes
+        .iter()
+        .zip(result.into_reports().map_err(|e| e.to_string())?)
+    {
         t.row(vec![
             format!("{size_kb}KB"),
             fixed(report.stats.misp_per_ki(), 3),
@@ -393,13 +415,8 @@ pub fn hotspots(args: &Args) -> CmdResult {
             .take_instructions(opts.instructions),
         &mut predictor,
     );
-    let mut t = TableWriter::with_columns(&[
-        "pc",
-        "executed",
-        "mispredicted",
-        "rate",
-        "collisions",
-    ]);
+    let mut t =
+        TableWriter::with_columns(&["pc", "executed", "mispredicted", "rate", "collisions"]);
     t.numeric();
     for (pc, r) in analysis.top_mispredictors(top) {
         t.row(vec![
@@ -420,6 +437,123 @@ pub fn hotspots(args: &Args) -> CmdResult {
     );
     println!("{}", t.render());
     Ok(())
+}
+
+/// Synthesizes spec-file text from the inline `check` options, so inline
+/// invocations go through the same parser — and get the same coded
+/// diagnostics — as `--spec` files.
+fn inline_spec_text(args: &Args) -> String {
+    let mut text = String::new();
+    for key in sdbp_check::SPEC_KEYS {
+        if let Some(value) = args.get(key) {
+            text.push_str(&format!("{key} {value}\n"));
+        }
+    }
+    if args.has_flag("shift") {
+        text.push_str("shift shift\n");
+    }
+    text
+}
+
+/// `sdbp check` — static diagnostics over a spec, a hint database, and a
+/// profile, without running any simulation.
+pub fn check(args: &Args) -> CmdResult {
+    let deny_warnings = args.has_flag("deny-warnings");
+    let mut diags = sdbp_check::Diagnostics::new();
+
+    // --suite: lint every spec the experiment harness binaries would run.
+    if args.has_flag("suite") {
+        for spec in sdbp_bench::experiments::suite_specs() {
+            diags.merge(sdbp_check::lint_spec(&spec, "<suite>"));
+        }
+    }
+
+    // The spec under scrutiny: a `--spec` file, or the inline options.
+    let (spec_text, origin) = match args.get("spec") {
+        Some(path) => (
+            fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+            path.to_string(),
+        ),
+        None => (inline_spec_text(args), "<args>".to_string()),
+    };
+    let (parsed, parse_diags) = sdbp_check::parse_spec_text(&spec_text, &origin);
+    diags.merge(parse_diags);
+    if let Some(spec) = &parsed.spec {
+        diags.merge(sdbp_check::lint_spec_with_history(
+            spec,
+            parsed.declared_history,
+            &origin,
+        ));
+    }
+
+    // --profile: metadata cross-checks, and the data for --aliasing.
+    let mut profile = None;
+    if let Some(path) = args.get("profile") {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (bias, metadata, profile_diags) = sdbp_check::parse_profile_text(&text, path);
+        diags.merge(profile_diags);
+        if let Some(spec) = &parsed.spec {
+            diags.merge(sdbp_check::lint_profile_against_spec(&metadata, spec, path));
+        }
+        profile = Some(bias);
+    }
+
+    // --hints: duplicate/conflict lints, plus profile cross-checks.
+    if let Some(path) = args.get("hints") {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (hints, hint_diags) = sdbp_check::parse_hints_text(&text, path);
+        diags.merge(hint_diags);
+        if let Some(bias) = &profile {
+            diags.merge(sdbp_check::lint_hints_against_profile(
+                &hints,
+                bias,
+                path,
+                sdbp_check::HintLintOptions::default(),
+            ));
+        }
+    }
+
+    // --aliasing: forecast destructive interference from the profile and
+    // the spec's index function. Falls back to a bounded fresh profiling
+    // run when no --profile file was given.
+    if args.has_flag("aliasing") {
+        if let Some(spec) = &parsed.spec {
+            let fresh;
+            let bias = match &profile {
+                Some(b) => b,
+                None => {
+                    let budget = args.get_parsed_or("instructions", 500_000u64)?;
+                    fresh = BiasProfile::from_source(
+                        Workload::spec95(spec.benchmark)
+                            .generator(InputSet::Train, spec.seed)
+                            .take_instructions(budget),
+                    );
+                    &fresh
+                }
+            };
+            let options = sdbp_check::AliasingOptions {
+                top: args.get_parsed_or("top", 10usize)?,
+                ..Default::default()
+            };
+            let (_, aliasing_diags) =
+                sdbp_check::lint_aliasing(bias, spec.predictor, &options, &origin);
+            diags.merge(aliasing_diags);
+        }
+    }
+
+    match args.get_or("format", "text") {
+        "json" => println!("{}", diags.to_json()),
+        "text" => {
+            print!("{}", diags.render_text());
+            println!("check: {}", diags.summary());
+        }
+        other => return Err(format!("invalid --format '{other}' (text|json)")),
+    }
+    if diags.passes(deny_warnings) {
+        Ok(())
+    } else {
+        Err(format!("check failed: {}", diags.summary()))
+    }
 }
 
 /// `sdbp list` — enumerate benchmarks and predictors.
@@ -519,6 +653,98 @@ mod tests {
             "1024",
         ]);
         assert!(sim(&a).is_ok());
+    }
+
+    #[test]
+    fn check_accepts_clean_inline_options() {
+        let a = args(&[
+            "check",
+            "--benchmark",
+            "gcc",
+            "--predictor",
+            "gshare",
+            "--size",
+            "8192",
+        ]);
+        assert!(check(&a).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_a_broken_spec_file() {
+        let dir = std::env::temp_dir().join("sdbp-cli-check-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.spec");
+        fs::write(&path, "predictor gshrae\nsize 3000\n").unwrap();
+        let err = check(&args(&["check", "--spec", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("error"), "unexpected message: {err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_deny_warnings_promotes_warnings_to_failure() {
+        // A bimodal predictor with a shift policy draws SDBP011 (warning):
+        // fine normally, fatal under --deny-warnings.
+        let warn = &["check", "--predictor", "bimodal", "--shift"];
+        assert!(check(&args(warn)).is_ok());
+        let mut strict: Vec<&str> = warn.to_vec();
+        strict.push("--deny-warnings");
+        assert!(check(&args(&strict)).is_err());
+    }
+
+    #[test]
+    fn check_profile_roundtrip_is_clean() {
+        // A profile written by `sdbp profile` must check cleanly against a
+        // spec built from the same options (metadata header included).
+        let dir = std::env::temp_dir().join("sdbp-cli-check-profile-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.prof");
+        let prof = path.to_str().unwrap();
+        let common = [
+            "--benchmark",
+            "compress",
+            "--instructions",
+            "50000",
+            "--seed",
+            "2000",
+        ];
+        let mut gen_args = vec!["profile", "--out", prof];
+        gen_args.extend_from_slice(&common);
+        profile(&args(&gen_args)).unwrap();
+
+        let mut check_args = vec!["check", "--profile", prof, "--deny-warnings"];
+        check_args.extend_from_slice(&common);
+        // profile_instructions must match the profile header for SDBP032.
+        check_args.extend_from_slice(&["--profile_instructions", "50000"]);
+        assert!(check(&args(&check_args)).is_ok());
+
+        // A mismatched benchmark is an error (SDBP030).
+        let mut bad = vec!["check", "--profile", prof, "--benchmark", "gcc"];
+        bad.extend_from_slice(&["--seed", "2000"]);
+        assert!(check(&args(&bad)).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_aliasing_emits_hotspot_notes_but_passes() {
+        let a = args(&[
+            "check",
+            "--benchmark",
+            "compress",
+            "--predictor",
+            "gshare",
+            "--size",
+            "1024",
+            "--instructions",
+            "50000",
+            "--aliasing",
+            "--deny-warnings",
+        ]);
+        assert!(check(&a).is_ok());
+    }
+
+    #[test]
+    fn check_suite_lints_the_harness_grids() {
+        assert!(check(&args(&["check", "--suite", "--deny-warnings"])).is_ok());
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
         "sweep" => commands::sweep(&args),
         "grid" => commands::grid(&args),
         "hotspots" => commands::hotspots(&args),
+        "check" => commands::check(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
@@ -62,6 +63,11 @@ commands:
   grid                         parallel Figure 7-style grid: paper predictors x
                                static schemes at --size on one benchmark
   hotspots                     top misprediction contributors (--top N)
+  check                        static diagnostics: lint a spec file or the
+                               inline options without running anything
+                               (--spec f.spec, --hints h.hints,
+                               --profile p.prof, --aliasing, --suite,
+                               --format text|json, --deny-warnings)
 
 common options:
   --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)
@@ -86,6 +92,15 @@ parallelism:
   hit/miss counters. SDBP_THREADS=N overrides the default thread count
   process-wide (the --threads flag wins when both are given).
 
+diagnostics:
+  check lints without simulating: spec problems (unknown names, bad sizes,
+  unrealizable budgets), hint-database problems (duplicates, conflicts,
+  stale or contradicted hints), profile/spec mismatches, and — with
+  --aliasing — a static forecast of the branches most likely to suffer
+  destructive interference in the configured predictor. Findings carry
+  stable SDBPnnn codes (see docs/diagnostics.md). Exit status is non-zero
+  on any error, or on warnings under --deny-warnings.
+
 examples:
   sdbp sim --benchmark gcc --predictor gshare --size 16384 --scheme static_acc
   sdbp sweep --benchmark m88ksim --predictor 2bcgskew --scheme static_95
@@ -93,4 +108,6 @@ examples:
   sdbp grid --benchmark go --size 8192 --threads 4
   sdbp gen --benchmark compress --out compress.sdbt --instructions 1000000
   sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
+  # lint a spec file and forecast aliasing hotspots, machine-readable:
+  sdbp check --spec run.spec --aliasing --format json
 ";

@@ -100,11 +100,7 @@ impl BranchAnalysis {
     pub fn top_mispredictors(&self, n: usize) -> Vec<(BranchAddr, BranchRecord)> {
         let mut all: Vec<(BranchAddr, BranchRecord)> =
             self.branches.iter().map(|(pc, r)| (*pc, *r)).collect();
-        all.sort_unstable_by(|a, b| {
-            b.1.mispredicted
-                .cmp(&a.1.mispredicted)
-                .then(a.0.cmp(&b.0))
-        });
+        all.sort_unstable_by(|a, b| b.1.mispredicted.cmp(&a.1.mispredicted).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
     }
@@ -146,7 +142,11 @@ mod tests {
         let analysis = BranchAnalysis::run(SliceSource::new(&events()), &mut p);
         assert_eq!(analysis.len(), 2);
         let top = analysis.top_mispredictors(1);
-        assert_eq!(top[0].0, BranchAddr(0x10), "the alternating branch dominates");
+        assert_eq!(
+            top[0].0,
+            BranchAddr(0x10),
+            "the alternating branch dominates"
+        );
         assert!(top[0].1.misprediction_rate() > 0.4);
         let easy = analysis.branch(BranchAddr(0x20)).unwrap();
         assert!(easy.misprediction_rate() < 0.05);

@@ -301,7 +301,11 @@ impl ArtifactCache {
             let events = self.events(benchmark, input, seed, instructions);
             Arc::new(BiasProfile::from_source(SliceSource::new(&events)))
         });
-        let counter = if computed { &self.bias_misses } else { &self.bias_hits };
+        let counter = if computed {
+            &self.bias_misses
+        } else {
+            &self.bias_hits
+        };
         counter.fetch_add(1, Ordering::Relaxed);
         Arc::clone(profile)
     }

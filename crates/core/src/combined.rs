@@ -209,7 +209,10 @@ mod tests {
         // not-taken initial prediction.
         let r = c.resolve(&ev(0x10 + 64 * 4, true));
         assert!(!r.was_static);
-        assert!(!r.predicted_taken, "table was never trained by the static branch");
+        assert!(
+            !r.predicted_taken,
+            "table was never trained by the static branch"
+        );
     }
 
     #[test]

@@ -160,6 +160,125 @@ impl ExperimentSpec {
                 .default_instructions(input)
         })
     }
+
+    /// The instruction budget of the measurement run, resolving the
+    /// workload default when none was set explicitly.
+    pub fn measure_budget(&self) -> u64 {
+        self.budget(self.measure_input, self.measure_instructions)
+    }
+
+    /// The instruction budget of the profiling run, resolving the workload
+    /// default when none was set explicitly.
+    pub fn profile_budget(&self) -> u64 {
+        let input = self.profile.profile_input(self.measure_input);
+        self.budget(input, self.profile_instructions)
+    }
+
+    /// Checks the structural invariants a spec must satisfy to produce a
+    /// meaningful experiment, without running anything.
+    ///
+    /// This is the lightweight gate behind [`Sweep`](crate::Sweep)'s strict
+    /// mode; the `sdbp-check` crate builds its coded diagnostics on top of
+    /// the same conditions (plus many more). A valid spec is guaranteed not
+    /// to panic inside [`Lab::run`] for spec-level reasons.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violated invariant as a [`SpecProblem`] naming the
+    /// offending field.
+    pub fn validate(&self) -> Result<(), Vec<SpecProblem>> {
+        let mut problems = Vec::new();
+        let mut problem = |field: &'static str, message: String| {
+            problems.push(SpecProblem { field, message });
+        };
+        if self.profile_instructions == Some(0) {
+            problem(
+                "profile_instructions",
+                "profiling budget is zero; no branch would be profiled".to_string(),
+            );
+        }
+        if self.measure_instructions == Some(0) {
+            problem(
+                "measure_instructions",
+                "measurement budget is zero; no branch would be measured".to_string(),
+            );
+        }
+        let measure = self.measure_budget();
+        if measure > 0 && self.warmup_instructions >= measure {
+            problem(
+                "warmup_instructions",
+                format!(
+                    "warm-up of {} instructions consumes the whole measurement \
+                     budget of {measure}",
+                    self.warmup_instructions
+                ),
+            );
+        }
+        match self.scheme {
+            SelectionScheme::None | SelectionScheme::VsAccuracy => {}
+            SelectionScheme::Bias { cutoff } => {
+                if !(cutoff > 0.0 && cutoff < 1.0) {
+                    problem(
+                        "scheme",
+                        format!("bias cutoff {cutoff} outside the open interval (0, 1)"),
+                    );
+                }
+            }
+            SelectionScheme::Factor { factor } => {
+                if !(factor > 0.0 && factor.is_finite()) {
+                    problem(
+                        "scheme",
+                        format!("accuracy factor {factor} must be positive"),
+                    );
+                }
+            }
+            SelectionScheme::CollisionAware {
+                min_bias,
+                min_collision_rate,
+            } => {
+                if !(min_bias > 0.0 && min_bias < 1.0) {
+                    problem(
+                        "scheme",
+                        format!("minimum bias {min_bias} outside the open interval (0, 1)"),
+                    );
+                }
+                if !(0.0..1.0).contains(&min_collision_rate) {
+                    problem(
+                        "scheme",
+                        format!("minimum collision rate {min_collision_rate} outside [0, 1)"),
+                    );
+                }
+            }
+        }
+        if let ProfileSource::MergedCrossTrained { max_bias_change } = self.profile {
+            if !(0.0..=1.0).contains(&max_bias_change) {
+                problem(
+                    "profile",
+                    format!("maximum bias change {max_bias_change} outside [0, 1]"),
+                );
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+/// One violated invariant found by [`ExperimentSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecProblem {
+    /// The [`ExperimentSpec`] field at fault.
+    pub field: &'static str,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for SpecProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
 }
 
 /// Errors from experiment execution.
@@ -167,12 +286,22 @@ impl ExperimentSpec {
 pub enum ExperimentError {
     /// Hint selection failed.
     Select(SelectError),
+    /// The spec was rejected before any simulation ran — by
+    /// [`ExperimentSpec::validate`] under a [`Sweep`](crate::Sweep)'s strict
+    /// mode, or by an installed pre-flight hook (see [`Lab::with_preflight`]).
+    Rejected {
+        /// The rendered pre-flight diagnostics.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExperimentError::Select(e) => write!(f, "hint selection failed: {e}"),
+            ExperimentError::Rejected { reason } => {
+                write!(f, "spec rejected by pre-flight checks: {reason}")
+            }
         }
     }
 }
@@ -181,6 +310,7 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExperimentError::Select(e) => Some(e),
+            ExperimentError::Rejected { .. } => None,
         }
     }
 }
@@ -218,7 +348,16 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<Report, ExperimentError> 
 /// [`Sweep`](crate::Sweep) — or across several labs — via [`Lab::with_cache`].
 pub struct Lab {
     cache: Arc<ArtifactCache>,
+    preflight: Option<PreflightFn>,
 }
+
+/// A pre-flight validator installable into a [`Lab`] or a
+/// [`Sweep`](crate::Sweep): inspects a spec before anything runs and
+/// returns the rendered diagnostics when the spec must be rejected.
+///
+/// The `sdbp-check` crate provides a full coded-diagnostics implementation;
+/// [`ExperimentSpec::validate`] is the dependency-free baseline.
+pub type PreflightFn = Arc<dyn Fn(&ExperimentSpec) -> Result<(), String> + Send + Sync>;
 
 impl Default for Lab {
     fn default() -> Self {
@@ -231,12 +370,25 @@ impl Lab {
     pub fn new() -> Self {
         Self {
             cache: Arc::new(ArtifactCache::new()),
+            preflight: None,
         }
     }
 
     /// Creates a lab sharing an existing artifact cache.
     pub fn with_cache(cache: Arc<ArtifactCache>) -> Self {
-        Self { cache }
+        Self {
+            cache,
+            preflight: None,
+        }
+    }
+
+    /// Installs a pre-flight validator that every subsequent [`Lab::run`]
+    /// consults before simulating; rejected specs come back as
+    /// [`ExperimentError::Rejected`] instead of running (or panicking)
+    /// mid-experiment.
+    pub fn with_preflight(mut self, preflight: PreflightFn) -> Self {
+        self.preflight = Some(preflight);
+        self
     }
 
     /// The shared artifact cache behind this lab.
@@ -252,7 +404,8 @@ impl Lab {
         seed: u64,
         instructions: u64,
     ) -> Arc<BiasProfile> {
-        self.cache.bias_profile(benchmark, input, seed, instructions)
+        self.cache
+            .bias_profile(benchmark, input, seed, instructions)
     }
 
     /// Returns the (cached) per-branch accuracy profile of `predictor` on a
@@ -311,13 +464,19 @@ impl Lab {
 
     /// Runs one experiment end to end (phase one + phase two).
     pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+        if let Some(preflight) = &self.preflight {
+            preflight(spec).map_err(|reason| ExperimentError::Rejected { reason })?;
+        }
         let hints = self.select_hints(spec)?;
         let hints_len = hints.len();
         let mut combined = CombinedPredictor::new(spec.predictor.build(), hints, spec.shift);
         let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
-        let events =
-            self.cache
-                .events(spec.benchmark, spec.measure_input, spec.seed, measure_budget);
+        let events = self.cache.events(
+            spec.benchmark,
+            spec.measure_input,
+            spec.seed,
+            measure_budget,
+        );
         let stats = Simulator::new()
             .with_warmup(spec.warmup_instructions)
             .run(SliceSource::new(&events), &mut combined);
@@ -429,11 +588,10 @@ mod tests {
 
     #[test]
     fn merged_cross_training_runs() {
-        let s = spec(SelectionScheme::static_95()).with_profile(
-            ProfileSource::MergedCrossTrained {
+        let s =
+            spec(SelectionScheme::static_95()).with_profile(ProfileSource::MergedCrossTrained {
                 max_bias_change: 0.05,
-            },
-        );
+            });
         let report = run_experiment(&s).unwrap();
         assert!(report.stats.branches > 10_000);
     }
@@ -446,7 +604,99 @@ mod tests {
         // On short runs the warm-up window isn't necessarily the worst
         // window, but the rates must stay in the same neighborhood.
         let ratio = with.stats.misp_per_ki() / without.stats.misp_per_ki();
-        assert!((0.7..1.3).contains(&ratio), "warm-up shifted rate by {ratio}");
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "warm-up shifted rate by {ratio}"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_configurations() {
+        spec(SelectionScheme::None).validate().unwrap();
+        spec(SelectionScheme::static_95()).validate().unwrap();
+        spec(SelectionScheme::static_acc()).validate().unwrap();
+        spec(SelectionScheme::collision_aware()).validate().unwrap();
+        spec(SelectionScheme::static_95())
+            .with_profile(ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_budgets() {
+        let mut s = spec(SelectionScheme::None);
+        s.measure_instructions = Some(0);
+        s.profile_instructions = Some(0);
+        let problems = s.validate().unwrap_err();
+        let fields: Vec<&str> = problems.iter().map(|p| p.field).collect();
+        assert!(fields.contains(&"profile_instructions"), "{problems:?}");
+        assert!(fields.contains(&"measure_instructions"), "{problems:?}");
+    }
+
+    #[test]
+    fn validate_rejects_warmup_swallowing_the_run() {
+        let s = spec(SelectionScheme::None).with_warmup(300_000);
+        let problems = s.validate().unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].field, "warmup_instructions");
+        assert!(problems[0].to_string().contains("warm-up"), "{problems:?}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_scheme_parameters() {
+        for scheme in [
+            SelectionScheme::Bias { cutoff: 0.0 },
+            SelectionScheme::Bias { cutoff: 1.0 },
+            SelectionScheme::Factor { factor: 0.0 },
+            SelectionScheme::Factor {
+                factor: f64::INFINITY,
+            },
+            SelectionScheme::CollisionAware {
+                min_bias: 1.5,
+                min_collision_rate: 0.05,
+            },
+            SelectionScheme::CollisionAware {
+                min_bias: 0.8,
+                min_collision_rate: 1.0,
+            },
+        ] {
+            let problems = spec(scheme).validate().unwrap_err();
+            assert!(
+                problems.iter().all(|p| p.field == "scheme"),
+                "{scheme:?}: {problems:?}"
+            );
+        }
+        let s = spec(SelectionScheme::None).with_profile(ProfileSource::MergedCrossTrained {
+            max_bias_change: -0.1,
+        });
+        assert_eq!(s.validate().unwrap_err()[0].field, "profile");
+    }
+
+    #[test]
+    fn lab_preflight_rejects_before_any_simulation() {
+        let lab = Lab::new().with_preflight(Arc::new(|spec: &ExperimentSpec| {
+            spec.validate().map_err(|p| {
+                p.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            })
+        }));
+        let bad = spec(SelectionScheme::Bias { cutoff: 2.0 });
+        match lab.run(&bad) {
+            Err(ExperimentError::Rejected { reason }) => {
+                assert!(reason.contains("cutoff"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(
+            format!("{lab:?}").contains("bias_profiles: 0"),
+            "nothing may have been profiled"
+        );
+        let good = spec(SelectionScheme::static_95());
+        assert!(lab.run(&good).is_ok(), "valid specs still run");
     }
 
     #[test]

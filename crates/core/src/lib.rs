@@ -67,7 +67,9 @@ pub mod sweep;
 pub use analysis::{BranchAnalysis, BranchRecord};
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
 pub use combined::{BranchResolution, CombinedPredictor, ShiftPolicy};
-pub use experiment::{run_experiment, ExperimentError, ExperimentSpec, Lab, ProfileSource};
+pub use experiment::{
+    run_experiment, ExperimentError, ExperimentSpec, Lab, PreflightFn, ProfileSource, SpecProblem,
+};
 pub use metrics::{CollisionStats, SimStats};
 pub use report::Report;
 pub use simulator::Simulator;

@@ -47,11 +47,7 @@ impl Simulator {
     }
 
     /// Runs `source` to exhaustion through `predictor`.
-    pub fn run<S: BranchSource>(
-        &self,
-        source: S,
-        predictor: &mut CombinedPredictor,
-    ) -> SimStats {
+    pub fn run<S: BranchSource>(&self, source: S, predictor: &mut CombinedPredictor) -> SimStats {
         self.run_with_observer(source, predictor, |_, _| {})
     }
 
@@ -125,8 +121,7 @@ mod tests {
         let mut hints = HintDatabase::new();
         hints.insert(BranchAddr(0x40), true);
         let events: Vec<BranchEvent> = (0..100).map(|i| ev(0x40, i % 10 != 9, 0)).collect();
-        let mut p =
-            CombinedPredictor::new(Box::new(Bimodal::new(64)), hints, ShiftPolicy::NoShift);
+        let mut p = CombinedPredictor::new(Box::new(Bimodal::new(64)), hints, ShiftPolicy::NoShift);
         let stats = Simulator::new().run(SliceSource::new(&events), &mut p);
         assert_eq!(stats.static_predicted, 100);
         assert_eq!(stats.static_mispredictions, 10);

@@ -37,12 +37,16 @@
 //! ```
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::experiment::{ExperimentError, ExperimentSpec, Lab};
+use crate::experiment::{ExperimentError, ExperimentSpec, Lab, PreflightFn};
 use crate::report::Report;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// What a worker records for one finished cell: the outcome and how long
+/// the cell ran on its thread.
+type CellOutcome = (Result<Report, ExperimentError>, Duration);
 
 /// The worker count a sweep uses when none is set explicitly: the
 /// `SDBP_THREADS` environment variable if set to a positive integer,
@@ -70,16 +74,21 @@ pub struct Sweep {
     threads: Option<usize>,
     cache: Arc<ArtifactCache>,
     verbose: bool,
+    strict: bool,
+    preflight: Option<PreflightFn>,
 }
 
 impl Sweep {
-    /// A sweep over `specs` with a fresh cache and automatic thread count.
+    /// A sweep over `specs` with a fresh cache, automatic thread count, and
+    /// strict pre-flight validation **on** (see [`Sweep::with_strict`]).
     pub fn new(specs: impl IntoIterator<Item = ExperimentSpec>) -> Self {
         Self {
             specs: specs.into_iter().collect(),
             threads: None,
             cache: Arc::new(ArtifactCache::new()),
             verbose: false,
+            strict: true,
+            preflight: None,
         }
     }
 
@@ -102,6 +111,22 @@ impl Sweep {
         self
     }
 
+    /// Controls strict mode (**on** by default): every cell is gated on
+    /// [`ExperimentSpec::validate`] and invalid cells come back as
+    /// [`ExperimentError::Rejected`] without running — a thousand-cell grid
+    /// fails fast and explainably instead of panicking mid-sweep.
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Installs an additional pre-flight validator run after strict
+    /// validation (e.g. `sdbp-check`'s full coded-diagnostics pass).
+    pub fn with_preflight(mut self, preflight: PreflightFn) -> Self {
+        self.preflight = Some(preflight);
+        self
+    }
+
     /// The worker count [`run`](Sweep::run) will use.
     pub fn threads(&self) -> usize {
         self.threads
@@ -109,9 +134,33 @@ impl Sweep {
             .min(self.specs.len().max(1))
     }
 
+    /// Checks one spec against strict validation and the installed
+    /// pre-flight hook, in that order.
+    fn preflight_cell(&self, spec: &ExperimentSpec) -> Result<(), ExperimentError> {
+        if self.strict {
+            if let Err(problems) = spec.validate() {
+                let reason = problems
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(ExperimentError::Rejected { reason });
+            }
+        }
+        if let Some(preflight) = &self.preflight {
+            preflight(spec).map_err(|reason| ExperimentError::Rejected { reason })?;
+        }
+        Ok(())
+    }
+
     /// Executes every cell and returns the results in spec order.
     pub fn run(self) -> SweepResult {
         let threads = self.threads();
+        let rejections: Vec<Option<ExperimentError>> = self
+            .specs
+            .iter()
+            .map(|spec| self.preflight_cell(spec).err())
+            .collect();
         let Sweep {
             specs,
             cache,
@@ -123,8 +172,7 @@ impl Sweep {
         let total = specs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(Result<Report, ExperimentError>, Duration)>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -136,13 +184,20 @@ impl Sweep {
                             break;
                         }
                         let cell_started = Instant::now();
-                        let report = lab.run(&specs[i]);
+                        let report = match &rejections[i] {
+                            Some(rejection) => Err(rejection.clone()),
+                            None => lab.run(&specs[i]),
+                        };
                         let elapsed = cell_started.elapsed();
                         if verbose {
                             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                             match &report {
-                                Ok(r) => eprintln!("  [{finished:>3}/{total}] {r}  ({elapsed:.1?})"),
-                                Err(e) => eprintln!("  [{finished:>3}/{total}] cell {i} failed: {e}"),
+                                Ok(r) => {
+                                    eprintln!("  [{finished:>3}/{total}] {r}  ({elapsed:.1?})")
+                                }
+                                Err(e) => {
+                                    eprintln!("  [{finished:>3}/{total}] cell {i} failed: {e}")
+                                }
                             }
                         }
                         *slots[i].lock().expect("sweep slot lock") = Some((report, elapsed));
@@ -344,6 +399,62 @@ mod tests {
         let result = Sweep::new(grid()[..2].to_vec()).with_threads(1).run();
         assert_eq!(result.threads, 1);
         assert!(result.into_reports().is_ok());
+    }
+
+    #[test]
+    fn strict_mode_rejects_invalid_cells_and_runs_the_rest() {
+        let mut specs = grid();
+        specs[1].measure_instructions = Some(0);
+        let result = Sweep::new(specs).with_threads(2).run();
+        match &result.cells[1].report {
+            Err(ExperimentError::Rejected { reason }) => {
+                assert!(reason.contains("measurement budget"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        for (i, cell) in result.cells.iter().enumerate() {
+            if i != 1 {
+                assert!(cell.report.is_ok(), "cell {i}: {:?}", cell.report);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_preflight_hook_runs_after_strict_validation() {
+        let specs = grid();
+        let result = Sweep::new(specs)
+            .with_threads(2)
+            .with_preflight(Arc::new(|spec: &ExperimentSpec| {
+                if spec.predictor.size_bytes() < 1024 {
+                    Err("policy: tables under 1 KB are not allowed".to_string())
+                } else {
+                    Ok(())
+                }
+            }))
+            .run();
+        for cell in &result.cells {
+            if cell.spec.predictor.size_bytes() < 1024 {
+                assert!(
+                    matches!(cell.report, Err(ExperimentError::Rejected { .. })),
+                    "{:?}",
+                    cell.report
+                );
+            } else {
+                assert!(cell.report.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_can_be_disabled() {
+        let mut specs = grid()[..2].to_vec();
+        specs[0].warmup_instructions = u64::MAX;
+        let lax = Sweep::new(specs).with_strict(false).with_threads(1).run();
+        assert!(
+            lax.cells[0].report.is_ok(),
+            "lax mode runs the degenerate cell: {:?}",
+            lax.cells[0].report
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl DynamicPredictor for Bimodal {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "bimodal");
+        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
     }
 
@@ -74,6 +75,11 @@ impl DynamicPredictor for Bimodal {
 
     fn total_collisions(&self) -> u64 {
         self.table.collisions()
+    }
+
+    fn probe_indices(&self, pc: BranchAddr, _history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        out.push((0, self.index(pc)));
+        true
     }
 }
 
@@ -105,7 +111,10 @@ mod tests {
             let _ = p.predict(pc);
             p.update(pc, false);
         }
-        assert!(!p.predict(pc).taken, "three not-takens flip a saturated counter");
+        assert!(
+            !p.predict(pc).taken,
+            "three not-takens flip a saturated counter"
+        );
         p.update(pc, false);
     }
 
@@ -144,6 +153,19 @@ mod tests {
         // Nothing observable changes; just must not panic.
         let _ = p.predict(pc);
         p.update(pc, true);
+    }
+
+    #[test]
+    fn probe_indices_are_history_free() {
+        let p = Bimodal::new(64);
+        let pc = BranchAddr(0x1c0);
+        let mut probes = Vec::new();
+        assert!(p.probe_indices(pc, 0, &mut probes));
+        assert_eq!(probes, vec![(0, p.index(pc))]);
+        let mut with_history = Vec::new();
+        assert!(p.probe_indices(pc, 0xffff, &mut with_history));
+        assert_eq!(probes, with_history, "history must not affect the index");
+        assert_eq!(p.history_bits(), 0);
     }
 
     #[test]

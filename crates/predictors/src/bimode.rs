@@ -194,7 +194,11 @@ mod tests {
             }
             p.update(pc, outcome);
         }
-        assert!(correct as f64 / 1000.0 > 0.95, "accuracy {}", correct as f64 / 1000.0);
+        assert!(
+            correct as f64 / 1000.0 > 0.95,
+            "accuracy {}",
+            correct as f64 / 1000.0
+        );
     }
 
     #[test]

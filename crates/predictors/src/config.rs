@@ -5,8 +5,8 @@
 //! [`PredictorConfig::build`] instantiates the simulator.
 
 use crate::{
-    Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
-    Tournament, TwoBcGskew, Yags,
+    Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local, Tournament,
+    TwoBcGskew, Yags,
 };
 use std::fmt;
 use std::str::FromStr;
@@ -249,7 +249,10 @@ mod tests {
             let parsed: PredictorKind = kind.name().parse().unwrap();
             assert_eq!(parsed, kind);
         }
-        assert_eq!("GAg".parse::<PredictorKind>().unwrap(), PredictorKind::Ghist);
+        assert_eq!(
+            "GAg".parse::<PredictorKind>().unwrap(),
+            PredictorKind::Ghist
+        );
         assert!("nonsense".parse::<PredictorKind>().is_err());
     }
 

@@ -85,12 +85,19 @@ impl SaturatingCounter {
         } else if self.value > 0 {
             self.value -= 1;
         }
+        debug_assert!(
+            self.value <= self.max,
+            "counter {} escaped its saturation bound {}",
+            self.value,
+            self.max
+        );
     }
 
     /// Resets the counter to a weak state leaning toward `taken`.
     pub fn reset_toward(&mut self, taken: bool) {
         let mid = self.max / 2;
         self.value = if taken { mid + 1 } else { mid };
+        debug_assert!(self.is_weak(), "reset_toward must land on a weak state");
     }
 }
 
@@ -142,7 +149,10 @@ mod tests {
     fn hysteresis_filters_single_anomaly() {
         let mut c = SaturatingCounter::new(2, 3);
         c.train(false);
-        assert!(c.predict_taken(), "one not-taken should not flip a strong counter");
+        assert!(
+            c.predict_taken(),
+            "one not-taken should not flip a strong counter"
+        );
         c.train(false);
         assert!(!c.predict_taken());
     }

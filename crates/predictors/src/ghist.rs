@@ -74,8 +74,10 @@ impl DynamicPredictor for Ghist {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "ghist");
+        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
+        debug_assert_eq!(self.history.len(), self.table.index_bits());
     }
 
     fn shift_history(&mut self, taken: bool) {
@@ -84,6 +86,15 @@ impl DynamicPredictor for Ghist {
 
     fn total_collisions(&self) -> u64 {
         self.table.collisions()
+    }
+
+    fn history_bits(&self) -> u32 {
+        self.table.index_bits()
+    }
+
+    fn probe_indices(&self, _pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        out.push((0, history & self.table.index_mask()));
+        true
     }
 }
 
@@ -184,7 +195,22 @@ mod tests {
         let before = p.history.value();
         p.shift_history(false);
         assert_ne!(p.history.value(), before);
-        assert_eq!(p.history.value(), before << 1 & ((1 << p.history_len()) - 1));
+        assert_eq!(
+            p.history.value(),
+            before << 1 & ((1 << p.history_len()) - 1)
+        );
+    }
+
+    #[test]
+    fn probe_indices_ignore_the_pc() {
+        let p = Ghist::new(256);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        assert!(p.probe_indices(BranchAddr(0x100), 0b1011, &mut a));
+        assert!(p.probe_indices(BranchAddr(0x900), 0b1011, &mut b));
+        assert_eq!(a, b, "GAg indexes by history alone");
+        assert_eq!(a, vec![(0, 0b1011)]);
+        assert_eq!(p.history_bits(), p.history_len());
     }
 
     #[test]

@@ -44,10 +44,7 @@ impl Gselect {
     /// counters (the index needs at least one bit of each component).
     pub fn new(size_bytes: usize) -> Self {
         let table = PredictionTable::two_bit(size_bytes * 4);
-        assert!(
-            table.index_bits() >= 2,
-            "gselect needs at least 4 counters"
-        );
+        assert!(table.index_bits() >= 2, "gselect needs at least 4 counters");
         let history_bits = table.index_bits() / 2;
         Self {
             history: HistoryRegister::new(history_bits.max(1)),
@@ -63,9 +60,16 @@ impl Gselect {
     }
 
     fn index(&self, pc: BranchAddr) -> u64 {
+        self.index_for(pc, self.history.bits(self.history_bits))
+    }
+
+    /// The table index for `pc` under a given raw history value — the pure
+    /// form of the index function, shared by [`DynamicPredictor::predict`]
+    /// and [`DynamicPredictor::probe_indices`].
+    fn index_for(&self, pc: BranchAddr, history: u64) -> u64 {
         let address_bits = self.table.index_bits() - self.history_bits;
         let address_part = pc.word_index() & ((1u64 << address_bits) - 1);
-        let history_part = self.history.bits(self.history_bits);
+        let history_part = history & ((1u64 << self.history_bits) - 1);
         (address_part << self.history_bits) | history_part
     }
 }
@@ -88,6 +92,7 @@ impl DynamicPredictor for Gselect {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "gselect");
+        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
     }
@@ -98,6 +103,15 @@ impl DynamicPredictor for Gselect {
 
     fn total_collisions(&self) -> u64 {
         self.table.collisions()
+    }
+
+    fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        out.push((0, self.index_for(pc, history)));
+        true
     }
 }
 
@@ -154,6 +168,16 @@ mod tests {
         let pred = p.predict(b);
         assert!(!pred.collision, "different address partitions");
         p.update(b, false);
+    }
+
+    #[test]
+    fn probe_indices_concatenate_like_the_live_index() {
+        let p = Gselect::new(64); // 4 addr bits, 4 hist bits
+        let pc = BranchAddr(0b0101 << 2);
+        let mut probes = Vec::new();
+        assert!(p.probe_indices(pc, 0b0011, &mut probes));
+        assert_eq!(probes, vec![(0, 0b0101_0011)]);
+        assert_eq!(DynamicPredictor::history_bits(&p), 4);
     }
 
     #[test]

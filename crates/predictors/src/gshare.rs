@@ -87,7 +87,19 @@ impl Gshare {
     }
 
     fn index(&self, pc: BranchAddr) -> u64 {
-        (pc.word_index() ^ self.history.bits(self.history_len)) & self.table.index_mask()
+        self.index_for(pc, self.history.bits(self.history_len))
+    }
+
+    /// The table index for `pc` under a given raw history value — the pure
+    /// form of the index function, shared by [`DynamicPredictor::predict`]
+    /// and [`DynamicPredictor::probe_indices`].
+    fn index_for(&self, pc: BranchAddr, history: u64) -> u64 {
+        let hist_mask = if self.history_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.history_len) - 1
+        };
+        (pc.word_index() ^ (history & hist_mask)) & self.table.index_mask()
     }
 }
 
@@ -109,8 +121,10 @@ impl DynamicPredictor for Gshare {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "gshare");
+        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
+        debug_assert_eq!(self.history.len(), self.history_len);
     }
 
     fn shift_history(&mut self, taken: bool) {
@@ -119,6 +133,15 @@ impl DynamicPredictor for Gshare {
 
     fn total_collisions(&self) -> u64 {
         self.table.collisions()
+    }
+
+    fn history_bits(&self) -> u32 {
+        self.history_len
+    }
+
+    fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        out.push((0, self.index_for(pc, history)));
+        true
     }
 }
 
@@ -177,7 +200,10 @@ mod tests {
             }
             p.update(b, false);
         }
-        assert!(a_correct > 390 && b_correct > 390, "{a_correct} {b_correct}");
+        assert!(
+            a_correct > 390 && b_correct > 390,
+            "{a_correct} {b_correct}"
+        );
     }
 
     #[test]
@@ -191,6 +217,19 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn oversized_history_rejected() {
         let _ = Gshare::with_history_len(64, 20); // 256 counters => 8 index bits
+    }
+
+    #[test]
+    fn probe_indices_match_the_live_index_function() {
+        let mut p = Gshare::new(1024);
+        for bit in [true, false, true, true, false] {
+            p.shift_history(bit);
+        }
+        let pc = BranchAddr(0x123c);
+        let mut probes = Vec::new();
+        assert!(p.probe_indices(pc, p.history.value(), &mut probes));
+        assert_eq!(probes, vec![(0, p.index(pc))]);
+        assert_eq!(p.history_bits(), p.history_len());
     }
 
     #[test]

@@ -51,6 +51,11 @@ impl HistoryRegister {
         if self.len < 64 {
             self.bits &= (1u64 << self.len) - 1;
         }
+        debug_assert!(
+            self.len >= 64 || self.bits < (1u64 << self.len),
+            "history register holds bits beyond its {}-bit length",
+            self.len
+        );
     }
 
     /// The newest `n` history bits (`n` ≤ length), newest in bit 0.
@@ -59,7 +64,11 @@ impl HistoryRegister {
     ///
     /// Panics if `n` exceeds the register length.
     pub fn bits(&self, n: u32) -> u64 {
-        assert!(n <= self.len, "requested {n} bits of a {}-bit history", self.len);
+        assert!(
+            n <= self.len,
+            "requested {n} bits of a {}-bit history",
+            self.len
+        );
         if n == 0 {
             0
         } else if n == 64 {
@@ -87,7 +96,11 @@ impl HistoryRegister {
     pub fn folded(&self, take: u32, into: u32) -> u64 {
         assert!(into > 0, "cannot fold into zero bits");
         let mut remaining = self.bits(take);
-        let mask = if into >= 64 { u64::MAX } else { (1u64 << into) - 1 };
+        let mask = if into >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << into) - 1
+        };
         let mut acc = 0u64;
         let mut consumed = 0;
         while consumed < take {

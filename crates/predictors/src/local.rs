@@ -83,8 +83,7 @@ impl DynamicPredictor for Local {
     }
 
     fn size_bytes(&self) -> usize {
-        (self.histories.len() * self.history_bits as usize).div_ceil(8)
-            + self.pattern.size_bytes()
+        (self.histories.len() * self.history_bits as usize).div_ceil(8) + self.pattern.size_bytes()
     }
 
     fn predict(&mut self, pc: BranchAddr) -> Prediction {
@@ -179,7 +178,11 @@ mod tests {
             let _ = p.predict(b);
             p.update(b, !o);
         }
-        assert!(p.total_collisions() > 100, "collisions {}", p.total_collisions());
+        assert!(
+            p.total_collisions() > 100,
+            "collisions {}",
+            p.total_collisions()
+        );
     }
 
     #[test]

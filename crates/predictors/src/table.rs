@@ -121,6 +121,11 @@ impl PredictionTable {
 
     /// Trains the counter at `index` toward `taken`.
     pub fn train(&mut self, index: u64, taken: bool) {
+        debug_assert!(
+            index <= self.index_mask(),
+            "train index {index} outside the {}-entry table",
+            self.counters.len()
+        );
         self.counters[index as usize].train(taken);
     }
 

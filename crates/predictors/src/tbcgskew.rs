@@ -143,10 +143,7 @@ impl DynamicPredictor for TwoBcGskew {
     }
 
     fn size_bytes(&self) -> usize {
-        self.bim.size_bytes()
-            + self.g0.size_bytes()
-            + self.g1.size_bytes()
-            + self.meta.size_bytes()
+        self.bim.size_bytes() + self.g0.size_bytes() + self.g1.size_bytes() + self.meta.size_bytes()
     }
 
     fn predict(&mut self, pc: BranchAddr) -> Prediction {
@@ -155,8 +152,7 @@ impl DynamicPredictor for TwoBcGskew {
         let (g0_pred, c_g0) = self.g0.lookup(g0_index, pc);
         let (g1_pred, c_g1) = self.g1.lookup(g1_index, pc);
         let (use_vote, c_meta) = self.meta.lookup(meta_index, pc);
-        let vote_pred =
-            (u8::from(bim_pred) + u8::from(g0_pred) + u8::from(g1_pred)) >= 2;
+        let vote_pred = (u8::from(bim_pred) + u8::from(g0_pred) + u8::from(g1_pred)) >= 2;
         let final_pred = if use_vote { vote_pred } else { bim_pred };
         self.latched = Some(Latched {
             pc,
@@ -214,10 +210,7 @@ impl DynamicPredictor for TwoBcGskew {
     }
 
     fn total_collisions(&self) -> u64 {
-        self.bim.collisions()
-            + self.g0.collisions()
-            + self.g1.collisions()
-            + self.meta.collisions()
+        self.bim.collisions() + self.g0.collisions() + self.g1.collisions() + self.meta.collisions()
     }
 }
 
@@ -280,7 +273,9 @@ mod tests {
         let mut measured = 0;
         let mut state = 0x12345678u64;
         for i in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let outcome = (state >> 33) % 100 < 85;
             let pred = p.predict(pc);
             if i >= 10_000 {

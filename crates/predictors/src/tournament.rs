@@ -121,9 +121,7 @@ impl DynamicPredictor for Tournament {
     }
 
     fn total_collisions(&self) -> u64 {
-        self.bimodal.total_collisions()
-            + self.gshare.total_collisions()
-            + self.chooser.collisions()
+        self.bimodal.total_collisions() + self.gshare.total_collisions() + self.chooser.collisions()
     }
 }
 
@@ -167,7 +165,10 @@ mod tests {
             }
             p.update(pc, outcome);
         }
-        assert!(correct > 950, "tournament alternation accuracy {correct}/1000");
+        assert!(
+            correct > 950,
+            "tournament alternation accuracy {correct}/1000"
+        );
     }
 
     #[test]

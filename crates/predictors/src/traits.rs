@@ -72,6 +72,28 @@ pub trait DynamicPredictor {
 
     /// Total collisions observed across all tables since construction.
     fn total_collisions(&self) -> u64;
+
+    /// The number of global-history bits that participate in index
+    /// formation (`0` for history-free schemes such as bimodal).
+    ///
+    /// Static analyzers use this to enumerate the history values worth
+    /// probing through [`DynamicPredictor::probe_indices`].
+    fn history_bits(&self) -> u32 {
+        0
+    }
+
+    /// Appends the `(bank, index)` table probes this predictor would make
+    /// for a branch at `pc` given the raw global-history value `history`
+    /// (newest outcome in bit 0), **without touching any predictor state**.
+    ///
+    /// Returns `true` when the scheme exposes its index function this way;
+    /// the default returns `false`, marking the scheme opaque to static
+    /// aliasing analysis (e.g. schemes whose index depends on mutable
+    /// per-branch state rather than `(pc, history)` alone).
+    fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        let _ = (pc, history, out);
+        false
+    }
 }
 
 /// Latched per-branch lookup context shared by the predictor

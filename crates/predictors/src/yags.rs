@@ -143,8 +143,7 @@ impl Yags {
     }
 
     fn cache_index(&self, pc: BranchAddr) -> u64 {
-        (pc.word_index() ^ self.history.bits(self.history.len()))
-            & self.taken_cache.index_mask()
+        (pc.word_index() ^ self.history.bits(self.history.len())) & self.taken_cache.index_mask()
     }
 }
 
@@ -154,9 +153,7 @@ impl DynamicPredictor for Yags {
     }
 
     fn size_bytes(&self) -> usize {
-        self.choice.size_bytes()
-            + self.taken_cache.size_bytes()
-            + self.not_taken_cache.size_bytes()
+        self.choice.size_bytes() + self.taken_cache.size_bytes() + self.not_taken_cache.size_bytes()
     }
 
     fn predict(&mut self, pc: BranchAddr) -> Prediction {
@@ -217,9 +214,7 @@ impl DynamicPredictor for Yags {
     }
 
     fn total_collisions(&self) -> u64 {
-        self.choice.collisions()
-            + self.taken_cache.collisions
-            + self.not_taken_cache.collisions
+        self.choice.collisions() + self.taken_cache.collisions + self.not_taken_cache.collisions
     }
 }
 

@@ -195,8 +195,7 @@ mod tests {
     #[test]
     fn works_through_dyn_trait() {
         let events = biased(0x10, 100);
-        let mut boxed: Box<dyn sdbp_predictors::DynamicPredictor> =
-            Box::new(Bimodal::new(64));
+        let mut boxed: Box<dyn sdbp_predictors::DynamicPredictor> = Box::new(Bimodal::new(64));
         let p = AccuracyProfile::collect(SliceSource::new(&events), boxed.as_mut());
         assert_eq!(p.len(), 1);
     }

@@ -234,8 +234,13 @@ mod tests {
         assert!(BiasProfile::from_text("zz 1 1\n").is_err());
         assert!(BiasProfile::from_text("10 x 1\n").is_err());
         assert!(BiasProfile::from_text("10 1\n").is_err());
-        assert!(BiasProfile::from_text("10 1 2\n").is_err(), "taken > executed");
-        assert!(BiasProfile::from_text("# just a comment\n").unwrap().is_empty());
+        assert!(
+            BiasProfile::from_text("10 1 2\n").is_err(),
+            "taken > executed"
+        );
+        assert!(BiasProfile::from_text("# just a comment\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -66,10 +66,7 @@ impl ProfileDatabase {
 
     /// The profile of a labeled run.
     pub fn run(&self, label: &str) -> Option<&BiasProfile> {
-        self.runs
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, p)| p)
+        self.runs.iter().find(|(l, _)| l == label).map(|(_, p)| p)
     }
 
     /// Iterates over `(label, profile)` in insertion order.
@@ -167,7 +164,10 @@ mod tests {
         db.add_run("ref", profile_with(&[(0x10, 100, 2), (0x20, 100, 93)]));
         let stable = db.merged_stable(0.05);
         assert!(stable.site(BranchAddr(0x10)).is_none(), "0x10 flipped");
-        assert!(stable.site(BranchAddr(0x20)).is_some(), "0x20 moved 2 points");
+        assert!(
+            stable.site(BranchAddr(0x20)).is_some(),
+            "0x20 moved 2 points"
+        );
         let unstable = db.unstable_sites(0.05);
         assert_eq!(unstable.len(), 1);
         assert!(unstable.contains(&BranchAddr(0x10)));

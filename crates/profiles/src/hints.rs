@@ -82,11 +82,7 @@ impl HintDatabase {
         entries.sort_unstable_by_key(|(pc, _)| *pc);
         let mut out = String::new();
         for (pc, taken) in entries {
-            out.push_str(&format!(
-                "{:x} {}\n",
-                pc.0,
-                if taken { 'T' } else { 'N' }
-            ));
+            out.push_str(&format!("{:x} {}\n", pc.0, if taken { 'T' } else { 'N' }));
         }
         out
     }
@@ -167,12 +163,9 @@ mod tests {
 
     #[test]
     fn text_roundtrip_is_sorted_and_stable() {
-        let db: HintDatabase = [
-            (BranchAddr(0x200), false),
-            (BranchAddr(0x10), true),
-        ]
-        .into_iter()
-        .collect();
+        let db: HintDatabase = [(BranchAddr(0x200), false), (BranchAddr(0x10), true)]
+            .into_iter()
+            .collect();
         let text = db.to_text();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines, ["10 T", "200 N"]);

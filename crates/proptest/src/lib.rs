@@ -90,7 +90,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { strategy: self, map: f }
+        Map {
+            strategy: self,
+            map: f,
+        }
     }
 }
 
@@ -210,8 +213,9 @@ impl Strategy for &str {
     type Value = String;
 
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (alphabet, lo, hi) = parse_char_class(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern '{self}' (want [chars]{{lo,hi}})"));
+        let (alphabet, lo, hi) = parse_char_class(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern '{self}' (want [chars]{{lo,hi}})")
+        });
         let len = lo + rng.below((hi - lo + 1) as u64) as usize;
         (0..len)
             .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
@@ -379,7 +383,10 @@ mod tests {
     fn generation_is_deterministic() {
         let draw = || {
             let mut rng = TestRng::for_case("x::y", 3);
-            Strategy::generate(&crate::collection::vec((0u64..100, any::<bool>()), 1..20), &mut rng)
+            Strategy::generate(
+                &crate::collection::vec((0u64..100, any::<bool>()), 1..20),
+                &mut rng,
+            )
         };
         assert_eq!(draw(), draw());
     }

@@ -25,6 +25,8 @@ use std::io::{Read, Write};
 
 const MAGIC: [u8; 4] = *b"SDBT";
 const VERSION: u16 = 1;
+/// Sanity cap on the declared trace-name length, far above any real name.
+const MAX_NAME_LEN: u64 = 64 * 1024;
 
 fn zigzag_encode(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -96,8 +98,16 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
     if version != VERSION {
         return Err(TraceError::UnsupportedVersion { found: version });
     }
-    let name_len = varint::read_u64(r)? as usize;
-    let mut name_bytes = vec![0u8; name_len];
+    let name_len = varint::read_u64(r)?;
+    // A corrupt length here would otherwise drive an arbitrarily large
+    // allocation before read_exact ever touches the payload.
+    if name_len > MAX_NAME_LEN {
+        return Err(TraceError::NameTooLong {
+            declared: name_len,
+            limit: MAX_NAME_LEN,
+        });
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
     r.read_exact(&mut name_bytes)?;
     let name = String::from_utf8_lossy(&name_bytes).into_owned();
     let count = varint::read_u64(r)?;
@@ -187,6 +197,23 @@ mod tests {
         assert!(matches!(
             read_binary(&mut &buf[..]),
             Err(TraceError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn absurd_name_length_is_rejected_without_allocating() {
+        // Header with a name length claiming ~4 GB: must error out, not
+        // attempt the allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        varint::write_u64(&mut buf, u64::from(u32::MAX)).unwrap();
+        assert!(matches!(
+            read_binary(&mut &buf[..]),
+            Err(TraceError::NameTooLong {
+                declared,
+                limit: MAX_NAME_LEN,
+            }) if declared == u64::from(u32::MAX)
         ));
     }
 

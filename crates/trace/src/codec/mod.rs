@@ -122,13 +122,15 @@ mod proptests {
     }
 
     fn arb_trace() -> impl Strategy<Value = Trace> {
-        (proptest::collection::vec(arb_event(), 0..200), "[a-z.0-9]{0,16}").prop_map(
-            |(events, name)| {
+        (
+            proptest::collection::vec(arb_event(), 0..200),
+            "[a-z.0-9]{0,16}",
+        )
+            .prop_map(|(events, name)| {
                 let mut b = TraceBuilder::named(name);
                 b.extend(events);
                 b.finish()
-            },
-        )
+            })
     }
 
     proptest! {

@@ -27,6 +27,14 @@ pub enum TraceError {
         /// Events actually decoded.
         decoded: u64,
     },
+    /// The header declared a trace name longer than the decoder's sanity
+    /// cap — corrupt input rather than a plausible name.
+    NameTooLong {
+        /// The declared length in bytes.
+        declared: u64,
+        /// The decoder's cap in bytes.
+        limit: u64,
+    },
     /// A text-format line could not be parsed.
     Parse {
         /// 1-based line number.
@@ -50,6 +58,10 @@ impl fmt::Display for TraceError {
             TraceError::TruncatedEvents { expected, decoded } => write!(
                 f,
                 "trace payload truncated: expected {expected} events, decoded {decoded}"
+            ),
+            TraceError::NameTooLong { declared, limit } => write!(
+                f,
+                "declared trace name length {declared} exceeds the {limit}-byte cap"
             ),
             TraceError::Parse { line, message } => {
                 write!(f, "text trace parse error at line {line}: {message}")

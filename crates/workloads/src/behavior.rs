@@ -293,7 +293,10 @@ mod tests {
             st.begin_activation();
             seen[usize::from(b.next(&mut st, 0, 0, &mut r))] = true;
         }
-        assert!(seen[0] && seen[1], "a fair sticky coin varies across activations");
+        assert!(
+            seen[0] && seen[1],
+            "a fair sticky coin varies across activations"
+        );
     }
 
     #[test]

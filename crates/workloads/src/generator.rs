@@ -196,11 +196,9 @@ mod tests {
 
     #[test]
     fn most_sites_get_executed() {
-        let gen = generator(Benchmark::Compress, InputSet::Train, 1)
-            .take_instructions(3_000_000);
+        let gen = generator(Benchmark::Compress, InputSet::Train, 1).take_instructions(3_000_000);
         let stats = TraceStats::from_source(gen);
-        let frac = stats.static_branches() as f64
-            / Benchmark::Compress.spec().static_sites as f64;
+        let frac = stats.static_branches() as f64 / Benchmark::Compress.spec().static_sites as f64;
         // Hot-code concentration (two-level Zipf) leaves the cold tail
         // unexecuted in a short run; half the sites within 3M instructions
         // is not expected, a third is.

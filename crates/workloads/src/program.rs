@@ -120,8 +120,7 @@ impl ProgramModel {
         // Sub-stream 3: ref perturbation decisions.
         let mut perturb_rng = base.substream(3);
 
-        let mixture_alias =
-            Alias::new(&spec.mixture.weights()).expect("mixture validated above");
+        let mixture_alias = Alias::new(&spec.mixture.weights()).expect("mixture validated above");
         // The static code layout is input-invariant (computed from the Train
         // CBR target); only the *dynamic* gap emitted in events follows the
         // per-input CBR target — different inputs retire different amounts
@@ -159,7 +158,12 @@ impl ProgramModel {
                 let behavior = if is_backedge {
                     BranchBehavior::LoopBack
                 } else {
-                    sample_behavior(&mixture_alias, spec.biased_stickiness, spec.latch_noise, &mut structure_rng)
+                    sample_behavior(
+                        &mixture_alias,
+                        spec.biased_stickiness,
+                        spec.latch_noise,
+                        &mut structure_rng,
+                    )
                 };
                 // Basic-block length: the workload's CBR target with mild
                 // per-site texture. One jitter draw feeds both the static
@@ -246,8 +250,7 @@ impl ProgramModel {
 
         // 4. Ref-input behavioral perturbation of biased sites.
         if input == InputSet::Ref {
-            let drift = Normal::new(0.0, spec.perturbation.drift_sd)
-                .expect("validated parameters");
+            let drift = Normal::new(0.0, spec.perturbation.drift_sd).expect("validated parameters");
             for site in &mut sites {
                 match &mut site.behavior {
                     BranchBehavior::Biased { p_taken, .. } => {
@@ -274,8 +277,8 @@ impl ProgramModel {
         }
 
         let weights: Vec<f64> = chains.iter().map(|c| c.weight).collect();
-        let chain_alias = Alias::new(&weights)
-            .expect("at least one chain stays live under every input");
+        let chain_alias =
+            Alias::new(&weights).expect("at least one chain stays live under every input");
 
         // 5. Sparse successor graph (sub-stream 4). The graph is built
         //    from the *input-invariant* base weights with identical RNG
@@ -412,15 +415,14 @@ fn sample_behavior<R: Rng>(
     rng: &mut R,
 ) -> BranchBehavior {
     let direction = rng.bernoulli(0.55); // mild global taken lean
-    // Strong branches are mostly *structural* (their latch follows the
-    // activation's data variant); weak branches are genuinely noisy
-    // per-activation data tests. The extra latch noise per class models
-    // that gradient on top of the benchmark mean.
+                                         // Strong branches are mostly *structural* (their latch follows the
+                                         // activation's data variant); weak branches are genuinely noisy
+                                         // per-activation data tests. The extra latch noise per class models
+                                         // that gradient on top of the benchmark mean.
     let biased = |bias: f64, extra_noise: f64, sticky_scale: f64, rng: &mut R| {
-        let stickiness = ((stickiness_mean + (rng.next_f64() - 0.5) * 0.3) * sticky_scale)
-            .clamp(0.0, 1.0);
-        let noise = (latch_noise_mean + extra_noise + (rng.next_f64() - 0.5) * 0.2)
-            .clamp(0.0, 1.0);
+        let stickiness =
+            ((stickiness_mean + (rng.next_f64() - 0.5) * 0.3) * sticky_scale).clamp(0.0, 1.0);
+        let noise = (latch_noise_mean + extra_noise + (rng.next_f64() - 0.5) * 0.2).clamp(0.0, 1.0);
         BranchBehavior::Biased {
             p_taken: if direction { bias } else { 1.0 - bias },
             stickiness,
@@ -518,8 +520,8 @@ mod tests {
     fn gap_tracks_cbr_target() {
         let m = model(InputSet::Ref);
         let spec = Benchmark::Compress.spec();
-        let mean_gap: f64 = m.sites().iter().map(|s| s.gap as f64).sum::<f64>()
-            / m.sites().len() as f64;
+        let mean_gap: f64 =
+            m.sites().iter().map(|s| s.gap as f64).sum::<f64>() / m.sites().len() as f64;
         let target = 1000.0 / spec.cbrs_per_ki_ref - 1.0;
         assert!(
             (mean_gap - target).abs() < 1.5,

@@ -9,17 +9,26 @@ use sdbp_trace::{BranchSource, TraceStats};
 /// A random — but always valid — workload specification.
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        50usize..800,                 // static sites
-        40.0f64..180.0,               // cbrs/ki
+        50usize..800,                                         // static sites
+        40.0f64..180.0,                                       // cbrs/ki
         (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), // mixture knobs
-        0.0f64..1.3,                  // zipf exponent
-        0.0f64..1.0,                  // stickiness
-        0.0f64..1.0,                  // latch noise
-        (0.0f64..0.6, 0.0f64..0.6, 0.0f64..1.0), // micro / straight / fixed
-        2.0f64..24.0,                 // mean iterations
+        0.0f64..1.3,                                          // zipf exponent
+        0.0f64..1.0,                                          // stickiness
+        0.0f64..1.0,                                          // latch noise
+        (0.0f64..0.6, 0.0f64..0.6, 0.0f64..1.0),              // micro / straight / fixed
+        2.0f64..24.0,                                         // mean iterations
     )
         .prop_map(
-            |(sites, cbr, (m1, m2, m3, m4), zipf, stick, noise, (micro, straight, fixed), iters)| {
+            |(
+                sites,
+                cbr,
+                (m1, m2, m3, m4),
+                zipf,
+                stick,
+                noise,
+                (micro, straight, fixed),
+                iters,
+            )| {
                 WorkloadSpec {
                     name: "prop",
                     static_sites: sites,

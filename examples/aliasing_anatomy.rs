@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("gshare on gcc — the aliasing anatomy:\n\n{}", table.render());
+    println!(
+        "gshare on gcc — the aliasing anatomy:\n\n{}",
+        table.render()
+    );
     println!("Things to notice (the paper's observations):");
     println!(" * collisions fall as the table grows — and fall further with static hints;");
     println!(" * most collisions are destructive (Young et al.'s finding);");

@@ -35,9 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let none = lab.run(&base.clone().with_scheme(SelectionScheme::None))?;
         let self_trained = lab.run(&base.clone().with_profile(ProfileSource::SelfTrained))?;
         let naive = lab.run(&base.clone().with_profile(ProfileSource::CrossTrained))?;
-        let merged = lab.run(&base.clone().with_profile(ProfileSource::MergedCrossTrained {
-            max_bias_change: 0.05,
-        }))?;
+        let merged = lab.run(
+            &base
+                .clone()
+                .with_profile(ProfileSource::MergedCrossTrained {
+                    max_bias_change: 0.05,
+                }),
+        )?;
 
         table.row(vec![
             benchmark.name().to_string(),

@@ -108,7 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hints = SelectionScheme::static_95().select(&bias, None)?;
     println!("selected {} static hints on ijpeg", hints.len());
 
-    for (label, hint_db) in [("dynamic only", HintDatabase::new()), ("with static_95", hints)] {
+    for (label, hint_db) in [
+        ("dynamic only", HintDatabase::new()),
+        ("with static_95", hints),
+    ] {
         for predictor in [
             Box::new(LoopPredictor::new(8 * 1024)) as Box<dyn DynamicPredictor>,
             Box::new(Bimodal::new(8 * 1024)),

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.dynamic_fraction_biased(0.95) * 100.0
     );
 
-    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::TwoBcGskew] {
+    for kind in [
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+        PredictorKind::TwoBcGskew,
+    ] {
         let mut predictor =
             CombinedPredictor::pure_dynamic(PredictorConfig::new(kind, 8 * 1024)?.build());
         let stats = Simulator::new().run(
@@ -67,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    by a Pin/DynamoRIO tool. Here: a tight alternating loop branch.
     let mut text = String::from("!name handwritten\n");
     for i in 0..2000 {
-        text.push_str(if i % 2 == 0 { "1000 T 3\n" } else { "1000 N 3\n" });
+        text.push_str(if i % 2 == 0 {
+            "1000 T 3\n"
+        } else {
+            "1000 N 3\n"
+        });
     }
     let trace = sdbp::trace::read_text(&mut text.as_bytes())?;
     println!(

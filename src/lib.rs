@@ -81,8 +81,8 @@ pub mod prelude {
         Simulator, Sweep, SweepResult,
     };
     pub use sdbp_predictors::{
-        Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local, Prediction,
-        PredictorConfig, PredictorKind, Tournament, TwoBcGskew, Yags,
+        Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
+        Prediction, PredictorConfig, PredictorKind, Tournament, TwoBcGskew, Yags,
     };
     pub use sdbp_profiles::{
         AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectionScheme,

@@ -5,7 +5,9 @@ use sdbp::prelude::*;
 
 fn measure(kind: PredictorKind, size: usize, benchmark: Benchmark) -> SimStats {
     let mut predictor = CombinedPredictor::pure_dynamic(
-        PredictorConfig::new(kind, size).expect("valid size").build(),
+        PredictorConfig::new(kind, size)
+            .expect("valid size")
+            .build(),
     );
     Simulator::new().run(
         Workload::spec95(benchmark)
@@ -32,7 +34,10 @@ fn every_predictor_runs_at_every_sweep_size() {
     for kind in PredictorKind::ALL {
         for size in [1024usize, 8 * 1024, 64 * 1024] {
             let stats = measure(kind, size, Benchmark::Compress);
-            assert!(stats.branches > 10_000, "{kind} at {size}: too few branches");
+            assert!(
+                stats.branches > 10_000,
+                "{kind} at {size}: too few branches"
+            );
             assert!(
                 (0.0..=1.0).contains(&stats.accuracy()),
                 "{kind} at {size}: accuracy out of range"
@@ -45,7 +50,11 @@ fn every_predictor_runs_at_every_sweep_size() {
 fn bigger_tables_never_explode_mispredictions() {
     // Capacity can only help (or at worst plateau) on an aliasing-bound
     // program; allow a small tolerance for indexing noise.
-    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::TwoBcGskew] {
+    for kind in [
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+        PredictorKind::TwoBcGskew,
+    ] {
         let small = measure(kind, 1024, Benchmark::Gcc);
         let large = measure(kind, 64 * 1024, Benchmark::Gcc);
         assert!(
@@ -88,7 +97,9 @@ fn bimodal_shows_least_aliasing() {
 #[test]
 fn declared_sizes_are_honored() {
     for kind in PredictorKind::ALL {
-        let p = PredictorConfig::new(kind, 16 * 1024).expect("valid").build();
+        let p = PredictorConfig::new(kind, 16 * 1024)
+            .expect("valid")
+            .build();
         let size = p.size_bytes();
         // agree carries a 1-bit bias table on top of its counters (1.5x);
         // e-gskew rounds its banks down; everything else matches exactly.

@@ -117,10 +117,7 @@ fn sweep_cache_is_shareable_across_sweeps() {
         .with_cache(Arc::clone(&cache))
         .with_threads(4)
         .run();
-    let warm = Sweep::new(specs)
-        .with_cache(cache)
-        .with_threads(4)
-        .run();
+    let warm = Sweep::new(specs).with_cache(cache).with_threads(4).run();
     assert!(cold.cache_stats.misses() > 0);
     assert_eq!(
         warm.cache_stats.bias_misses + warm.cache_stats.accuracy_misses,

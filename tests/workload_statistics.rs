@@ -57,7 +57,10 @@ fn execution_is_concentrated_on_hot_sites() {
         let top = counts.len().div_ceil(10);
         let hot: u64 = counts.iter().take(top).sum();
         let frac = hot as f64 / s.dynamic_branches() as f64;
-        assert!(frac > 0.35, "{benchmark}: top-10% sites cover only {frac:.2}");
+        assert!(
+            frac > 0.35,
+            "{benchmark}: top-10% sites cover only {frac:.2}"
+        );
     }
 }
 
@@ -87,7 +90,10 @@ fn train_ref_drift_is_moderate_and_perl_is_worst_covered() {
         .iter()
         .position(|(b, _)| *b == Benchmark::Perl)
         .expect("perl present");
-    assert!(perl_rank < 3, "perl coverage rank {perl_rank}: {coverages:?}");
+    assert!(
+        perl_rank < 3,
+        "perl coverage rank {perl_rank}: {coverages:?}"
+    );
 }
 
 #[test]
