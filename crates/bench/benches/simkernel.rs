@@ -1,0 +1,55 @@
+//! Criterion: the simulation kernel (packed tables + enum dispatch +
+//! chunked streaming) against the pre-optimization reference kernel
+//! (naive table, `Box<dyn>`, per-event `next_event`) on the same streams.
+//!
+//! `sdbp bench-kernel` runs the same measurements and writes
+//! `BENCH_simkernel.json`; this bench is the interactive `cargo bench`
+//! entry point for the same kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdbp_bench::kernel::{
+    baseline_kernel_pass, current_kernel_pass, workload_suite, BASELINE_SIZE, GSHARE_SIZES,
+};
+use sdbp_core::ArtifactCache;
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+
+const INSTRUCTIONS: u64 = 1_000_000;
+
+fn bench_kernels(c: &mut Criterion) {
+    let suite = workload_suite(&ArtifactCache::new(), INSTRUCTIONS);
+    let events: u64 = suite.iter().map(|e| e.len() as u64).sum();
+
+    let mut group = c.benchmark_group("simkernel");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("baseline/gshare-reference-4KB", |b| {
+        b.iter(|| baseline_kernel_pass(BASELINE_SIZE, &suite))
+    });
+    for size in GSHARE_SIZES {
+        let config = PredictorConfig::new(PredictorKind::Gshare, size).expect("power of two");
+        group.bench_with_input(
+            BenchmarkId::new("current/gshare", format!("{}KB", size / 1024)),
+            &config,
+            |b, config| b.iter(|| current_kernel_pass(config, &suite)),
+        );
+    }
+    for kind in PredictorKind::ALL {
+        if kind == PredictorKind::Gshare {
+            continue;
+        }
+        let config = PredictorConfig::new(kind, BASELINE_SIZE).expect("power of two");
+        group.bench_with_input(BenchmarkId::new("current", kind), &config, |b, config| {
+            b.iter(|| current_kernel_pass(config, &suite))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

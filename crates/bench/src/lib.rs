@@ -150,3 +150,4 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod kernel;

@@ -240,7 +240,7 @@ pub fn sim(args: &Args) -> CmdResult {
             }
             None => HintDatabase::new(),
         };
-        let mut combined = CombinedPredictor::new(config.build(), hints, shift);
+        let mut combined = CombinedPredictor::new(config.build_any(), hints, shift);
         let stats =
             Simulator::new().run(sdbp_trace::SliceSource::from_trace(&trace), &mut combined);
         println!("{config} on {path}: {stats}");
@@ -407,7 +407,7 @@ pub fn hotspots(args: &Args) -> CmdResult {
     let mut predictor = CombinedPredictor::pure_dynamic(
         PredictorConfig::new(kind, size)
             .map_err(|e| e.to_string())?
-            .build(),
+            .build_any(),
     );
     let analysis = BranchAnalysis::run(
         Workload::spec95(opts.benchmark)
@@ -557,6 +557,31 @@ pub fn check(args: &Args) -> CmdResult {
 }
 
 /// `sdbp list` — enumerate benchmarks and predictors.
+pub fn bench_kernel(args: &Args) -> CmdResult {
+    let quick = args.has_flag("quick");
+    let out = args.get_or("out", "BENCH_simkernel.json");
+    eprintln!(
+        "benchmarking simulation kernel ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sdbp_bench::kernel::run(quick, |m| {
+        eprintln!(
+            "  {:<20} {:>7}B  {:>9.2} Mbranches/s",
+            m.label,
+            m.size_bytes,
+            m.branches_per_sec() / 1e6
+        );
+    });
+    print!("{}", report.summary());
+    println!(
+        "cache: {} trace hits / {} misses",
+        report.cache_hits, report.cache_misses
+    );
+    fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 pub fn list() -> CmdResult {
     println!("benchmarks:");
     for b in Benchmark::ALL {

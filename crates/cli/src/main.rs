@@ -35,6 +35,7 @@ fn main() {
         "grid" => commands::grid(&args),
         "hotspots" => commands::hotspots(&args),
         "check" => commands::check(&args),
+        "bench-kernel" => commands::bench_kernel(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
@@ -68,6 +69,11 @@ commands:
                                (--spec f.spec, --hints h.hints,
                                --profile p.prof, --aliasing, --suite,
                                --format text|json, --deny-warnings)
+  bench-kernel                 time the simulation kernel (branches/sec per
+                               predictor and size, vs the pre-optimization
+                               reference kernel) and write a machine-readable
+                               report (--out BENCH_simkernel.json, --quick
+                               for the CI smoke budget)
 
 common options:
   --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)

@@ -329,10 +329,10 @@ impl ArtifactCache {
         let profile = slot.get_or_init(|| {
             computed = true;
             let events = self.events(benchmark, input, seed, instructions);
-            let mut dynamic = predictor.build();
+            let mut dynamic = predictor.build_any();
             Arc::new(AccuracyProfile::collect(
                 SliceSource::new(&events),
-                dynamic.as_mut(),
+                &mut dynamic,
             ))
         });
         let counter = if computed {
@@ -354,9 +354,9 @@ fn generate_events(key: ArtifactKey) -> Vec<BranchEvent> {
     // Pre-size from the workload's branch density to avoid regrowth churn.
     let expected = (instructions as f64 * key.0.spec().cbrs_per_ki(input) / 1000.0) as usize;
     let mut events = Vec::with_capacity(expected.min(1 << 26));
-    while let Some(e) = source.next_event() {
-        events.push(e);
-    }
+    // Chunked pulls amortize the per-event source indirection; the generator
+    // overrides `fill_events` with a straight batch loop.
+    while source.fill_events(&mut events, 8192) > 0 {}
     events
 }
 

@@ -1,6 +1,6 @@
 //! The combined static + dynamic predictor.
 
-use sdbp_predictors::DynamicPredictor;
+use sdbp_predictors::{AnyPredictor, DynamicPredictor};
 use sdbp_profiles::HintDatabase;
 use sdbp_trace::BranchAddr;
 use std::fmt;
@@ -78,27 +78,38 @@ pub struct BranchResolution {
 /// assert!(r.predicted_taken, "the hint says taken, even though it missed");
 /// ```
 pub struct CombinedPredictor {
-    dynamic: Box<dyn DynamicPredictor>,
+    dynamic: AnyPredictor,
     hints: HintDatabase,
     shift_policy: ShiftPolicy,
+    /// Reused per-batch scratch for [`CombinedPredictor::resolve_batch`].
+    scratch: Vec<sdbp_predictors::Prediction>,
 }
 
 impl CombinedPredictor {
     /// Combines a dynamic predictor with static hints.
+    ///
+    /// Accepts anything convertible into [`AnyPredictor`]: a concrete
+    /// predictor (plain or boxed — so `Box::new(Gshare::new(..))` call sites
+    /// keep working, now unboxed into static dispatch), an [`AnyPredictor`]
+    /// from [`PredictorConfig::build_any`]
+    /// (sdbp_predictors::PredictorConfig::build_any), or a
+    /// `Box<dyn DynamicPredictor>` for user-defined schemes (which stay
+    /// virtually dispatched through the `Custom` escape hatch).
     pub fn new(
-        dynamic: Box<dyn DynamicPredictor>,
+        dynamic: impl Into<AnyPredictor>,
         hints: HintDatabase,
         shift_policy: ShiftPolicy,
     ) -> Self {
         Self {
-            dynamic,
+            dynamic: dynamic.into(),
             hints,
             shift_policy,
+            scratch: Vec::new(),
         }
     }
 
     /// A pure dynamic configuration (empty hint database).
-    pub fn pure_dynamic(dynamic: Box<dyn DynamicPredictor>) -> Self {
+    pub fn pure_dynamic(dynamic: impl Into<AnyPredictor>) -> Self {
         Self::new(dynamic, HintDatabase::new(), ShiftPolicy::NoShift)
     }
 
@@ -128,9 +139,19 @@ impl CombinedPredictor {
     }
 
     /// Predicts and trains for one resolved branch, returning how it was
-    /// handled. This is the per-branch hot path of the whole system.
+    /// handled. This is the per-branch hot path of the whole system: the
+    /// dynamic component is enum-dispatched, so for the built-in predictors
+    /// `predict`/`update` resolve statically instead of through a vtable.
+    #[inline]
     pub fn resolve(&mut self, event: &sdbp_trace::BranchEvent) -> BranchResolution {
-        match self.hints.get(event.pc) {
+        // Pure-dynamic configurations (empty hint database) are the common
+        // hot case; skip the per-branch hash probe entirely for them.
+        let hint = if self.hints.is_empty() {
+            None
+        } else {
+            self.hints.get(event.pc)
+        };
+        match hint {
             Some(hint_taken) => {
                 if self.shift_policy == ShiftPolicy::Shift {
                     self.dynamic.shift_history(event.taken);
@@ -142,8 +163,7 @@ impl CombinedPredictor {
                 }
             }
             None => {
-                let pred = self.dynamic.predict(event.pc);
-                self.dynamic.update(event.pc, event.taken);
+                let pred = self.dynamic.predict_update(event.pc, event.taken);
                 BranchResolution {
                     predicted_taken: pred.taken,
                     was_static: false,
@@ -153,10 +173,50 @@ impl CombinedPredictor {
         }
     }
 
+    /// Batched [`CombinedPredictor::resolve`]: appends one resolution per
+    /// event to `out`, in order, with identical observable behavior.
+    ///
+    /// Pure-dynamic configurations hand the whole batch to the dynamic
+    /// predictor's [`DynamicPredictor::predict_update_batch`], whose
+    /// hot-scheme overrides keep loop-carried state in registers across the
+    /// batch. Hinted configurations need the per-branch static/dynamic
+    /// decision and take the per-event path.
+    pub fn resolve_batch(
+        &mut self,
+        events: &[sdbp_trace::BranchEvent],
+        out: &mut Vec<BranchResolution>,
+    ) {
+        match self.try_resolve_batch_dynamic(events) {
+            Some(predictions) => out.extend(predictions.iter().map(|p| BranchResolution {
+                predicted_taken: p.taken,
+                was_static: false,
+                collision: p.collision,
+            })),
+            None => out.extend(events.iter().map(|e| self.resolve(e))),
+        }
+    }
+
+    /// The pure-dynamic batch fast path: resolves `events` and returns the
+    /// raw predictions, or `None` when static hints are configured (every
+    /// prediction returned is dynamic by construction — the caller may treat
+    /// `was_static` as false without inspecting anything). The returned
+    /// slice lives in an internal scratch buffer reused across calls.
+    pub fn try_resolve_batch_dynamic(
+        &mut self,
+        events: &[sdbp_trace::BranchEvent],
+    ) -> Option<&[sdbp_predictors::Prediction]> {
+        if !self.hints.is_empty() {
+            return None;
+        }
+        self.scratch.clear();
+        self.dynamic.predict_update_batch(events, &mut self.scratch);
+        Some(&self.scratch)
+    }
+
     /// Consumes the combined predictor, returning the dynamic component
     /// (e.g. to inspect collision counters after a run).
     pub fn into_dynamic(self) -> Box<dyn DynamicPredictor> {
-        self.dynamic
+        self.dynamic.into_boxed()
     }
 }
 

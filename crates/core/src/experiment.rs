@@ -469,7 +469,9 @@ impl Lab {
         }
         let hints = self.select_hints(spec)?;
         let hints_len = hints.len();
-        let mut combined = CombinedPredictor::new(spec.predictor.build(), hints, spec.shift);
+        // build_any: the measurement loop dispatches on the enum, not a
+        // vtable — this is the system's hottest path.
+        let mut combined = CombinedPredictor::new(spec.predictor.build_any(), hints, spec.shift);
         let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
         let events = self.cache.events(
             spec.benchmark,

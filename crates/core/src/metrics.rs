@@ -27,6 +27,16 @@ impl CollisionStats {
         }
     }
 
+    /// Records a lookup that collided only if `collided` — branchlessly, so
+    /// the simulator's per-event loop carries no data-dependent branch on
+    /// the (near-random) collision bit.
+    #[inline]
+    pub fn record_if(&mut self, collided: bool, prediction_correct: bool) {
+        self.total += u64::from(collided);
+        self.constructive += u64::from(collided & prediction_correct);
+        self.destructive += u64::from(collided & !prediction_correct);
+    }
+
     /// Fraction of collisions that were destructive; `0.0` with none.
     pub fn destructive_fraction(&self) -> f64 {
         if self.total == 0 {
@@ -68,6 +78,18 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Adds another run's (or chunk's) counts into this one, field by field.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.instructions += other.instructions;
+        self.branches += other.branches;
+        self.mispredictions += other.mispredictions;
+        self.static_predicted += other.static_predicted;
+        self.static_mispredictions += other.static_mispredictions;
+        self.collisions.total += other.collisions.total;
+        self.collisions.constructive += other.collisions.constructive;
+        self.collisions.destructive += other.collisions.destructive;
+    }
+
     /// Mispredictions per thousand instructions — the paper's headline
     /// metric (its argument: unlike accuracy, it cannot be flattered by
     /// branch-sparse programs).

@@ -41,6 +41,12 @@ impl Simulator {
     /// Excludes the first `instructions` from the statistics (tables still
     /// train during warm-up). The paper's billion-instruction runs amortize
     /// cold-start; our scaled-down runs can optionally discount it instead.
+    ///
+    /// Boundary rule: an event belongs to the warm-up window iff the running
+    /// instruction total *including that event* is still ≤ the warm-up
+    /// budget. An event whose instruction gap straddles the boundary is
+    /// therefore attributed to the measured window — it is the first event
+    /// to cross the budget, never silently dropped from both windows.
     pub fn with_warmup(mut self, instructions: u64) -> Self {
         self.warmup_instructions = instructions;
         self
@@ -65,28 +71,134 @@ impl Simulator {
         S: BranchSource,
         F: FnMut(&BranchEvent, &BranchResolution),
     {
-        let mut stats = SimStats::default();
-        let mut seen_instructions = 0u64;
-        while let Some(event) = source.next_event() {
-            let resolution = predictor.resolve(&event);
-            seen_instructions += event.instructions();
-            if seen_instructions <= self.warmup_instructions {
-                continue;
-            }
-            let correct = resolution.predicted_taken == event.taken;
-            stats.instructions += event.instructions();
-            stats.branches += 1;
-            stats.mispredictions += u64::from(!correct);
-            if resolution.was_static {
-                stats.static_predicted += 1;
-                stats.static_mispredictions += u64::from(!correct);
-            }
-            if resolution.collision {
-                stats.collisions.record(correct);
-            }
-            observer(&event, &resolution);
+        let mut run = Run {
+            warmup_instructions: self.warmup_instructions,
+            stats: SimStats::default(),
+            seen_instructions: 0,
+            // Once the warm-up budget is crossed, every later event is
+            // measured; the flag keeps the accounting off the steady-state
+            // path.
+            warmed_up: self.warmup_instructions == 0,
+            resolutions: Vec::with_capacity(BATCH),
+        };
+        // Slice-backed sources (in-memory traces — the artifact-cache path
+        // every experiment takes) hand over their whole remainder in one
+        // borrow: zero copies, one pass. Everything else is pulled in chunks
+        // through `fill_events` into one reusable buffer, so the per-event
+        // cost is the predictor work itself, not a virtual `next_event`
+        // round-trip per branch.
+        if let Some(events) = source.drain_as_slice() {
+            run.process(events, predictor, &mut observer);
+            return run.stats;
         }
-        stats
+        let mut buf = Vec::with_capacity(BATCH);
+        loop {
+            buf.clear();
+            if source.fill_events(&mut buf, BATCH) == 0 {
+                break;
+            }
+            run.process(&buf, predictor, &mut observer);
+        }
+        run.stats
+    }
+}
+
+/// Events resolved per predictor batch call; also the chunk size pulled
+/// through `fill_events` for non-slice sources.
+const BATCH: usize = 4096;
+
+/// In-flight accounting state of one simulation run, shared by the
+/// zero-copy and chunked event paths.
+struct Run {
+    warmup_instructions: u64,
+    stats: SimStats,
+    seen_instructions: u64,
+    warmed_up: bool,
+    /// Reused scratch for the per-batch resolutions.
+    resolutions: Vec<BranchResolution>,
+}
+
+impl Run {
+    /// Resolves and accounts one batch of events.
+    ///
+    /// Resolution runs batch-at-a-time through
+    /// [`CombinedPredictor::resolve_batch`] (so the predictor's loop-carried
+    /// state stays in registers), then the accounting pass walks the events
+    /// and resolutions pairwise. Splitting the two preserves the per-event
+    /// semantics exactly: the predictor trains on every event (including
+    /// warm-up), while statistics and the observer see only measured ones.
+    #[inline]
+    fn process<F>(
+        &mut self,
+        events: &[BranchEvent],
+        predictor: &mut CombinedPredictor,
+        observer: &mut F,
+    ) where
+        F: FnMut(&BranchEvent, &BranchResolution),
+    {
+        for chunk in events.chunks(BATCH) {
+            // The measured remainder of each chunk is accounted fully
+            // branchlessly — the collision (and, in the hinted path, static)
+            // bits are the least predictable data in the loop — into local
+            // accumulators, settled into `self.stats` once per chunk
+            // (`self`-routed counters cannot stay in registers across
+            // iterations: the prediction loads might alias them).
+            if let Some(predictions) = predictor.try_resolve_batch_dynamic(chunk) {
+                // Pure-dynamic configurations: account straight off the raw
+                // predictions; every branch is dynamic by construction.
+                let start = self.consume_warmup(chunk);
+                let mut acc = SimStats::default();
+                for (event, &p) in chunk[start..].iter().zip(&predictions[start..]) {
+                    let correct = p.taken == event.taken;
+                    acc.instructions += event.instructions();
+                    acc.branches += 1;
+                    acc.mispredictions += u64::from(!correct);
+                    acc.collisions.record_if(p.collision, correct);
+                    let resolution = BranchResolution {
+                        predicted_taken: p.taken,
+                        was_static: false,
+                        collision: p.collision,
+                    };
+                    observer(event, &resolution);
+                }
+                self.stats.merge(&acc);
+            } else {
+                self.resolutions.clear();
+                predictor.resolve_batch(chunk, &mut self.resolutions);
+                let start = self.consume_warmup(chunk);
+                let mut acc = SimStats::default();
+                for (event, &resolution) in chunk[start..].iter().zip(&self.resolutions[start..]) {
+                    let correct = resolution.predicted_taken == event.taken;
+                    acc.instructions += event.instructions();
+                    acc.branches += 1;
+                    acc.mispredictions += u64::from(!correct);
+                    acc.static_predicted += u64::from(resolution.was_static);
+                    acc.static_mispredictions += u64::from(resolution.was_static & !correct);
+                    acc.collisions.record_if(resolution.collision, correct);
+                    observer(event, &resolution);
+                }
+                self.stats.merge(&acc);
+            }
+        }
+    }
+
+    /// Consumes the warm-up prefix of `chunk` event by event, returning the
+    /// index of the first measured event (`chunk.len()` when the whole chunk
+    /// is warm-up). An event whose running instruction total stays ≤ the
+    /// budget is warm-up; the first to cross it is measured (the straddle
+    /// rule), so the cursor stops *on* that event.
+    #[inline]
+    fn consume_warmup(&mut self, chunk: &[BranchEvent]) -> usize {
+        let mut start = 0;
+        while !self.warmed_up && start < chunk.len() {
+            self.seen_instructions += chunk[start].instructions();
+            if self.seen_instructions > self.warmup_instructions {
+                self.warmed_up = true;
+            } else {
+                start += 1;
+            }
+        }
+        start
     }
 }
 
@@ -145,6 +257,76 @@ mod tests {
         assert_eq!(cold.mispredictions, 1);
         assert_eq!(warm.mispredictions, 0);
         assert!(warm.branches < cold.branches);
+    }
+
+    #[test]
+    fn warmup_boundary_attribution_is_pinned() {
+        // 20 events of 10 instructions each (gap 9): 200 instructions total.
+        let events: Vec<BranchEvent> = (0..20).map(|_| ev(0x40, true, 9)).collect();
+        let run = |warmup: u64| {
+            Simulator::new().with_warmup(warmup).run(
+                SliceSource::new(&events),
+                &mut CombinedPredictor::pure_dynamic(Box::new(Bimodal::new(64))),
+            )
+        };
+        // An event ending exactly on the budget stays in the warm-up window:
+        // event 10 ends at instruction 100 == budget.
+        let exact = run(100);
+        assert_eq!(exact.branches, 10);
+        assert_eq!(exact.instructions, 100);
+        // A straddling event is measured: with budget 95, event 10 spans
+        // instructions 91..=100, crosses the boundary, and counts.
+        let straddle = run(95);
+        assert_eq!(straddle.branches, 11);
+        assert_eq!(straddle.instructions, 110, "the full event is measured");
+        // A budget past the stream measures nothing, but never panics.
+        assert_eq!(run(10_000).branches, 0);
+    }
+
+    #[test]
+    fn warmup_straddling_event_lands_in_exactly_one_window() {
+        // Irregular gaps: events cost 3, 7, 11, 5, 2 instructions. A warm-up
+        // budget inside the third event (3+7=10 < 12 < 21) must attribute
+        // that event to the measured window — 3 measured branches, and
+        // warm-up + measured instructions account for every event.
+        let costs = [2u32, 6, 10, 4, 1]; // gap = cost - 1
+        let events: Vec<BranchEvent> = costs.iter().map(|&g| ev(0x40, true, g)).collect();
+        let stats = Simulator::new().with_warmup(12).run(
+            SliceSource::new(&events),
+            &mut CombinedPredictor::pure_dynamic(Box::new(Bimodal::new(64))),
+        );
+        assert_eq!(stats.branches, 3);
+        assert_eq!(stats.instructions, 11 + 5 + 2);
+    }
+
+    #[test]
+    fn chunked_run_matches_across_chunk_boundaries() {
+        // More events than one 4096-event chunk, with warm-up engaged, to
+        // cross at least one chunk boundary in the measured window.
+        let events: Vec<BranchEvent> = (0..10_000)
+            .map(|i| ev(0x40 + (i % 13) * 4, i % 3 == 0, (i % 5) as u32))
+            .collect();
+        let reference = {
+            // Hand-rolled single-event loop with the documented semantics.
+            let mut p = CombinedPredictor::pure_dynamic(Box::new(Gshare::new(256)));
+            let mut seen = 0u64;
+            let (mut branches, mut mispredictions) = (0u64, 0u64);
+            for e in &events {
+                let r = p.resolve(e);
+                seen += e.instructions();
+                if seen <= 1000 {
+                    continue;
+                }
+                branches += 1;
+                mispredictions += u64::from(r.predicted_taken != e.taken);
+            }
+            (branches, mispredictions)
+        };
+        let stats = Simulator::new().with_warmup(1000).run(
+            SliceSource::new(&events),
+            &mut CombinedPredictor::pure_dynamic(Box::new(Gshare::new(256))),
+        );
+        assert_eq!((stats.branches, stats.mispredictions), reference);
     }
 
     #[test]

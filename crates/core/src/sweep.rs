@@ -297,16 +297,39 @@ impl SweepResult {
         }
     }
 
-    /// A one-line summary: cell count, threads, wall time, speedup, and
-    /// cache hit/miss counters.
+    /// Total simulated branches across all successful cells.
+    pub fn total_branches(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.report.as_ref().ok())
+            .map(|r| r.stats.branches)
+            .sum()
+    }
+
+    /// Aggregate simulation throughput: total branches of the successful
+    /// cells divided by the sweep's wall-clock time. This is the engine's
+    /// delivered rate (it credits both parallelism and cache reuse), not a
+    /// per-kernel figure — see `sdbp bench-kernel` for those.
+    pub fn branches_per_sec(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_branches() as f64 / wall
+        }
+    }
+
+    /// A one-line summary: cell count, threads, wall time, speedup,
+    /// aggregate branch throughput, and cache hit/miss counters.
     pub fn summary(&self) -> String {
         format!(
-            "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x); {}",
+            "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x, {:.1} Mbr/s); {}",
             self.cells.len(),
             self.threads,
             self.wall_time,
             self.total_cell_time(),
             self.speedup(),
+            self.branches_per_sec() / 1e6,
             self.cache_stats,
         )
     }
@@ -463,5 +486,8 @@ mod tests {
         let summary = result.summary();
         assert!(summary.contains("8 cells on 2 threads"), "{summary}");
         assert!(summary.contains("cache"), "{summary}");
+        assert!(summary.contains("Mbr/s"), "{summary}");
+        assert!(result.total_branches() > 0);
+        assert!(result.branches_per_sec() > 0.0, "{summary}");
     }
 }

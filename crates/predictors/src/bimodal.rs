@@ -65,8 +65,17 @@ impl DynamicPredictor for Bimodal {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "bimodal");
-        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
+    }
+
+    #[inline]
+    fn predict_update(&mut self, pc: BranchAddr, taken: bool) -> Prediction {
+        let index = self.index(pc);
+        let (predicted, collision) = self.table.lookup_train(index, pc, taken);
+        Prediction {
+            taken: predicted,
+            collision,
+        }
     }
 
     fn shift_history(&mut self, _taken: bool) {

@@ -5,8 +5,8 @@
 //! [`PredictorConfig::build`] instantiates the simulator.
 
 use crate::{
-    Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local, Tournament,
-    TwoBcGskew, Yags,
+    Agree, AnyPredictor, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
+    Tournament, TwoBcGskew, Yags,
 };
 use std::fmt;
 use std::str::FromStr;
@@ -203,17 +203,26 @@ impl PredictorConfig {
     /// of two ≤ budget/3), so `size_bytes()` of the result may be slightly
     /// below the configured budget; every other scheme matches it exactly.
     pub fn build(&self) -> Box<dyn DynamicPredictor> {
+        self.build_any().into_boxed()
+    }
+
+    /// Instantiates the predictor behind the enum-dispatched
+    /// [`AnyPredictor`], the form the simulation hot path wants: the inner
+    /// loop then resolves `predict`/`update` by discriminant match instead
+    /// of virtual calls. Sizing rules are identical to
+    /// [`PredictorConfig::build`].
+    pub fn build_any(&self) -> AnyPredictor {
         match self.kind {
-            PredictorKind::Bimodal => Box::new(Bimodal::new(self.size_bytes)),
-            PredictorKind::Ghist => Box::new(Ghist::new(self.size_bytes)),
-            PredictorKind::Gshare => Box::new(Gshare::new(self.size_bytes)),
-            PredictorKind::BiMode => Box::new(BiMode::new(self.size_bytes)),
-            PredictorKind::TwoBcGskew => Box::new(TwoBcGskew::new(self.size_bytes)),
-            PredictorKind::Agree => Box::new(Agree::new(self.size_bytes)),
-            PredictorKind::Yags => Box::new(Yags::new(self.size_bytes)),
-            PredictorKind::Gselect => Box::new(Gselect::new(self.size_bytes)),
-            PredictorKind::Tournament => Box::new(Tournament::new(self.size_bytes)),
-            PredictorKind::Local => Box::new(Local::new(self.size_bytes)),
+            PredictorKind::Bimodal => Bimodal::new(self.size_bytes).into(),
+            PredictorKind::Ghist => Ghist::new(self.size_bytes).into(),
+            PredictorKind::Gshare => Gshare::new(self.size_bytes).into(),
+            PredictorKind::BiMode => BiMode::new(self.size_bytes).into(),
+            PredictorKind::TwoBcGskew => TwoBcGskew::new(self.size_bytes).into(),
+            PredictorKind::Agree => Agree::new(self.size_bytes).into(),
+            PredictorKind::Yags => Yags::new(self.size_bytes).into(),
+            PredictorKind::Gselect => Gselect::new(self.size_bytes).into(),
+            PredictorKind::Tournament => Tournament::new(self.size_bytes).into(),
+            PredictorKind::Local => Local::new(self.size_bytes).into(),
             PredictorKind::EGskew => {
                 // Largest power-of-two bank that fits three times in budget.
                 let per_bank = (self.size_bytes / 3).max(1);
@@ -222,7 +231,7 @@ impl PredictorConfig {
                 } else {
                     per_bank.next_power_of_two() >> 1
                 };
-                Box::new(EGskew::new(3 * per_bank))
+                EGskew::new(3 * per_bank).into()
             }
         }
     }

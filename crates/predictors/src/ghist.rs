@@ -74,10 +74,20 @@ impl DynamicPredictor for Ghist {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "ghist");
-        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
         debug_assert_eq!(self.history.len(), self.table.index_bits());
+    }
+
+    #[inline]
+    fn predict_update(&mut self, pc: BranchAddr, taken: bool) -> Prediction {
+        let index = self.history.bits(self.table.index_bits());
+        let (predicted, collision) = self.table.lookup_train(index, pc, taken);
+        self.history.push(taken);
+        Prediction {
+            taken: predicted,
+            collision,
+        }
     }
 
     fn shift_history(&mut self, taken: bool) {

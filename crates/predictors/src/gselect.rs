@@ -92,9 +92,19 @@ impl DynamicPredictor for Gselect {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "gselect");
-        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
+    }
+
+    #[inline]
+    fn predict_update(&mut self, pc: BranchAddr, taken: bool) -> Prediction {
+        let index = self.index(pc);
+        let (predicted, collision) = self.table.lookup_train(index, pc, taken);
+        self.history.push(taken);
+        Prediction {
+            taken: predicted,
+            collision,
+        }
     }
 
     fn shift_history(&mut self, taken: bool) {

@@ -1,9 +1,9 @@
 //! The gshare predictor.
 
 use crate::history::HistoryRegister;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, PredictionTable, COUNTER_MASK, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// McFarling's gshare: index = branch address ⊕ global history.
 ///
@@ -121,10 +121,64 @@ impl DynamicPredictor for Gshare {
 
     fn update(&mut self, pc: BranchAddr, taken: bool) {
         let index = Latched::take_for(&mut self.latched, pc, "gshare");
-        debug_assert!(index <= self.table.index_mask(), "latched index in range");
         self.table.train(index, taken);
         self.history.push(taken);
         debug_assert_eq!(self.history.len(), self.history_len);
+    }
+
+    #[inline]
+    fn predict_update(&mut self, pc: BranchAddr, taken: bool) -> Prediction {
+        let index = self.index(pc);
+        let (predicted, collision) = self.table.lookup_train(index, pc, taken);
+        self.history.push(taken);
+        Prediction {
+            taken: predicted,
+            collision,
+        }
+    }
+
+    /// The batched hot path: the whole `lookup_train` body inlined over the
+    /// table's raw arrays, with the history register, masks and statistics
+    /// in locals for the batch. Observable behavior is pinned to the scalar
+    /// protocol by `batch_matches_scalar_protocol` below and the lockstep
+    /// property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let index_mask = self.table.index_mask();
+        // Equals the history register's own length mask: `build` sizes the
+        // register to exactly `history_len` bits.
+        let hist_mask = if self.history_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.history_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut collisions = 0u64;
+        {
+            let (counters, tags, max) = self.table.batch_parts();
+            let half = max / 2;
+            // `extend` over a `TrustedLen` iterator: one reservation for the
+            // whole batch, no per-event capacity check.
+            out.extend(events.iter().map(|e| {
+                let i = ((e.pc.word_index() ^ history) & index_mask) as usize;
+                let tag = fold_tag(e.pc);
+                let c = counters[i];
+                let collided = (c & VALID != 0) & (tags[i] != tag);
+                collisions += u64::from(collided);
+                let v = c & COUNTER_MASK;
+                let taken = e.taken;
+                let up = u8::from(taken) & u8::from(v < max);
+                let down = u8::from(!taken) & u8::from(v > 0);
+                counters[i] = VALID | (v + up - down);
+                tags[i] = tag;
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: v > half,
+                    collision: collided,
+                }
+            }));
+        }
+        self.table.add_batch_stats(events.len() as u64, collisions);
+        self.history.set_bits(history);
     }
 
     fn shift_history(&mut self, taken: bool) {
@@ -230,6 +284,48 @@ mod tests {
         assert!(p.probe_indices(pc, p.history.value(), &mut probes));
         assert_eq!(probes, vec![(0, p.index(pc))]);
         assert_eq!(p.history_bits(), p.history_len());
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        // The hand-hoisted batch loop against the predict/update protocol,
+        // event for event, across batch sizes that cover empty, single-event
+        // and multi-event calls.
+        let mut state = 0xfeed_face_cafe_beefu64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = Gshare::new(1024);
+        let mut scalar = Gshare::new(1024);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+        }
+        assert_eq!(batched.table.lookups(), scalar.table.lookups());
     }
 
     #[test]

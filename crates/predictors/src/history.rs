@@ -46,6 +46,7 @@ impl HistoryRegister {
     }
 
     /// Shifts one branch outcome into the register.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
         self.bits = (self.bits << 1) | u64::from(taken);
         if self.len < 64 {
@@ -63,6 +64,7 @@ impl HistoryRegister {
     /// # Panics
     ///
     /// Panics if `n` exceeds the register length.
+    #[inline]
     pub fn bits(&self, n: u32) -> u64 {
         assert!(
             n <= self.len,
@@ -79,6 +81,7 @@ impl HistoryRegister {
     }
 
     /// The full register contents.
+    #[inline]
     pub fn value(&self) -> u64 {
         self.bits
     }
@@ -114,6 +117,18 @@ impl HistoryRegister {
     /// Clears the register to all zeros.
     pub fn clear(&mut self) {
         self.bits = 0;
+    }
+
+    /// Restores the register contents from a batch loop's local copy. The
+    /// value must already be masked to the register length (batch loops
+    /// apply the same mask as [`push`](HistoryRegister::push)).
+    pub(crate) fn set_bits(&mut self, bits: u64) {
+        debug_assert!(
+            self.len >= 64 || bits < (1u64 << self.len),
+            "batch history value exceeds the {}-bit register length",
+            self.len
+        );
+        self.bits = bits;
     }
 }
 

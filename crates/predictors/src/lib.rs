@@ -42,6 +42,7 @@ pub mod bimodal;
 pub mod bimode;
 pub mod config;
 pub mod counter;
+pub mod dispatch;
 pub mod ghist;
 pub mod gselect;
 pub mod gshare;
@@ -60,13 +61,14 @@ pub use bimodal::Bimodal;
 pub use bimode::BiMode;
 pub use config::{ConfigError, PredictorConfig, PredictorKind};
 pub use counter::SaturatingCounter;
+pub use dispatch::AnyPredictor;
 pub use ghist::Ghist;
 pub use gselect::Gselect;
 pub use gshare::Gshare;
 pub use gskew::EGskew;
 pub use history::HistoryRegister;
 pub use local::Local;
-pub use table::PredictionTable;
+pub use table::{PredictionTable, ReferenceTable};
 pub use tbcgskew::TwoBcGskew;
 pub use tournament::Tournament;
 pub use traits::{DynamicPredictor, Prediction};

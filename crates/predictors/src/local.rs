@@ -88,8 +88,9 @@ impl DynamicPredictor for Local {
 
     fn predict(&mut self, pc: BranchAddr) -> Prediction {
         let history_index = self.history_index(pc);
-        let local = self.histories[history_index] as u64;
-        let pattern_index = local & self.pattern.index_mask();
+        // The pattern table masks internally; the raw local history is a
+        // valid index as-is.
+        let pattern_index = self.histories[history_index] as u64;
         let (taken, collision) = self.pattern.lookup(pattern_index, pc);
         self.latched = Some(Latched {
             pc,

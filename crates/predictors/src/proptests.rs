@@ -10,6 +10,7 @@
 use crate::counter::SaturatingCounter;
 use crate::history::HistoryRegister;
 use crate::skew::{h, h_inv, h_inv_pow, h_pow, skew};
+use crate::table::{PredictionTable, ReferenceTable};
 use crate::{PredictorConfig, PredictorKind};
 use proptest::prelude::*;
 use sdbp_trace::BranchAddr;
@@ -152,6 +153,63 @@ proptest! {
         for k in 0..4 {
             let out = skew(k, v1, v2, v3, n);
             prop_assert!(out < (1u64 << n));
+        }
+    }
+
+    /// The bit-packed [`PredictionTable`] and the naive [`ReferenceTable`]
+    /// stay in lockstep on arbitrary op sequences: same predictions, same
+    /// collision flags, same lookup/collision totals, same modeled size.
+    /// Indices are drawn well past the table size to exercise the internal
+    /// masking contract.
+    #[test]
+    fn packed_table_matches_reference(
+        entries_shift in 1u32..10,
+        bits in 1u8..6,
+        init_frac in 0.0f64..1.0,
+        ops in proptest::collection::vec(
+            (0u8..4, any::<u64>(), 0u64..96, any::<bool>()),
+            1..400,
+        ),
+    ) {
+        let entries = 1usize << entries_shift;
+        let max = (1u8 << bits) - 1;
+        let template = SaturatingCounter::new(bits, (init_frac * max as f64) as u8);
+        let mut packed = PredictionTable::new(entries, template);
+        let mut reference = ReferenceTable::new(entries, template);
+        prop_assert_eq!(packed.entries(), reference.entries());
+        prop_assert_eq!(packed.size_bytes(), reference.size_bytes());
+        prop_assert_eq!(packed.index_bits(), reference.index_bits());
+        for (i, &(op, index, pc_word, taken)) in ops.iter().enumerate() {
+            let pc = BranchAddr(pc_word * 4);
+            match op {
+                0 => {
+                    let (p, r) = (packed.lookup(index, pc), reference.lookup(index, pc));
+                    prop_assert_eq!(p, r, "lookup diverged at op {}", i);
+                }
+                1 => {
+                    packed.train(index, taken);
+                    reference.train(index, taken);
+                }
+                2 => prop_assert_eq!(
+                    packed.peek(index), reference.peek(index),
+                    "peek diverged at op {}", i
+                ),
+                _ => prop_assert_eq!(
+                    packed.counter(index).value(),
+                    reference.counter(index).value(),
+                    "counter diverged at op {}", i
+                ),
+            }
+        }
+        prop_assert_eq!(packed.lookups(), reference.lookups());
+        prop_assert_eq!(packed.collisions(), reference.collisions());
+        // Full-table sweep: every counter cell agrees after the op storm.
+        for i in 0..entries as u64 {
+            prop_assert_eq!(
+                packed.counter(i).value(),
+                reference.counter(i).value(),
+                "cell {} diverged", i
+            );
         }
     }
 

@@ -1,7 +1,26 @@
 //! Tagged counter tables with collision instrumentation.
+//!
+//! [`PredictionTable`] is the hot-path storage cell of every table-based
+//! predictor: a packed byte of counter-plus-validity per entry next to a
+//! compact 32-bit tag fold, five bytes per entry against the naive
+//! layout's eighteen (16-byte `Option<BranchAddr>` tag plus an unpacked
+//! counter). [`ReferenceTable`] keeps that original naive representation
+//! as an oracle for lockstep property tests and as the baseline the kernel
+//! benchmark measures against.
 
 use crate::counter::SaturatingCounter;
 use sdbp_trace::BranchAddr;
+
+/// Folds a branch address into the 32-bit tag stored per entry.
+///
+/// The fold is the identity for addresses below 2^32 — i.e. for any
+/// realistic text segment — so collision accounting is exact there. Two
+/// distinct branches can only share a tag if their addresses differ in the
+/// high 32 bits in exactly the pattern the XOR cancels.
+#[inline]
+pub(crate) fn fold_tag(pc: BranchAddr) -> u32 {
+    (pc.0 ^ (pc.0 >> 32)) as u32
+}
 
 /// A power-of-two table of saturating counters with per-entry tags.
 ///
@@ -12,6 +31,30 @@ use sdbp_trace::BranchAddr;
 ///
 /// Tags are pure instrumentation — they do not influence predictions and are
 /// excluded from [`PredictionTable::size_bytes`].
+///
+/// # Storage layout
+///
+/// Two parallel arrays: one byte per entry packing `[valid:1 | counter:7]`,
+/// and one `u32` per entry holding the tag fold. Splitting them matters on
+/// the hot path: the prediction and the saturating train touch only the
+/// byte array — 16 KB for the paper's 4 KB gshare, so it stays L1-resident
+/// under random indexing — while the (4x larger) tag side-band is only
+/// loaded and stored for collision accounting. The valid bit replaces the
+/// `None` state of the reference layout's `Option<BranchAddr>` tags,
+/// keeping first-touch ("no collision") semantics exact, and the 32-bit
+/// tag fold is exact for any address below 2^32 (see [`fold_tag`]).
+/// Counters are limited to 7 bits — ample for the 2- and 3-bit counters of
+/// every tabled scheme here.
+///
+/// # Index masking
+///
+/// All accessors ([`lookup`](PredictionTable::lookup),
+/// [`peek`](PredictionTable::peek), [`train`](PredictionTable::train),
+/// [`counter`](PredictionTable::counter)) mask the index with
+/// [`index_mask`](PredictionTable::index_mask) internally, so callers may
+/// pass any hashed value without pre-masking. Code that *reports* indices
+/// (e.g. `probe_indices`) must still mask, because the canonical table slot
+/// is part of its output.
 ///
 /// # Examples
 ///
@@ -28,6 +71,197 @@ use sdbp_trace::BranchAddr;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PredictionTable {
+    /// One packed `[valid:1 | counter:7]` byte per entry.
+    counters: Vec<u8>,
+    /// One 32-bit tag fold per entry (meaningful only when the entry's
+    /// valid bit is set).
+    tags: Vec<u32>,
+    entries: usize,
+    counter_bits: u8,
+    /// Largest counter value (counters hold at most 7 bits).
+    max: u8,
+    lookups: u64,
+    collisions: u64,
+}
+
+/// In-byte mask of the counter value (low 7 bits).
+pub(crate) const COUNTER_MASK: u8 = 0x7f;
+/// In-byte flag: the entry has been looked up at least once.
+pub(crate) const VALID: u8 = 0x80;
+
+impl PredictionTable {
+    /// Creates a table of `entries` counters, each a copy of `template`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize, template: SaturatingCounter) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table entries {entries} must be a power of two"
+        );
+        assert!(
+            template.max() <= COUNTER_MASK,
+            "counters wider than 7 bits do not fit the packed layout"
+        );
+        Self {
+            counters: vec![template.value(); entries],
+            tags: vec![0; entries],
+            entries,
+            counter_bits: template.max().count_ones() as u8,
+            max: template.max(),
+            lookups: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Creates a table of classic 2-bit counters initialized weakly
+    /// not-taken.
+    pub fn two_bit(entries: usize) -> Self {
+        Self::new(entries, SaturatingCounter::two_bit())
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of index bits (`log2(entries)`).
+    pub fn index_bits(&self) -> u32 {
+        self.entries.trailing_zeros()
+    }
+
+    /// Bitmask selecting a valid index.
+    pub fn index_mask(&self) -> u64 {
+        self.entries as u64 - 1
+    }
+
+    /// Architectural storage in bytes (counters only; tags are
+    /// instrumentation).
+    pub fn size_bytes(&self) -> usize {
+        (self.entries * self.counter_bits as usize).div_ceil(8)
+    }
+
+    /// Reads the counter at `index` for branch `pc`, recording aliasing.
+    ///
+    /// The index is masked with [`index_mask`](PredictionTable::index_mask)
+    /// internally. Returns `(predict_taken, collided)` where `collided`
+    /// reports whether a *different* branch was the last user of the entry.
+    /// The entry's tag is updated to `pc`.
+    #[inline]
+    pub fn lookup(&mut self, index: u64, pc: BranchAddr) -> (bool, bool) {
+        let i = (index & self.index_mask()) as usize;
+        self.lookups += 1;
+        let tag = fold_tag(pc);
+        let c = self.counters[i];
+        // Non-short-circuiting `&`: collisions are data-dependent (and near
+        // random on aliasing workloads), so a conditional branch here would
+        // mispredict constantly in the simulation inner loop.
+        let collided = (c & VALID != 0) & (self.tags[i] != tag);
+        self.collisions += collided as u64;
+        self.counters[i] = VALID | (c & COUNTER_MASK);
+        self.tags[i] = tag;
+        (c & COUNTER_MASK > self.max / 2, collided)
+    }
+
+    /// Fused [`lookup`](PredictionTable::lookup) +
+    /// [`train`](PredictionTable::train) on the same entry: one load and one
+    /// store instead of two of each.
+    ///
+    /// Observably equivalent to `lookup(index, pc)` followed by
+    /// `train(index, taken)` — the prediction and collision report come from
+    /// the pre-training entry state. This is the per-event path of the
+    /// single-table predictors' `predict_update`.
+    #[inline]
+    pub fn lookup_train(&mut self, index: u64, pc: BranchAddr, taken: bool) -> (bool, bool) {
+        let i = (index & self.index_mask()) as usize;
+        self.lookups += 1;
+        let tag = fold_tag(pc);
+        let c = self.counters[i];
+        let collided = (c & VALID != 0) & (self.tags[i] != tag);
+        self.collisions += collided as u64;
+        let v = c & COUNTER_MASK;
+        // Branchless saturating step: `taken` is exactly the branch outcome
+        // stream being simulated — the least predictable data in the loop.
+        let up = u8::from(taken) & u8::from(v < self.max);
+        let down = u8::from(!taken) & u8::from(v > 0);
+        self.counters[i] = VALID | (v + up - down);
+        self.tags[i] = tag;
+        (v > self.max / 2, collided)
+    }
+
+    /// Reads the counter at `index` (masked internally) without touching
+    /// tags or statistics.
+    ///
+    /// Used by meta-predictors that consult a bank but do not "use" it in the
+    /// aliasing-measurement sense.
+    #[inline]
+    pub fn peek(&self, index: u64) -> bool {
+        let i = (index & self.index_mask()) as usize;
+        self.counters[i] & COUNTER_MASK > self.max / 2
+    }
+
+    /// The counter at `index` (masked internally), materialized by value.
+    pub fn counter(&self, index: u64) -> SaturatingCounter {
+        let i = (index & self.index_mask()) as usize;
+        SaturatingCounter::new(self.counter_bits, self.counters[i] & COUNTER_MASK)
+    }
+
+    /// Trains the counter at `index` (masked internally) toward `taken`.
+    #[inline]
+    pub fn train(&mut self, index: u64, taken: bool) {
+        let i = (index & self.index_mask()) as usize;
+        let c = self.counters[i];
+        let v = c & COUNTER_MASK;
+        // Branchless saturating step — see `lookup_train`.
+        let up = u8::from(taken) & u8::from(v < self.max);
+        let down = u8::from(!taken) & u8::from(v > 0);
+        self.counters[i] = (c & VALID) | (v + up - down);
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Total collisions observed.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Decomposed mutable view for batched predictor loops:
+    /// `(counters, tags, max)`.
+    ///
+    /// Batch loops (`DynamicPredictor::predict_update_batch` overrides) hoist
+    /// these into locals so the compiler keeps the loop-carried state in
+    /// registers — stores through the array pointers cannot be proven not to
+    /// alias `self`'s scalar fields, so a per-event `lookup_train` call
+    /// reloads them every iteration. Pair with
+    /// [`add_batch_stats`](PredictionTable::add_batch_stats) to settle the
+    /// lookup/collision accounting afterwards.
+    pub(crate) fn batch_parts(&mut self) -> (&mut [u8], &mut [u32], u8) {
+        (&mut self.counters, &mut self.tags, self.max)
+    }
+
+    /// Folds locally accumulated batch statistics back into the table.
+    pub(crate) fn add_batch_stats(&mut self, lookups: u64, collisions: u64) {
+        self.lookups += lookups;
+        self.collisions += collisions;
+    }
+}
+
+/// The original unpacked counter table: one [`SaturatingCounter`] plus one
+/// `Option<BranchAddr>` tag per entry.
+///
+/// Behaviorally identical to [`PredictionTable`] (same constructor contract,
+/// same internal index masking, same collision semantics, same
+/// `size_bytes` accounting) but with over three times the cache footprint
+/// (18 bytes per entry against 5). Retained as
+/// the oracle for the packed-vs-reference lockstep property tests and as the
+/// baseline kernel the `bench-kernel` harness measures speedups against. Not
+/// used by any predictor.
+#[derive(Debug, Clone)]
+pub struct ReferenceTable {
     counters: Vec<SaturatingCounter>,
     tags: Vec<Option<BranchAddr>>,
     counter_bits: u8,
@@ -35,7 +269,7 @@ pub struct PredictionTable {
     collisions: u64,
 }
 
-impl PredictionTable {
+impl ReferenceTable {
     /// Creates a table of `entries` counters, each a copy of `template`.
     ///
     /// # Panics
@@ -82,18 +316,10 @@ impl PredictionTable {
         (self.counters.len() * self.counter_bits as usize).div_ceil(8)
     }
 
-    /// Reads the counter at `index` for branch `pc`, recording aliasing.
-    ///
-    /// Returns `(predict_taken, collided)` where `collided` reports whether a
-    /// *different* branch was the last user of the entry. The entry's tag is
-    /// updated to `pc`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range (callers mask with
-    /// [`PredictionTable::index_mask`]).
+    /// Reads the counter at `index` (masked internally) for branch `pc`,
+    /// recording aliasing.
     pub fn lookup(&mut self, index: u64, pc: BranchAddr) -> (bool, bool) {
-        let i = index as usize;
+        let i = (index & self.index_mask()) as usize;
         self.lookups += 1;
         let collided = match self.tags[i] {
             Some(prev) => prev != pc,
@@ -106,27 +332,21 @@ impl PredictionTable {
         (self.counters[i].predict_taken(), collided)
     }
 
-    /// Reads the counter at `index` without touching tags or statistics.
-    ///
-    /// Used by meta-predictors that consult a bank but do not "use" it in the
-    /// aliasing-measurement sense.
+    /// Reads the counter at `index` (masked internally) without touching
+    /// tags or statistics.
     pub fn peek(&self, index: u64) -> bool {
-        self.counters[index as usize].predict_taken()
+        self.counters[(index & self.index_mask()) as usize].predict_taken()
     }
 
-    /// Direct access to the counter at `index`.
-    pub fn counter(&self, index: u64) -> &SaturatingCounter {
-        &self.counters[index as usize]
+    /// The counter at `index` (masked internally), by value.
+    pub fn counter(&self, index: u64) -> SaturatingCounter {
+        self.counters[(index & self.index_mask()) as usize]
     }
 
-    /// Trains the counter at `index` toward `taken`.
+    /// Trains the counter at `index` (masked internally) toward `taken`.
     pub fn train(&mut self, index: u64, taken: bool) {
-        debug_assert!(
-            index <= self.index_mask(),
-            "train index {index} outside the {}-entry table",
-            self.counters.len()
-        );
-        self.counters[index as usize].train(taken);
+        let i = (index & self.index_mask()) as usize;
+        self.counters[i].train(taken);
     }
 
     /// Total lookups performed.
@@ -202,5 +422,94 @@ mod tests {
         t.train(1, true);
         assert!(t.peek(1));
         assert!(!t.peek(2));
+    }
+
+    #[test]
+    fn indices_are_masked_internally() {
+        let mut t = PredictionTable::two_bit(8);
+        // Index 9 wraps to entry 1 in an 8-entry table.
+        t.train(9, true);
+        t.train(9, true);
+        assert!(t.peek(1));
+        assert!(t.peek(8 + 8 + 1), "peek masks too");
+        let a = BranchAddr(0x100);
+        let b = BranchAddr(0x200);
+        assert!(!t.lookup(2, a).1);
+        assert!(t.lookup(10, b).1, "masked lookup aliases entry 2");
+        assert_eq!(t.counter(10).value(), t.counter(2).value());
+    }
+
+    #[test]
+    fn three_bit_counters_pack_and_saturate() {
+        let mut t = PredictionTable::new(8, SaturatingCounter::new(3, 3));
+        assert_eq!(t.size_bytes(), 3);
+        assert!(!t.peek(0));
+        t.train(0, true);
+        assert!(t.peek(0), "3-bit midpoint crossing flips the prediction");
+        for _ in 0..10 {
+            t.train(0, true);
+        }
+        assert_eq!(t.counter(0).value(), 7, "saturates at 2^3-1");
+        assert_eq!(t.counter(1).value(), 3, "neighbors undisturbed");
+        for _ in 0..10 {
+            t.train(0, false);
+        }
+        assert_eq!(t.counter(0).value(), 0);
+    }
+
+    #[test]
+    fn packed_layout_keeps_neighbors_independent() {
+        // Drive every entry of a word-spanning table to a distinct state and
+        // check no write bleeds into an adjacent slot.
+        let mut t = PredictionTable::two_bit(64);
+        for i in 0..64u64 {
+            for _ in 0..(i % 4) {
+                t.train(i, true);
+            }
+        }
+        for i in 0..64u64 {
+            let expect = (1 + i % 4).min(3) as u8;
+            assert_eq!(t.counter(i).value(), expect, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn lookup_train_equals_lookup_then_train() {
+        let mut fused = PredictionTable::new(16, SaturatingCounter::new(3, 3));
+        let mut split = fused.clone();
+        let mut state = 0x5eed_0123_4567_89abu64;
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let index = state >> 7;
+            let pc = BranchAddr((state >> 23) % 5 * 4);
+            let taken = state & (1 << 40) != 0;
+            let a = fused.lookup_train(index, pc, taken);
+            let b = split.lookup(index, pc);
+            split.train(index, taken);
+            assert_eq!(a, b);
+        }
+        assert_eq!(fused.lookups(), split.lookups());
+        assert_eq!(fused.collisions(), split.collisions());
+        for i in 0..16u64 {
+            assert_eq!(fused.counter(i).value(), split.counter(i).value());
+        }
+    }
+
+    #[test]
+    fn reference_table_matches_packed_on_the_doc_sequence() {
+        let mut t = ReferenceTable::two_bit(16);
+        let a = BranchAddr(0x100);
+        let b = BranchAddr(0x200);
+        assert!(!t.lookup(3, a).1);
+        assert!(!t.lookup(3, a).1);
+        assert!(t.lookup(3, b).1);
+        assert!(!t.lookup(3, b).1);
+        assert!(t.lookup(3, a).1);
+        assert_eq!(t.lookups(), 5);
+        assert_eq!(t.collisions(), 2);
+        assert_eq!(t.size_bytes(), 4);
+        assert_eq!(ReferenceTable::two_bit(16 * 1024).size_bytes(), 4096);
     }
 }

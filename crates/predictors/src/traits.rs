@@ -1,6 +1,6 @@
 //! The common interface of all dynamic predictor simulators.
 
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// The result of one predictor lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +65,38 @@ pub trait DynamicPredictor {
     /// Implementations panic if called without a preceding `predict` for the
     /// same branch — that is a simulator sequencing bug.
     fn update(&mut self, pc: BranchAddr, taken: bool);
+
+    /// Fused [`predict`](DynamicPredictor::predict) +
+    /// [`update`](DynamicPredictor::update) for one resolved branch — the
+    /// simulator's per-event hot path.
+    ///
+    /// Must be observably equivalent to calling `predict(pc)` then
+    /// `update(pc, taken)`. The default does exactly that; single-table
+    /// schemes override it to collapse the lookup/train pair into one
+    /// read-modify-write of the table entry.
+    #[inline]
+    fn predict_update(&mut self, pc: BranchAddr, taken: bool) -> Prediction {
+        let prediction = self.predict(pc);
+        self.update(pc, taken);
+        prediction
+    }
+
+    /// Runs a batch of resolved branches through the fused
+    /// [`predict_update`](DynamicPredictor::predict_update) path, appending
+    /// one [`Prediction`] per event to `out` in order.
+    ///
+    /// Must be observably equivalent to calling `predict_update` once per
+    /// event — the default does exactly that. Hot schemes override it to
+    /// hoist loop-carried state (the history register, statistics counters,
+    /// table array pointers) into locals for the whole batch: in the
+    /// per-event protocol every table store can alias the predictor's own
+    /// scalar fields, forcing the compiler to reload them each iteration,
+    /// and that reload chain — not the table accesses — dominates the
+    /// simulation inner loop.
+    #[inline]
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        out.extend(events.iter().map(|e| self.predict_update(e.pc, e.taken)));
+    }
 
     /// Shifts `taken` into the global history register **without** touching
     /// any table. A no-op for history-free schemes (e.g. bimodal).

@@ -29,6 +29,46 @@ pub trait BranchSource {
     /// Produces the next branch event, or `None` when the stream ends.
     fn next_event(&mut self) -> Option<BranchEvent>;
 
+    /// Appends up to `max` events to `buf`, returning how many were added.
+    ///
+    /// Returns 0 only when `max` is 0 or the stream is exhausted. The
+    /// concatenation of the appended chunks is exactly the sequence repeated
+    /// [`next_event`](BranchSource::next_event) calls would produce; the
+    /// default implementation literally loops `next_event`, so existing
+    /// sources inherit the chunked API for free. Sources with cheap bulk
+    /// access (slices, the synthetic workload generators) override it so
+    /// the simulator's hot loop amortizes per-event call overhead.
+    ///
+    /// Callers reuse one buffer across pulls (`clear()` between them) so
+    /// the steady state allocates nothing.
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        let mut filled = 0;
+        while filled < max {
+            match self.next_event() {
+                Some(e) => {
+                    buf.push(e);
+                    filled += 1;
+                }
+                None => break,
+            }
+        }
+        filled
+    }
+
+    /// Consumes the whole remaining stream, returning it as one borrowed
+    /// slice — or `None` when the source is not slice-backed.
+    ///
+    /// The returned slice is exactly the sequence repeated
+    /// [`next_event`](BranchSource::next_event) calls would have produced;
+    /// afterwards the source is exhausted. Consumers with a per-event loop
+    /// (the simulator) use this to skip chunked buffering entirely for
+    /// in-memory traces. The default returns `None`, which is always
+    /// correct: callers must fall back to
+    /// [`fill_events`](BranchSource::fill_events).
+    fn drain_as_slice(&mut self) -> Option<&[BranchEvent]> {
+        None
+    }
+
     /// A human-readable label for reports. Defaults to `"<anonymous>"`.
     fn label(&self) -> &str {
         "<anonymous>"
@@ -67,6 +107,14 @@ pub trait BranchSource {
 impl<S: BranchSource + ?Sized> BranchSource for &mut S {
     fn next_event(&mut self) -> Option<BranchEvent> {
         (**self).next_event()
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        (**self).fill_events(buf, max)
+    }
+
+    fn drain_as_slice(&mut self) -> Option<&[BranchEvent]> {
+        (**self).drain_as_slice()
     }
 
     fn label(&self) -> &str {
@@ -114,6 +162,19 @@ impl BranchSource for SliceSource<'_> {
         Some(*e)
     }
 
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        let n = max.min(self.events.len() - self.pos);
+        buf.extend_from_slice(&self.events[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+
+    fn drain_as_slice(&mut self) -> Option<&[BranchEvent]> {
+        let rest = &self.events[self.pos..];
+        self.pos = self.events.len();
+        Some(rest)
+    }
+
     fn label(&self) -> &str {
         self.label
     }
@@ -137,6 +198,28 @@ impl<S: BranchSource> BranchSource for TakeSource<S> {
         }
         self.remaining -= cost;
         Some(e)
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        if self.remaining == 0 {
+            return 0;
+        }
+        let start = buf.len();
+        let pulled = self.inner.fill_events(buf, max);
+        for k in 0..pulled {
+            let cost = buf[start + k].instructions();
+            if cost > self.remaining {
+                // The straddling event is consumed but not emitted — the
+                // one-at-a-time contract. On a chunked pull the rest of the
+                // chunk is likewise discarded; the *emitted* sequence is
+                // identical either way.
+                self.remaining = 0;
+                buf.truncate(start + k);
+                return k;
+            }
+            self.remaining -= cost;
+        }
+        pulled
     }
 
     fn label(&self) -> &str {
@@ -239,6 +322,98 @@ mod tests {
         assert_eq!(s.next_event().unwrap().pc, BranchAddr(4));
         assert_eq!(s.next_event().unwrap().pc, BranchAddr(8));
         assert!(s.next_event().is_none());
+    }
+
+    #[test]
+    fn fill_events_matches_next_event_on_slices() {
+        let events: Vec<BranchEvent> = (0..10).map(|i| ev(i * 4, i as u32)).collect();
+        let mut chunked = SliceSource::new(&events);
+        let mut single = SliceSource::new(&events);
+        let mut buf = Vec::new();
+        // Uneven chunk sizes cross the end of the stream.
+        for chunk in [3usize, 1, 4, 9] {
+            buf.clear();
+            let n = chunked.fill_events(&mut buf, chunk);
+            assert_eq!(n, buf.len());
+            for e in &buf {
+                assert_eq!(single.next_event().as_ref(), Some(e));
+            }
+        }
+        assert!(single.next_event().is_none());
+        assert_eq!(chunked.fill_events(&mut buf, 5), 0, "exhausted");
+    }
+
+    #[test]
+    fn fill_events_appends_without_clearing() {
+        let events = [ev(0, 0), ev(4, 0)];
+        let mut s = SliceSource::new(&events);
+        let mut buf = vec![ev(0xdead, 7)];
+        assert_eq!(s.fill_events(&mut buf, 10), 2);
+        assert_eq!(buf.len(), 3, "existing contents preserved");
+        assert_eq!(buf[0], ev(0xdead, 7));
+        assert_eq!(s.fill_events(&mut buf, 0), 0, "max 0 is a no-op");
+    }
+
+    #[test]
+    fn take_source_chunked_matches_single_event_cap() {
+        // Each event costs gap+1 = 5 instructions; the cap cuts mid-chunk.
+        let events: Vec<BranchEvent> = (0..10).map(|i| ev(i * 4, 4)).collect();
+        let mut chunked = SliceSource::new(&events).take_instructions(23);
+        let mut buf = Vec::new();
+        while chunked.fill_events(&mut buf, 3) > 0 {}
+        let mut single = SliceSource::new(&events).take_instructions(23);
+        let mut expect = Vec::new();
+        while let Some(e) = single.next_event() {
+            expect.push(e);
+        }
+        assert_eq!(buf, expect);
+        assert_eq!(buf.len(), 4, "4 × 5 = 20 fits, a fifth would reach 25");
+    }
+
+    #[test]
+    fn take_source_chunked_exact_budget() {
+        let events: Vec<BranchEvent> = (0..4).map(|i| ev(i * 4, 4)).collect();
+        let mut capped = SliceSource::new(&events).take_instructions(20);
+        let mut buf = Vec::new();
+        assert_eq!(capped.fill_events(&mut buf, 64), 4, "exact fit emits all");
+        assert_eq!(capped.fill_events(&mut buf, 64), 0);
+    }
+
+    #[test]
+    fn default_fill_events_drives_next_event() {
+        let mut s = IterSource::new((0..5).map(|i| ev(i * 4, 0)), "it");
+        let mut buf = Vec::new();
+        assert_eq!(s.fill_events(&mut buf, 3), 3);
+        assert_eq!(s.fill_events(&mut buf, 3), 2);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[4].pc, BranchAddr(16));
+    }
+
+    #[test]
+    fn drain_as_slice_returns_exactly_the_remainder() {
+        let events: Vec<BranchEvent> = (0..6).map(|i| ev(i * 4, 0)).collect();
+        let mut s = SliceSource::new(&events);
+        let _ = s.next_event();
+        let _ = s.next_event();
+        assert_eq!(s.drain_as_slice(), Some(&events[2..]));
+        assert_eq!(s.next_event(), None, "drained source is exhausted");
+        assert_eq!(s.drain_as_slice(), Some(&events[6..]), "empty thereafter");
+        // Non-slice-backed sources opt out.
+        let mut it = IterSource::new(events.iter().copied(), "it");
+        assert_eq!(it.drain_as_slice(), None);
+        assert!(it.next_event().is_some(), "declining must not consume");
+    }
+
+    #[test]
+    // The borrow is the point: it routes the call through the `&mut S`
+    // blanket impl rather than `SliceSource`'s own.
+    #[allow(clippy::needless_borrow)]
+    fn mut_ref_forwards_fill_events() {
+        let events = [ev(0, 0), ev(4, 0), ev(8, 0)];
+        let mut s = SliceSource::new(&events);
+        let mut buf = Vec::new();
+        assert_eq!((&mut s).fill_events(&mut buf, 2), 2);
+        assert_eq!(s.remaining(), 1, "the underlying source advanced");
     }
 
     #[test]

@@ -72,10 +72,12 @@ impl WorkloadGenerator {
     pub fn global_history(&self) -> u64 {
         self.global_history
     }
-}
 
-impl BranchSource for WorkloadGenerator {
-    fn next_event(&mut self) -> Option<BranchEvent> {
+    /// Produces the next event. The stream is infinite, so unlike
+    /// [`BranchSource::next_event`] there is no `Option` to unwrap — the
+    /// batched [`BranchSource::fill_events`] loop compiles down to straight
+    /// traversal work.
+    fn generate(&mut self) -> BranchEvent {
         let cursor = match self.current_chain {
             Some(c) => c,
             None => {
@@ -140,7 +142,22 @@ impl BranchSource for WorkloadGenerator {
         };
 
         self.global_history = (self.global_history << 1) | u64::from(taken);
-        Some(BranchEvent::new(site.pc, taken, site.gap))
+        BranchEvent::new(site.pc, taken, site.gap)
+    }
+}
+
+impl BranchSource for WorkloadGenerator {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        Some(self.generate())
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        buf.reserve(max);
+        for _ in 0..max {
+            let e = self.generate();
+            buf.push(e);
+        }
+        max
     }
 
     fn label(&self) -> &str {
@@ -223,6 +240,30 @@ mod tests {
             let e = g.next_event().unwrap();
             expect = (expect << 1) | u64::from(e.taken);
             assert_eq!(g.global_history(), expect);
+        }
+    }
+
+    #[test]
+    fn fill_events_matches_next_event_for_every_benchmark() {
+        for bench in Benchmark::ALL {
+            for input in [InputSet::Train, InputSet::Ref] {
+                let mut chunked = generator(bench, input, 7);
+                let mut single = generator(bench, input, 7);
+                let mut buf = Vec::new();
+                // Uneven chunk sizes exercise chain-boundary crossings.
+                for chunk in [1usize, 3, 128, 1000, 7] {
+                    buf.clear();
+                    assert_eq!(chunked.fill_events(&mut buf, chunk), chunk);
+                    for (i, e) in buf.iter().enumerate() {
+                        assert_eq!(
+                            single.next_event().as_ref(),
+                            Some(e),
+                            "{bench:?}.{input:?} event {i} of chunk {chunk}"
+                        );
+                    }
+                }
+                assert_eq!(chunked.global_history(), single.global_history());
+            }
         }
     }
 
