@@ -1,0 +1,491 @@
+//! The binary artifact envelope and the [`Codec`] trait.
+//!
+//! Every serialized artifact is wrapped in a self-describing envelope:
+//!
+//! ```text
+//! "SDBA"                     4-byte magic
+//! schema length              u16 LE
+//! schema name                UTF-8 bytes (e.g. "sdbp-bias-profile")
+//! schema version             u32 LE
+//! payload length             u64 LE
+//! payload                    schema-specific bytes
+//! checksum                   u64 LE, FNV-1a over all preceding bytes
+//! ```
+//!
+//! [`Codec::from_bytes`] validates each layer in order and reports the first
+//! failure as a typed [`CodecError`]: wrong magic, foreign schema, future
+//! version, short buffer, checksum mismatch, or trailing garbage. The
+//! checksum makes silent truncation and bit rot detectable before a payload
+//! decoder ever runs.
+//!
+//! All integers are little-endian and fixed-width; floats travel as their
+//! IEEE-754 bit patterns ([`f64::to_bits`]) so round-trips are exact.
+
+use crate::error::CodecError;
+
+/// The 4-byte magic that opens every sdbp artifact.
+pub const MAGIC: &[u8; 4] = b"SDBA";
+
+/// FNV-1a over a byte slice (the envelope checksum).
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends fixed-width little-endian primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a string, `u32` length-prefixed.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// A cursor over encoded bytes; every read reports truncation as a typed
+/// error naming the field being decoded.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, CodecError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `bool`, rejecting any byte other than 0 or 1.
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid {
+                context: format!("{context}: byte {other} is not a bool"),
+            }),
+        }
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(context)? as usize;
+        // An absurd length is a corrupt length field, not a real request:
+        // bail before asking the allocator for it.
+        if len > self.remaining() {
+            return Err(CodecError::Truncated { context });
+        }
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid {
+            context: format!("{context}: string is not UTF-8"),
+        })
+    }
+}
+
+/// A type with a stable, versioned binary representation.
+///
+/// Implementors provide the schema identity and the payload encoding; the
+/// trait's provided [`Codec::to_bytes`] / [`Codec::from_bytes`] add the
+/// envelope (magic, schema, version, length, checksum) and its validation.
+pub trait Codec: Sized {
+    /// Stable schema name stored in the envelope (e.g. `"sdbp-report"`).
+    const SCHEMA: &'static str;
+    /// Schema version this build reads and writes. Decoding any other
+    /// version fails with [`CodecError::VersionUnsupported`].
+    const VERSION: u32;
+
+    /// Writes the payload (no envelope).
+    fn encode_payload(&self, e: &mut Encoder);
+
+    /// Reads the payload (no envelope). Implementations need not check for
+    /// trailing bytes; the envelope decoder does.
+    fn decode_payload(d: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Serializes with the full envelope.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Encoder::new();
+        self.encode_payload(&mut payload);
+        let payload = payload.into_bytes();
+
+        let mut e = Encoder::new();
+        e.buf.extend_from_slice(MAGIC);
+        e.u16(Self::SCHEMA.len() as u16);
+        e.buf.extend_from_slice(Self::SCHEMA.as_bytes());
+        e.u32(Self::VERSION);
+        e.u64(payload.len() as u64);
+        e.buf.extend_from_slice(&payload);
+        let sum = checksum(&e.buf);
+        e.u64(sum);
+        e.into_bytes()
+    }
+
+    /// Deserializes, validating every envelope layer.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`]: bad magic, schema or version mismatch,
+    /// truncation, checksum failure, trailing bytes, or an invalid payload.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let (schema, version, payload, consumed) = split_envelope(bytes)?;
+        if schema != Self::SCHEMA {
+            return Err(CodecError::SchemaMismatch {
+                expected: Self::SCHEMA.to_string(),
+                found: schema,
+            });
+        }
+        if version != Self::VERSION {
+            return Err(CodecError::VersionUnsupported {
+                schema,
+                found: version,
+                supported: Self::VERSION,
+            });
+        }
+        if bytes.len() > consumed {
+            return Err(CodecError::TrailingBytes {
+                extra: bytes.len() - consumed,
+            });
+        }
+        let mut d = Decoder::new(payload);
+        let value = Self::decode_payload(&mut d)?;
+        if !d.is_done() {
+            return Err(CodecError::TrailingBytes {
+                extra: d.remaining(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+/// Validates one envelope and returns `(schema, version, payload, consumed)`
+/// where `consumed` is the envelope's total length including the checksum.
+fn split_envelope(bytes: &[u8]) -> Result<(String, u32, &[u8], usize), CodecError> {
+    let mut d = Decoder::new(bytes);
+    if d.take(4, "magic")? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let schema_len = d.u16("schema length")? as usize;
+    let schema_bytes = d.take(schema_len, "schema name")?;
+    let schema = std::str::from_utf8(schema_bytes)
+        .map_err(|_| CodecError::Invalid {
+            context: "schema name is not UTF-8".to_string(),
+        })?
+        .to_string();
+    let version = d.u32("schema version")?;
+    let payload_len = d.u64("payload length")? as usize;
+    let payload = d.take(payload_len, "payload")?;
+    let checksum_at = bytes.len() - d.remaining();
+    let stored = d.u64("checksum")?;
+    if checksum(&bytes[..checksum_at]) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok((schema, version, payload, checksum_at + 8))
+}
+
+/// Reads just the schema name and version from an envelope, verifying the
+/// checksum — how `sdbp artifact ls` labels objects without knowing their
+/// types in advance.
+///
+/// # Errors
+///
+/// The same envelope-level [`CodecError`]s as [`Codec::from_bytes`].
+pub fn peek_schema(bytes: &[u8]) -> Result<(String, u32), CodecError> {
+    let (schema, version, _, consumed) = split_envelope(bytes)?;
+    if bytes.len() > consumed {
+        return Err(CodecError::TrailingBytes {
+            extra: bytes.len() - consumed,
+        });
+    }
+    Ok((schema, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Sample {
+        id: u64,
+        name: String,
+        ratio: f64,
+        flag: bool,
+    }
+
+    impl Codec for Sample {
+        const SCHEMA: &'static str = "test-sample";
+        const VERSION: u32 = 3;
+
+        fn encode_payload(&self, e: &mut Encoder) {
+            e.u64(self.id);
+            e.str(&self.name);
+            e.f64(self.ratio);
+            e.bool(self.flag);
+        }
+
+        fn decode_payload(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+            Ok(Sample {
+                id: d.u64("id")?,
+                name: d.str("name")?,
+                ratio: d.f64("ratio")?,
+                flag: d.bool("flag")?,
+            })
+        }
+    }
+
+    fn sample() -> Sample {
+        Sample {
+            id: 42,
+            name: "gcc.train".into(),
+            ratio: 0.95,
+            flag: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bytes = sample().to_bytes();
+        assert_eq!(Sample::from_bytes(&bytes).unwrap(), sample());
+        assert_eq!(peek_schema(&bytes).unwrap(), ("test-sample".to_string(), 3));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Sample::from_bytes(&bytes), Err(CodecError::BadMagic));
+        assert!(Sample::from_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn schema_and_version_mismatches_are_typed() {
+        #[derive(Debug)]
+        struct Other(u64);
+        impl Codec for Other {
+            const SCHEMA: &'static str = "test-other";
+            const VERSION: u32 = 3;
+            fn encode_payload(&self, e: &mut Encoder) {
+                e.u64(self.0);
+            }
+            fn decode_payload(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                Ok(Other(d.u64("v")?))
+            }
+        }
+        let err = Sample::from_bytes(&Other(1).to_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::SchemaMismatch { .. }), "{err}");
+
+        #[derive(Debug)]
+        struct FutureSample;
+        impl Codec for FutureSample {
+            const SCHEMA: &'static str = "test-sample";
+            const VERSION: u32 = 4;
+            fn encode_payload(&self, _: &mut Encoder) {}
+            fn decode_payload(_: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                Ok(FutureSample)
+            }
+        }
+        let err = Sample::from_bytes(&FutureSample.to_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::VersionUnsupported {
+                schema: "test-sample".into(),
+                found: 4,
+                supported: 3
+            }
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_errors_without_panic() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let err = Sample::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated { .. } | CodecError::ChecksumMismatch
+                ),
+                "prefix of {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let clean = sample().to_bytes();
+        // Skip the magic (corrupting it yields BadMagic, also typed) and
+        // flip one bit at every other position.
+        for i in 4..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            assert!(
+                Sample::from_bytes(&bytes).is_err(),
+                "flip at {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Sample::from_bytes(&bytes),
+            Err(CodecError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bool_rejects_non_boolean_bytes() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.bool("flag"), Err(CodecError::Invalid { .. })));
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for v in [0.0, -0.0, 0.1, f64::MIN_POSITIVE, f64::NAN, f64::INFINITY] {
+            let mut e = Encoder::new();
+            e.f64(v);
+            let bytes = e.into_bytes();
+            let back = Decoder::new(&bytes).f64("v").unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn arbitrary_samples_roundtrip(id in any::<u64>(),
+                                       ratio in any::<u64>(),
+                                       flag in any::<bool>(),
+                                       name in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let s = Sample {
+                id,
+                name: name.iter().map(|b| char::from(b'a' + b % 26)).collect(),
+                ratio: f64::from_bits(ratio),
+                flag,
+            };
+            let back = Sample::from_bytes(&s.to_bytes()).unwrap();
+            prop_assert_eq!(back.id, s.id);
+            prop_assert_eq!(back.name, s.name);
+            prop_assert_eq!(back.ratio.to_bits(), s.ratio.to_bits());
+            prop_assert_eq!(back.flag, s.flag);
+        }
+
+        #[test]
+        fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Sample::from_bytes(&bytes);
+            let _ = peek_schema(&bytes);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Typed errors for the artifact layer.
+//!
+//! Three error families, matching the three failure surfaces:
+//!
+//! * [`CodecError`] — a byte buffer failed envelope or payload validation,
+//! * [`JsonError`] — a manifest line failed to parse as JSON,
+//! * [`StoreError`] — the on-disk store failed, either at the OS level
+//!   ([`StoreError::Io`]) or because a stored object is damaged
+//!   ([`StoreError::Corrupt`]).
+//!
+//! All three implement [`std::error::Error`]; `StoreError::source` chains to
+//! the underlying I/O or codec error so callers can walk the cause chain.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from encoding or decoding a binary artifact envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the `SDBA` artifact magic.
+    BadMagic,
+    /// The artifact holds a different schema than the decoder expected.
+    SchemaMismatch {
+        /// The schema the decoder was asked to read.
+        expected: String,
+        /// The schema the envelope declares.
+        found: String,
+    },
+    /// The artifact's schema version is newer (or otherwise different) than
+    /// this build supports.
+    VersionUnsupported {
+        /// The envelope's schema name.
+        schema: String,
+        /// The version the envelope declares.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The buffer ended before the field being decoded was complete.
+    Truncated {
+        /// The field (or structure) being decoded when bytes ran out.
+        context: &'static str,
+    },
+    /// The envelope checksum does not match the stored bytes.
+    ChecksumMismatch,
+    /// Well-formed data was followed by bytes that should not be there.
+    TrailingBytes {
+        /// How many unexpected bytes remained.
+        extra: usize,
+    },
+    /// The payload decoded structurally but violates a semantic invariant
+    /// (e.g. a taken count exceeding its executed count).
+    Invalid {
+        /// What invariant failed.
+        context: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an sdbp artifact (bad magic)"),
+            CodecError::SchemaMismatch { expected, found } => {
+                write!(f, "artifact schema is '{found}', expected '{expected}'")
+            }
+            CodecError::VersionUnsupported {
+                schema,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {schema} version {found} (this build reads version {supported})"
+            ),
+            CodecError::Truncated { context } => {
+                write!(f, "artifact truncated while reading {context}")
+            }
+            CodecError::ChecksumMismatch => write!(f, "artifact checksum mismatch"),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} unexpected trailing bytes after artifact")
+            }
+            CodecError::Invalid { context } => write!(f, "invalid artifact payload: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A JSON parse failure, with the byte offset of the first bad character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Errors from the on-disk content-addressed store.
+///
+/// `Io` wraps the OS error in an [`Arc`] so the variant stays [`Clone`]
+/// (sweep results fan one store failure out to many cells).
+#[derive(Debug, Clone)]
+pub enum StoreError {
+    /// An operating-system error while reading or writing the store.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying OS error.
+        source: Arc<std::io::Error>,
+    },
+    /// A stored object exists but fails validation: bad envelope, checksum
+    /// mismatch, or content that no longer matches its digest.
+    Corrupt {
+        /// The damaged object's path.
+        path: String,
+        /// What validation failed.
+        source: CodecError,
+    },
+}
+
+impl StoreError {
+    /// Builds an [`StoreError::Io`] from a path and an OS error.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source: Arc::new(source),
+        }
+    }
+}
+
+/// Compares by path plus error identity: [`std::io::Error`] itself is not
+/// comparable, so `Io` variants compare by [`std::io::ErrorKind`].
+impl PartialEq for StoreError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                StoreError::Io { path, source },
+                StoreError::Io {
+                    path: p2,
+                    source: s2,
+                },
+            ) => path == p2 && source.kind() == s2.kind(),
+            (
+                StoreError::Corrupt { path, source },
+                StoreError::Corrupt {
+                    path: p2,
+                    source: s2,
+                },
+            ) => path == p2 && source == s2,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "store I/O failure at {path}: {source}"),
+            StoreError::Corrupt { path, source } => {
+                write!(f, "corrupt artifact at {path}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source.as_ref()),
+            StoreError::Corrupt { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn codec_errors_display_their_facts() {
+        let e = CodecError::SchemaMismatch {
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("'b'"));
+        assert!(e.to_string().contains("'a'"));
+        let e = CodecError::VersionUnsupported {
+            schema: "s".into(),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("reads version 1"));
+        assert!(CodecError::Truncated { context: "pc" }
+            .to_string()
+            .contains("pc"));
+    }
+
+    #[test]
+    fn store_io_errors_compare_by_kind() {
+        let not_found = || std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let a = StoreError::io("x", not_found());
+        let b = StoreError::io("x", not_found());
+        let c = StoreError::io("x", std::io::Error::other("boom"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(
+            a,
+            StoreError::Corrupt {
+                path: "x".into(),
+                source: CodecError::BadMagic
+            }
+        );
+    }
+
+    #[test]
+    fn store_errors_chain_sources() {
+        let e = StoreError::io("p", std::io::Error::other("disk on fire"));
+        assert!(e.source().unwrap().to_string().contains("disk on fire"));
+        let e = StoreError::Corrupt {
+            path: "p".into(),
+            source: CodecError::ChecksumMismatch,
+        };
+        assert!(e.source().unwrap().to_string().contains("checksum"));
+        assert!(e.to_string().contains("corrupt artifact at p"));
+    }
+
+    #[test]
+    fn json_error_displays_offset() {
+        let e = JsonError {
+            offset: 7,
+            message: "expected ':'".into(),
+        };
+        assert_eq!(e.to_string(), "json error at byte 7: expected ':'");
+    }
+}

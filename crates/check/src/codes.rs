@@ -68,6 +68,17 @@ pub const ALIASING_HOTSPOT: Code = Code(40);
 /// SDBP041: the scheme does not expose its index function.
 pub const ALIASING_OPAQUE_SCHEME: Code = Code(41);
 
+/// SDBP050: a manifest line failed to parse.
+pub const MANIFEST_PARSE_ERROR: Code = Code(50);
+/// SDBP051: a manifest record disagrees with this build's schema.
+pub const MANIFEST_SCHEMA_MISMATCH: Code = Code(51);
+/// SDBP052: the same cell index appears in more than one record.
+pub const MANIFEST_DUPLICATE_CELL: Code = Code(52);
+/// SDBP053: a cell's latest record is a failure.
+pub const MANIFEST_CELL_FAILED: Code = Code(53);
+/// SDBP054: the manifest ends in a torn (partially written) line.
+pub const MANIFEST_TORN_TAIL: Code = Code(54);
+
 /// One registry entry.
 #[derive(Debug, Clone, Copy)]
 pub struct CodeInfo {
@@ -256,6 +267,37 @@ pub const REGISTRY: &[CodeInfo] = &[
         name: "aliasing-opaque-scheme",
         severity: Severity::Note,
         summary: "the scheme does not expose its index function to static analysis",
+    },
+    CodeInfo {
+        code: MANIFEST_PARSE_ERROR,
+        name: "manifest-parse-error",
+        severity: Severity::Error,
+        summary: "a run-manifest line failed to parse",
+    },
+    CodeInfo {
+        code: MANIFEST_SCHEMA_MISMATCH,
+        name: "manifest-schema-mismatch",
+        severity: Severity::Error,
+        summary:
+            "a run-manifest record names a benchmark, predictor, or scheme this build does not know",
+    },
+    CodeInfo {
+        code: MANIFEST_DUPLICATE_CELL,
+        name: "manifest-duplicate-cell",
+        severity: Severity::Warning,
+        summary: "the same cell index appears in more than one manifest record",
+    },
+    CodeInfo {
+        code: MANIFEST_CELL_FAILED,
+        name: "manifest-cell-failed",
+        severity: Severity::Warning,
+        summary: "a cell's latest manifest record is a failure",
+    },
+    CodeInfo {
+        code: MANIFEST_TORN_TAIL,
+        name: "manifest-torn-tail",
+        severity: Severity::Note,
+        summary: "the manifest ends in a torn, partially written line (interrupted run)",
     },
 ];
 

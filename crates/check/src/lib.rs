@@ -52,6 +52,7 @@ pub mod aliasing;
 pub mod codes;
 pub mod diag;
 pub mod hints;
+pub mod manifest;
 pub mod profile;
 pub mod spec;
 
@@ -59,6 +60,7 @@ pub use aliasing::{analyze_aliasing, lint_aliasing, AliasingOptions, AliasingRep
 pub use codes::{lookup, CodeInfo, REGISTRY};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use hints::{lint_hints_against_profile, parse_hints_text, HintLintOptions};
+pub use manifest::lint_manifest_text;
 pub use profile::{
     lint_profile_against_spec, lint_profile_database, parse_profile_text, ProfileMetadata,
 };

@@ -101,27 +101,6 @@ const SHIFT_NAMES: &[&str] = &["no-shift", "shift"];
 const TRAINING_NAMES: &[&str] = &["self", "cross", "cross-merged"];
 const INPUT_NAMES: &[&str] = &["train", "ref"];
 
-/// Parses the selection-scheme syntax the CLI uses
-/// (`none|static_95|static_<pct>|static_acc|static_col`).
-fn parse_scheme(value: &str) -> Result<SelectionScheme, ()> {
-    match value {
-        "none" => Ok(SelectionScheme::None),
-        "static_95" => Ok(SelectionScheme::static_95()),
-        "static_acc" => Ok(SelectionScheme::static_acc()),
-        "static_col" => Ok(SelectionScheme::collision_aware()),
-        other => {
-            let cutoff: f64 = other
-                .strip_prefix("static_")
-                .ok_or(())?
-                .parse()
-                .map_err(|_| ())?;
-            Ok(SelectionScheme::Bias {
-                cutoff: cutoff / 100.0,
-            })
-        }
-    }
-}
-
 /// Parses the `key value` spec-file format.
 ///
 /// Lines are `key value` pairs; blank lines and `#` comments are skipped.
@@ -200,16 +179,19 @@ pub fn parse_spec_text(text: &str, origin: &str) -> (ParsedSpec, Diagnostics) {
                     ));
                 }
             },
-            "size" => match value.parse::<usize>() {
+            // Size and scheme go through the shared parsers the CLI uses
+            // (sdbp-predictors / sdbp-profiles), so both front ends accept
+            // and reject identical syntax.
+            "size" => match sdbp_predictors::parse_size_bytes(value) {
                 Ok(s) => {
                     size = s;
                     size_set = Some(line_no);
                 }
                 Err(_) => diags.push(malformed("size", "a size in bytes")),
             },
-            "scheme" => match parse_scheme(value) {
+            "scheme" => match value.parse::<SelectionScheme>() {
                 Ok(s) => scheme = s,
-                Err(()) => diags.push(suggest(
+                Err(_) => diags.push(suggest(
                     Diagnostic::error(
                         codes::UNKNOWN_SCHEME,
                         format!("unknown selection scheme '{value}'"),

@@ -1,6 +1,8 @@
 //! The `sdbp` subcommand implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
+use sdbp_artifacts::{Digest, Store};
 use sdbp_core::{
     BranchAnalysis, CombinedPredictor, ExperimentSpec, Lab, ProfileSource, ShiftPolicy, Simulator,
     Sweep,
@@ -13,7 +15,7 @@ use sdbp_workloads::{Benchmark, InputSet, Workload};
 use std::fs;
 use std::io::BufReader;
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
 
 /// Common options: `--benchmark`, `--input`, `--seed`, `--instructions`.
 struct RunOptions {
@@ -23,21 +25,29 @@ struct RunOptions {
     instructions: u64,
 }
 
-fn run_options(args: &Args) -> Result<RunOptions, String> {
+fn run_options(args: &Args) -> Result<RunOptions, CliError> {
     let benchmark: Benchmark = args
         .get_or("benchmark", "gcc")
         .parse()
-        .map_err(|e| format!("{e}"))?;
+        .map_err(CliError::usage)?;
     let input = match args.get_or("input", "ref") {
         "train" => InputSet::Train,
         "ref" => InputSet::Ref,
-        other => return Err(format!("invalid --input '{other}' (train|ref)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --input '{other}' (train|ref)"
+            )))
+        }
     };
-    let seed = args.get_parsed_or("seed", 2000u64)?;
+    let seed = args
+        .get_parsed_or("seed", 2000u64)
+        .map_err(CliError::Usage)?;
     let default_budget = Workload::spec95(benchmark)
         .spec()
         .default_instructions(input);
-    let instructions = args.get_parsed_or("instructions", default_budget)?;
+    let instructions = args
+        .get_parsed_or("instructions", default_budget)
+        .map_err(CliError::Usage)?;
     Ok(RunOptions {
         benchmark,
         input,
@@ -46,36 +56,32 @@ fn run_options(args: &Args) -> Result<RunOptions, String> {
     })
 }
 
-fn scheme_of(args: &Args) -> Result<SelectionScheme, String> {
-    Ok(match args.get_or("scheme", "none") {
-        "none" => SelectionScheme::None,
-        "static_95" => SelectionScheme::static_95(),
-        "static_acc" => SelectionScheme::static_acc(),
-        "static_col" => SelectionScheme::collision_aware(),
-        other => {
-            if let Some(cutoff) = other.strip_prefix("static_") {
-                let cutoff: f64 = cutoff
-                    .parse()
-                    .map_err(|_| format!("invalid --scheme '{other}'"))?;
-                SelectionScheme::Bias {
-                    cutoff: cutoff / 100.0,
-                }
-            } else {
-                return Err(format!(
-                    "invalid --scheme '{other}' (none|static_95|static_<pct>|static_acc|static_col)"
-                ));
-            }
-        }
-    })
+/// Parses `--scheme` through [`SelectionScheme`]'s own parser — the same
+/// one `sdbp check` uses, so both tools accept (and reject) identically.
+fn scheme_of(args: &Args) -> Result<SelectionScheme, CliError> {
+    args.get_or("scheme", "none")
+        .parse()
+        .map_err(|e| CliError::Usage(format!("invalid --scheme: {e}")))
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+/// Parses `--predictor`/`--size` through [`PredictorConfig::parse`], the
+/// shared option-to-config path also used by `sdbp check`'s spec parser.
+fn predictor_of(args: &Args) -> Result<PredictorConfig, CliError> {
+    PredictorConfig::parse(
+        args.get_or("predictor", "gshare"),
+        args.get_or("size", "8192"),
+    )
+    .map_err(CliError::usage)
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let file =
+        fs::File::open(path).map_err(|e| CliError::Failure(format!("cannot open {path}: {e}")))?;
     let mut reader = BufReader::new(file);
     if path.ends_with(".txt") || path.ends_with(".text") {
-        read_text(&mut reader).map_err(|e| format!("{path}: {e}"))
+        read_text(&mut reader).map_err(|e| CliError::Failure(format!("{path}: {e}")))
     } else {
-        read_binary(&mut reader).map_err(|e| format!("{path}: {e}"))
+        read_binary(&mut reader).map_err(|e| CliError::Failure(format!("{path}: {e}")))
     }
 }
 
@@ -189,14 +195,7 @@ pub fn select(args: &Args) -> CmdResult {
         ),
     };
     let accuracy = if scheme.needs_accuracy_profile() {
-        let kind: PredictorKind = args
-            .get_or("predictor", "gshare")
-            .parse()
-            .map_err(|e| format!("{e}"))?;
-        let size = args.get_parsed_or("size", 8192usize)?;
-        let mut predictor = PredictorConfig::new(kind, size)
-            .map_err(|e| e.to_string())?
-            .build();
+        let mut predictor = predictor_of(args)?.build();
         Some(sdbp_profiles::AccuracyProfile::collect(
             Workload::spec95(opts.benchmark)
                 .generator(opts.input, opts.seed)
@@ -217,12 +216,7 @@ pub fn select(args: &Args) -> CmdResult {
 /// `sdbp sim` — simulate a predictor over a workload or trace, optionally
 /// with a hint database or an on-the-fly selection scheme.
 pub fn sim(args: &Args) -> CmdResult {
-    let kind: PredictorKind = args
-        .get_or("predictor", "gshare")
-        .parse()
-        .map_err(|e| format!("{e}"))?;
-    let size = args.get_parsed_or("size", 8192usize)?;
-    let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
+    let config = predictor_of(args)?;
     let shift = if args.has_flag("shift") {
         ShiftPolicy::Shift
     } else {
@@ -264,17 +258,22 @@ pub fn sim(args: &Args) -> CmdResult {
                 max_bias_change: 0.05,
             })
         }
-        other => return Err(format!("invalid --training '{other}' (self|cross|merged)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --training '{other}' (self|cross|merged)"
+            )))
+        }
     }
-    let report = Lab::new().run(&spec).map_err(|e| e.to_string())?;
+    let report = Lab::new().run(&spec)?;
     println!("{report}");
     Ok(())
 }
 
 /// Reads the `--threads` override (0 or absent = automatic resolution:
 /// `SDBP_THREADS` env, then all available cores).
-fn threads_of(args: &Args) -> Result<usize, String> {
+fn threads_of(args: &Args) -> Result<usize, CliError> {
     args.get_parsed_or("threads", 0usize)
+        .map_err(CliError::Usage)
 }
 
 /// `sdbp sweep` — size sweep of one predictor/scheme on one benchmark,
@@ -283,7 +282,7 @@ pub fn sweep(args: &Args) -> CmdResult {
     let kind: PredictorKind = args
         .get_or("predictor", "gshare")
         .parse()
-        .map_err(|e| format!("{e}"))?;
+        .map_err(CliError::usage)?;
     let scheme = scheme_of(args)?;
     let opts = run_options(args)?;
     let threads = threads_of(args)?;
@@ -305,10 +304,7 @@ pub fn sweep(args: &Args) -> CmdResult {
     let summary = result.summary();
     let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
     t.numeric();
-    for (size_kb, report) in sizes
-        .iter()
-        .zip(result.into_reports().map_err(|e| e.to_string())?)
-    {
+    for (size_kb, report) in sizes.iter().zip(result.into_reports()?) {
         t.row(vec![
             format!("{size_kb}KB"),
             fixed(report.stats.misp_per_ki(), 3),
@@ -332,7 +328,9 @@ pub fn sweep(args: &Args) -> CmdResult {
 /// with shared profile/trace artifacts.
 pub fn grid(args: &Args) -> CmdResult {
     let opts = run_options(args)?;
-    let size = args.get_parsed_or("size", 8192usize)?;
+    let size = args
+        .get_parsed_or("size", 8192usize)
+        .map_err(CliError::Usage)?;
     let threads = threads_of(args)?;
     let schemes = [
         SelectionScheme::None,
@@ -351,15 +349,23 @@ pub fn grid(args: &Args) -> CmdResult {
             specs.push(spec);
         }
     }
-    let result = Sweep::new(specs)
-        .with_threads(threads)
-        .with_verbose(true)
-        .run();
+    let mut sweep = Sweep::new(specs).with_threads(threads).with_verbose(true);
+    if let Some(dir) = args.get("store") {
+        sweep = sweep
+            .with_store(dir)
+            .with_resume(args.has_flag("resume"))
+            .with_max_cells(
+                args.get_parsed_or("max-cells", 0usize)
+                    .map_err(CliError::Usage)?,
+            );
+    } else if args.has_flag("resume") {
+        return Err(CliError::Usage(
+            "--resume requires --store <dir> (nothing to resume from)".into(),
+        ));
+    }
+    let result = sweep.run();
     let summary = result.summary();
-    let mut reports = result
-        .into_reports()
-        .map_err(|e| e.to_string())?
-        .into_iter();
+    let mut reports = result.into_reports()?.into_iter();
     let mut t = TableWriter::with_columns(&[
         "predictor",
         "none",
@@ -397,18 +403,13 @@ pub fn grid(args: &Args) -> CmdResult {
 /// `sdbp hotspots` — per-branch misprediction breakdown: the top
 /// contributors a performance engineer (or a selection scheme) would target.
 pub fn hotspots(args: &Args) -> CmdResult {
-    let kind: PredictorKind = args
-        .get_or("predictor", "gshare")
-        .parse()
-        .map_err(|e| format!("{e}"))?;
-    let size = args.get_parsed_or("size", 8192usize)?;
-    let top = args.get_parsed_or("top", 15usize)?;
+    let config = predictor_of(args)?;
+    let (kind, size) = (config.kind(), config.size_bytes());
+    let top = args
+        .get_parsed_or("top", 15usize)
+        .map_err(CliError::Usage)?;
     let opts = run_options(args)?;
-    let mut predictor = CombinedPredictor::pure_dynamic(
-        PredictorConfig::new(kind, size)
-            .map_err(|e| e.to_string())?
-            .build_any(),
-    );
+    let mut predictor = CombinedPredictor::pure_dynamic(config.build_any());
     let analysis = BranchAnalysis::run(
         Workload::spec95(opts.benchmark)
             .generator(opts.input, opts.seed)
@@ -513,6 +514,13 @@ pub fn check(args: &Args) -> CmdResult {
         }
     }
 
+    // --manifest: lint a grid run manifest — parse damage, schema drift,
+    // duplicate or failed cells, torn tails (SDBP050–SDBP054).
+    if let Some(path) = args.get("manifest") {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        diags.merge(sdbp_check::lint_manifest_text(&text, path));
+    }
+
     // --aliasing: forecast destructive interference from the profile and
     // the spec's index function. Falls back to a bounded fresh profiling
     // run when no --profile file was given.
@@ -522,7 +530,9 @@ pub fn check(args: &Args) -> CmdResult {
             let bias = match &profile {
                 Some(b) => b,
                 None => {
-                    let budget = args.get_parsed_or("instructions", 500_000u64)?;
+                    let budget = args
+                        .get_parsed_or("instructions", 500_000u64)
+                        .map_err(CliError::Usage)?;
                     fresh = BiasProfile::from_source(
                         Workload::spec95(spec.benchmark)
                             .generator(InputSet::Train, spec.seed)
@@ -532,7 +542,9 @@ pub fn check(args: &Args) -> CmdResult {
                 }
             };
             let options = sdbp_check::AliasingOptions {
-                top: args.get_parsed_or("top", 10usize)?,
+                top: args
+                    .get_parsed_or("top", 10usize)
+                    .map_err(CliError::Usage)?,
                 ..Default::default()
             };
             let (_, aliasing_diags) =
@@ -547,12 +559,19 @@ pub fn check(args: &Args) -> CmdResult {
             print!("{}", diags.render_text());
             println!("check: {}", diags.summary());
         }
-        other => return Err(format!("invalid --format '{other}' (text|json)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --format '{other}' (text|json)"
+            )))
+        }
     }
     if diags.passes(deny_warnings) {
         Ok(())
     } else {
-        Err(format!("check failed: {}", diags.summary()))
+        Err(CliError::Failure(format!(
+            "check failed: {}",
+            diags.summary()
+        )))
     }
 }
 
@@ -580,6 +599,94 @@ pub fn bench_kernel(args: &Args) -> CmdResult {
     fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Opens the `--store` directory an `artifact` action operates on.
+fn store_of(args: &Args) -> Result<Store, CliError> {
+    let dir = args
+        .get("store")
+        .ok_or_else(|| CliError::Usage("artifact commands require --store <dir>".into()))?;
+    Ok(Store::open(dir)?)
+}
+
+/// `sdbp artifact <action>` — inspect and maintain a durable artifact
+/// store: `ls` (every object with schema and size), `inspect --digest HEX`
+/// (one object in detail), `gc` (prune corrupt objects, dangling links,
+/// and stale temp files).
+pub fn artifact(action: &str, args: &Args) -> CmdResult {
+    match action {
+        "ls" => {
+            let store = store_of(args)?;
+            let entries = store.list()?;
+            let mut t = TableWriter::with_columns(&["digest", "schema", "version", "bytes"]);
+            t.align(3, sdbp_util::table::Align::Right);
+            let mut damaged = 0usize;
+            for entry in &entries {
+                let (schema, version) = match entry.schema() {
+                    Ok((schema, version)) => (schema, version.to_string()),
+                    Err(_) => {
+                        damaged += 1;
+                        ("<corrupt>".to_string(), "-".to_string())
+                    }
+                };
+                t.row(vec![
+                    entry.digest.to_string(),
+                    schema,
+                    version,
+                    grouped(entry.size),
+                ]);
+            }
+            println!("{}", t.render());
+            println!(
+                "{} objects in {}{}",
+                entries.len(),
+                store.root().display(),
+                if damaged > 0 {
+                    format!(" ({damaged} corrupt; run `sdbp artifact gc`)")
+                } else {
+                    String::new()
+                }
+            );
+            Ok(())
+        }
+        "inspect" => {
+            let store = store_of(args)?;
+            let digest: Digest = args
+                .get("digest")
+                .ok_or_else(|| CliError::Usage("artifact inspect requires --digest <hex>".into()))?
+                .parse()
+                .map_err(CliError::usage)?;
+            let bytes = store
+                .get_bytes(digest)?
+                .ok_or_else(|| CliError::Failure(format!("no object {digest} in the store")))?;
+            let (schema, version) = sdbp_artifacts::peek_schema(&bytes).map_err(|e| {
+                CliError::Store(format!(
+                    "corrupt artifact at {}: {e}",
+                    store.object_path(digest).display()
+                ))
+            })?;
+            println!("digest:  {digest}");
+            println!("path:    {}", store.object_path(digest).display());
+            println!("schema:  {schema} v{version}");
+            println!("size:    {} bytes", grouped(bytes.len() as u64));
+            Ok(())
+        }
+        "gc" => {
+            let store = store_of(args)?;
+            let (removed, kept) = store.gc()?;
+            println!(
+                "gc {}: removed {removed}, kept {kept}",
+                store.root().display()
+            );
+            Ok(())
+        }
+        "" => Err(CliError::Usage(
+            "artifact requires an action: ls, inspect, or gc".into(),
+        )),
+        other => Err(CliError::Usage(format!(
+            "unknown artifact action '{other}' (ls|inspect|gc)"
+        ))),
+    }
 }
 
 pub fn list() -> CmdResult {
@@ -701,8 +808,48 @@ mod tests {
         let path = dir.join("bad.spec");
         fs::write(&path, "predictor gshrae\nsize 3000\n").unwrap();
         let err = check(&args(&["check", "--spec", path.to_str().unwrap()])).unwrap_err();
-        assert!(err.contains("error"), "unexpected message: {err}");
+        assert!(
+            err.to_string().contains("error"),
+            "unexpected message: {err}"
+        );
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_actions_require_a_store_and_an_action() {
+        let missing_store = artifact("ls", &args(&["artifact"])).unwrap_err();
+        assert_eq!(missing_store.exit_code(), 2);
+        let dir = std::env::temp_dir().join("sdbp-cli-artifact-usage-test");
+        let store_arg = dir.to_str().unwrap().to_string();
+        let missing_action = artifact("", &args(&["artifact", "--store", &store_arg])).unwrap_err();
+        assert_eq!(missing_action.exit_code(), 2);
+        let unknown = artifact("prune", &args(&["artifact", "--store", &store_arg])).unwrap_err();
+        assert!(unknown.to_string().contains("prune"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn artifact_ls_inspect_gc_roundtrip() {
+        let dir = std::env::temp_dir().join("sdbp-cli-artifact-test");
+        fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        let digest = store.put_bytes_addressed(b"loose bytes").unwrap();
+        let store_arg = dir.to_str().unwrap().to_string();
+        artifact("ls", &args(&["artifact", "--store", &store_arg])).unwrap();
+        let hex = digest.to_string();
+        artifact(
+            "inspect",
+            &args(&["artifact", "--store", &store_arg, "--digest", &hex]),
+        )
+        .unwrap_err(); // loose bytes carry no envelope: corrupt, exit 3
+        artifact("gc", &args(&["artifact", "--store", &store_arg])).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_resume_without_store_is_a_usage_error() {
+        let err = grid(&args(&["grid", "--resume"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -12,11 +12,21 @@
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // `sdbp artifact <action>` carries a bare action word the option parser
+    // would reject as a stray positional; peel it off before parsing.
+    let mut artifact_action = String::new();
+    if argv.first().map(String::as_str) == Some("artifact")
+        && argv.get(1).is_some_and(|t| !t.starts_with('-'))
+    {
+        artifact_action = argv.remove(1);
+    }
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -35,16 +45,19 @@ fn main() {
         "grid" => commands::grid(&args),
         "hotspots" => commands::hotspots(&args),
         "check" => commands::check(&args),
+        "artifact" => commands::artifact(&artifact_action, &args),
         "bench-kernel" => commands::bench_kernel(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'; run `sdbp help`")),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; run `sdbp help`"
+        ))),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -67,8 +80,14 @@ commands:
   check                        static diagnostics: lint a spec file or the
                                inline options without running anything
                                (--spec f.spec, --hints h.hints,
-                               --profile p.prof, --aliasing, --suite,
+                               --profile p.prof, --manifest m.jsonl,
+                               --aliasing, --suite,
                                --format text|json, --deny-warnings)
+  artifact ls|inspect|gc       inspect a durable artifact store: list the
+                               objects (ls), show one by digest
+                               (inspect --digest HEX), or prune corrupt
+                               objects, dangling links, and stale temp
+                               files (gc); all take --store DIR
   bench-kernel                 time the simulation kernel (branches/sec per
                                predictor and size, vs the pre-optimization
                                reference kernel) and write a machine-readable
@@ -89,6 +108,18 @@ common options:
   --threads N                                      sweep/grid worker threads
                                                    (default: SDBP_THREADS env,
                                                    then all cores)
+  --store DIR                                      durable artifact store for
+                                                   grid: profiles persist
+                                                   across runs, and a
+                                                   manifest.jsonl records
+                                                   every finished cell
+  --resume                                         with --store: replay cells
+                                                   already completed in the
+                                                   manifest instead of
+                                                   rerunning them
+  --max-cells N                                    with --store: stop after N
+                                                   executed cells (testing
+                                                   interruption/resume)
 
 parallelism:
   sweep and grid run their cells across worker threads sharing one artifact
@@ -105,7 +136,14 @@ diagnostics:
   --aliasing — a static forecast of the branches most likely to suffer
   destructive interference in the configured predictor. Findings carry
   stable SDBPnnn codes (see docs/diagnostics.md). Exit status is non-zero
-  on any error, or on warnings under --deny-warnings.
+  on any error, or on warnings under --deny-warnings. With --manifest,
+  check also lints a grid run manifest: parse damage, schema drift,
+  duplicate cells, failed cells, and torn tails.
+
+exit codes:
+  0 success; 1 command failure (simulation error, failed check, I/O);
+  2 usage error (unknown command, bad option value); 3 artifact-store or
+  manifest corruption (see docs/artifacts.md).
 
 examples:
   sdbp sim --benchmark gcc --predictor gshare --size 16384 --scheme static_acc
@@ -116,4 +154,8 @@ examples:
   sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
   # lint a spec file and forecast aliasing hotspots, machine-readable:
   sdbp check --spec run.spec --aliasing --format json
+  # durable grid: run once, interrupt at will, resume without recomputing:
+  sdbp grid --benchmark gcc --store runs/gcc
+  sdbp grid --benchmark gcc --store runs/gcc --resume
+  sdbp artifact ls --store runs/gcc
 ";

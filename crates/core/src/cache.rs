@@ -23,6 +23,7 @@
 //! (default 128 M instructions, override with `SDBP_TRACE_CACHE`; `0`
 //! disables trace caching entirely). Profiles are small and never evicted.
 
+use sdbp_artifacts::{Codec, Digest, Hasher, Store, StoreError};
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{AccuracyProfile, BiasProfile};
 use sdbp_trace::{BranchEvent, BranchSource, SliceSource};
@@ -64,10 +65,17 @@ pub struct CacheStats {
     pub trace_misses: u64,
     /// Event-stream lookups too large for the store, regenerated uncached.
     pub trace_bypassed: u64,
+    /// Profile computations avoided by reading the persistent disk tier.
+    pub disk_hits: u64,
+    /// Disk-tier probes that found nothing usable (absent, damaged, or
+    /// unreadable) and fell through to computation.
+    pub disk_misses: u64,
 }
 
 impl CacheStats {
-    /// Total lookups served from the cache.
+    /// Total lookups served from the in-memory cache. The disk tier is
+    /// counted separately (`disk_hits`/`disk_misses`): a disk hit is still a
+    /// memory miss that was satisfied without recomputation.
     pub fn hits(&self) -> u64 {
         self.bias_hits + self.accuracy_hits + self.trace_hits
     }
@@ -97,6 +105,8 @@ impl CacheStats {
             trace_hits: self.trace_hits - earlier.trace_hits,
             trace_misses: self.trace_misses - earlier.trace_misses,
             trace_bypassed: self.trace_bypassed - earlier.trace_bypassed,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            disk_misses: self.disk_misses - earlier.disk_misses,
         }
     }
 }
@@ -118,7 +128,11 @@ impl fmt::Display for CacheStats {
             } else {
                 String::new()
             }
-        )
+        )?;
+        if self.disk_hits + self.disk_misses > 0 {
+            write!(f, ", disk {}/{} hit/miss", self.disk_hits, self.disk_misses)?;
+        }
+        Ok(())
     }
 }
 
@@ -145,6 +159,7 @@ pub struct ArtifactCache {
     bias: Mutex<HashMap<ArtifactKey, Slot<BiasProfile>>>,
     accuracy: Mutex<HashMap<(ArtifactKey, PredictorConfig), Slot<AccuracyProfile>>>,
     traces: Mutex<TraceStore>,
+    disk: OnceLock<Arc<Store>>,
     bias_hits: AtomicU64,
     bias_misses: AtomicU64,
     accuracy_hits: AtomicU64,
@@ -152,6 +167,8 @@ pub struct ArtifactCache {
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     trace_bypassed: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -177,6 +194,7 @@ impl ArtifactCache {
                 capacity,
                 tick: 0,
             }),
+            disk: OnceLock::new(),
             bias_hits: AtomicU64::new(0),
             bias_misses: AtomicU64::new(0),
             accuracy_hits: AtomicU64::new(0),
@@ -184,7 +202,23 @@ impl ArtifactCache {
             trace_hits: AtomicU64::new(0),
             trace_misses: AtomicU64::new(0),
             trace_bypassed: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent disk tier: profile lookups that miss in memory
+    /// first probe `store` (keyed by [`bias_profile_digest`] /
+    /// [`accuracy_profile_digest`] links) and persist what they compute.
+    /// Damaged entries self-heal — they are deleted and recomputed, never
+    /// surfaced. At most one store can be attached; later calls are ignored.
+    pub fn attach_store(&self, store: Arc<Store>) {
+        let _ = self.disk.set(store);
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk_store(&self) -> Option<Arc<Store>> {
+        self.disk.get().cloned()
     }
 
     /// A snapshot of the hit/miss counters.
@@ -197,6 +231,8 @@ impl ArtifactCache {
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
             trace_misses: self.trace_misses.load(Ordering::Relaxed),
             trace_bypassed: self.trace_bypassed.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -298,8 +334,14 @@ impl ArtifactCache {
         let mut computed = false;
         let profile = slot.get_or_init(|| {
             computed = true;
+            let disk_key = bias_profile_digest(benchmark, input, seed, instructions);
+            if let Some(stored) = self.disk_fetch::<BiasProfile>(disk_key) {
+                return Arc::new(stored);
+            }
             let events = self.events(benchmark, input, seed, instructions);
-            Arc::new(BiasProfile::from_source(SliceSource::new(&events)))
+            let profile = Arc::new(BiasProfile::from_source(SliceSource::new(&events)));
+            self.disk_persist(disk_key, &*profile);
+            profile
         });
         let counter = if computed {
             &self.bias_misses
@@ -328,12 +370,18 @@ impl ArtifactCache {
         let mut computed = false;
         let profile = slot.get_or_init(|| {
             computed = true;
+            let disk_key = accuracy_profile_digest(benchmark, input, seed, instructions, predictor);
+            if let Some(stored) = self.disk_fetch::<AccuracyProfile>(disk_key) {
+                return Arc::new(stored);
+            }
             let events = self.events(benchmark, input, seed, instructions);
             let mut dynamic = predictor.build_any();
-            Arc::new(AccuracyProfile::collect(
+            let profile = Arc::new(AccuracyProfile::collect(
                 SliceSource::new(&events),
                 &mut dynamic,
-            ))
+            ));
+            self.disk_persist(disk_key, &*profile);
+            profile
         });
         let counter = if computed {
             &self.accuracy_misses
@@ -343,6 +391,81 @@ impl ArtifactCache {
         counter.fetch_add(1, Ordering::Relaxed);
         Arc::clone(profile)
     }
+
+    /// Probes the disk tier for a profile filed under a derived key.
+    ///
+    /// Corruption self-heals: the damaged link/object is deleted, the probe
+    /// reports a miss, and the caller's recomputation re-persists a healthy
+    /// copy. I/O failures also degrade to a miss — the disk tier is an
+    /// accelerator, never a correctness dependency.
+    fn disk_fetch<T: Codec>(&self, key: Digest) -> Option<T> {
+        let store = self.disk.get()?;
+        let fetched = store
+            .get_link(key)
+            .and_then(|target| target.map_or(Ok(None), |t| store.get::<T>(t)));
+        match fetched {
+            Ok(Some(value)) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+            Ok(None) => {}
+            Err(StoreError::Corrupt { .. }) => {
+                if let Ok(Some(target)) = store.get_link(key) {
+                    let _ = store.remove(target);
+                }
+                let _ = store.remove_link(key);
+            }
+            Err(StoreError::Io { .. }) => {}
+        }
+        self.disk_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Best-effort write-through of a freshly computed profile.
+    fn disk_persist<T: Codec>(&self, key: Digest, value: &T) {
+        if let Some(store) = self.disk.get() {
+            if let Ok(target) = store.put(value) {
+                let _ = store.put_link(key, target);
+            }
+        }
+    }
+}
+
+/// The disk-tier key of a bias profile: a digest of the run coordinates
+/// `(benchmark, input, seed, instruction budget)`.
+pub fn bias_profile_digest(
+    benchmark: Benchmark,
+    input: InputSet,
+    seed: u64,
+    instructions: u64,
+) -> Digest {
+    let mut h = Hasher::new();
+    h.write_str("sdbp-bias-profile");
+    h.write_str(benchmark.name());
+    h.write_str(input.name());
+    h.write_u64(seed);
+    h.write_u64(instructions);
+    h.finish()
+}
+
+/// The disk-tier key of an accuracy profile: the bias coordinates plus the
+/// predictor configuration the profile was collected against.
+pub fn accuracy_profile_digest(
+    benchmark: Benchmark,
+    input: InputSet,
+    seed: u64,
+    instructions: u64,
+    predictor: PredictorConfig,
+) -> Digest {
+    let mut h = Hasher::new();
+    h.write_str("sdbp-accuracy-profile");
+    h.write_str(benchmark.name());
+    h.write_str(input.name());
+    h.write_u64(seed);
+    h.write_u64(instructions);
+    h.write_str(predictor.kind().name());
+    h.write_u64(predictor.size_bytes() as u64);
+    h.finish()
 }
 
 /// Generates one run's event stream from scratch (the uncached path).
@@ -479,6 +602,86 @@ mod tests {
         assert_eq!(c.stats().trace_hits, before.trace_hits + 1);
         let _ = c.events(Benchmark::Compress, InputSet::Ref, 2, BUDGET);
         assert_eq!(c.stats().trace_misses, before.trace_misses + 1);
+    }
+
+    fn temp_store(tag: &str) -> Arc<Store> {
+        let dir =
+            std::env::temp_dir().join(format!("sdbp-cache-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Store::open(dir).unwrap())
+    }
+
+    #[test]
+    fn disk_tier_shares_profiles_across_processes() {
+        let store = temp_store("share");
+        let warm = cache();
+        warm.attach_store(Arc::clone(&store));
+        let original = warm.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        assert_eq!(
+            warm.stats().disk_misses,
+            1,
+            "cold store probes then computes"
+        );
+
+        // A fresh cache models a new process: memory is cold, disk is warm.
+        let cold = cache();
+        cold.attach_store(Arc::clone(&store));
+        let revived = cold.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        assert_eq!(*revived, *original);
+        let s = cold.stats();
+        assert_eq!((s.disk_hits, s.disk_misses), (1, 0));
+        assert_eq!(s.trace_misses, 0, "disk hit avoids regenerating the trace");
+        assert!(cold.stats().since(&CacheStats::default()).disk_hits > 0);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_disk_entries_self_heal() {
+        let store = temp_store("heal");
+        let warm = cache();
+        warm.attach_store(Arc::clone(&store));
+        let original = warm.accuracy_profile(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+        );
+        // Damage the stored object behind the link.
+        let key = accuracy_profile_digest(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+        );
+        let target = store.get_link(key).unwrap().unwrap();
+        std::fs::write(store.object_path(target), b"garbage").unwrap();
+
+        let healing = cache();
+        healing.attach_store(Arc::clone(&store));
+        let recomputed = healing.accuracy_profile(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+        );
+        assert_eq!(*recomputed, *original, "corruption never surfaces");
+        assert_eq!(healing.stats().disk_misses, 1);
+
+        // The rewrite healed the store: a third cache hits cleanly.
+        let healed = cache();
+        healed.attach_store(Arc::clone(&store));
+        let _ = healed.accuracy_profile(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+        );
+        assert_eq!(healed.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(store.root());
     }
 
     #[test]

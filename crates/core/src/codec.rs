@@ -1,0 +1,395 @@
+//! Binary artifact codecs for experiment specs and reports.
+//!
+//! Implements [`Codec`] for [`ExperimentSpec`] and [`Report`], which makes
+//! both storable in the content-addressed artifact store and gives every
+//! spec a stable content digest ([`spec_digest`]) — the key under which a
+//! sweep manifest records the cell and under which its profile artifacts
+//! are cached on disk.
+//!
+//! Encodings are canonical: enums are written as fixed tags or as their
+//! stable lowercase names, floats as IEEE-754 bit patterns, so two equal
+//! specs always serialize to identical bytes and therefore identical
+//! digests across processes and runs.
+
+use crate::combined::ShiftPolicy;
+use crate::experiment::{ExperimentSpec, ProfileSource};
+use crate::metrics::{CollisionStats, SimStats};
+use crate::report::Report;
+use sdbp_artifacts::{Codec, CodecError, Decoder, Digest, Encoder};
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+use sdbp_profiles::SelectionScheme;
+use sdbp_workloads::{Benchmark, InputSet};
+
+/// The stable content digest of a spec: the key under which its manifest
+/// entry and derived artifacts are filed.
+pub fn spec_digest(spec: &ExperimentSpec) -> Digest {
+    Digest::of(&spec.to_bytes())
+}
+
+fn invalid(context: impl Into<String>) -> CodecError {
+    CodecError::Invalid {
+        context: context.into(),
+    }
+}
+
+fn encode_predictor(p: &PredictorConfig, e: &mut Encoder) {
+    e.str(p.kind().name());
+    e.u64(p.size_bytes() as u64);
+}
+
+fn decode_predictor(d: &mut Decoder<'_>) -> Result<PredictorConfig, CodecError> {
+    let kind: PredictorKind = d
+        .str("predictor kind")?
+        .parse()
+        .map_err(|e| invalid(format!("predictor kind: {e}")))?;
+    let size = d.u64("predictor size")? as usize;
+    PredictorConfig::new(kind, size).map_err(|e| invalid(format!("predictor config: {e}")))
+}
+
+fn encode_input(input: InputSet, e: &mut Encoder) {
+    e.u8(match input {
+        InputSet::Train => 0,
+        InputSet::Ref => 1,
+    });
+}
+
+fn decode_input(d: &mut Decoder<'_>) -> Result<InputSet, CodecError> {
+    match d.u8("input set")? {
+        0 => Ok(InputSet::Train),
+        1 => Ok(InputSet::Ref),
+        tag => Err(invalid(format!("input set tag {tag}"))),
+    }
+}
+
+fn encode_shift(shift: ShiftPolicy, e: &mut Encoder) {
+    e.u8(match shift {
+        ShiftPolicy::NoShift => 0,
+        ShiftPolicy::Shift => 1,
+    });
+}
+
+fn decode_shift(d: &mut Decoder<'_>) -> Result<ShiftPolicy, CodecError> {
+    match d.u8("shift policy")? {
+        0 => Ok(ShiftPolicy::NoShift),
+        1 => Ok(ShiftPolicy::Shift),
+        tag => Err(invalid(format!("shift policy tag {tag}"))),
+    }
+}
+
+fn encode_scheme(scheme: &SelectionScheme, e: &mut Encoder) {
+    match scheme {
+        SelectionScheme::None => e.u8(0),
+        SelectionScheme::Bias { cutoff } => {
+            e.u8(1);
+            e.f64(*cutoff);
+        }
+        SelectionScheme::VsAccuracy => e.u8(2),
+        SelectionScheme::Factor { factor } => {
+            e.u8(3);
+            e.f64(*factor);
+        }
+        SelectionScheme::CollisionAware {
+            min_bias,
+            min_collision_rate,
+        } => {
+            e.u8(4);
+            e.f64(*min_bias);
+            e.f64(*min_collision_rate);
+        }
+    }
+}
+
+fn decode_scheme(d: &mut Decoder<'_>) -> Result<SelectionScheme, CodecError> {
+    match d.u8("selection scheme")? {
+        0 => Ok(SelectionScheme::None),
+        1 => Ok(SelectionScheme::Bias {
+            cutoff: d.f64("bias cutoff")?,
+        }),
+        2 => Ok(SelectionScheme::VsAccuracy),
+        3 => Ok(SelectionScheme::Factor {
+            factor: d.f64("accuracy factor")?,
+        }),
+        4 => Ok(SelectionScheme::CollisionAware {
+            min_bias: d.f64("minimum bias")?,
+            min_collision_rate: d.f64("minimum collision rate")?,
+        }),
+        tag => Err(invalid(format!("selection scheme tag {tag}"))),
+    }
+}
+
+fn encode_profile_source(profile: ProfileSource, e: &mut Encoder) {
+    match profile {
+        ProfileSource::SelfTrained => e.u8(0),
+        ProfileSource::CrossTrained => e.u8(1),
+        ProfileSource::MergedCrossTrained { max_bias_change } => {
+            e.u8(2);
+            e.f64(max_bias_change);
+        }
+    }
+}
+
+fn decode_profile_source(d: &mut Decoder<'_>) -> Result<ProfileSource, CodecError> {
+    match d.u8("profile source")? {
+        0 => Ok(ProfileSource::SelfTrained),
+        1 => Ok(ProfileSource::CrossTrained),
+        2 => Ok(ProfileSource::MergedCrossTrained {
+            max_bias_change: d.f64("maximum bias change")?,
+        }),
+        tag => Err(invalid(format!("profile source tag {tag}"))),
+    }
+}
+
+fn encode_option_u64(value: Option<u64>, e: &mut Encoder) {
+    e.bool(value.is_some());
+    e.u64(value.unwrap_or(0));
+}
+
+fn decode_option_u64(
+    d: &mut Decoder<'_>,
+    context: &'static str,
+) -> Result<Option<u64>, CodecError> {
+    let present = d.bool(context)?;
+    let value = d.u64(context)?;
+    Ok(present.then_some(value))
+}
+
+impl Codec for ExperimentSpec {
+    const SCHEMA: &'static str = "sdbp-spec";
+    const VERSION: u32 = 1;
+
+    fn encode_payload(&self, e: &mut Encoder) {
+        e.str(self.benchmark.name());
+        encode_predictor(&self.predictor, e);
+        encode_scheme(&self.scheme, e);
+        encode_shift(self.shift, e);
+        encode_profile_source(self.profile, e);
+        encode_input(self.measure_input, e);
+        e.u64(self.seed);
+        encode_option_u64(self.profile_instructions, e);
+        encode_option_u64(self.measure_instructions, e);
+        e.u64(self.warmup_instructions);
+    }
+
+    fn decode_payload(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let benchmark: Benchmark = d
+            .str("benchmark name")?
+            .parse()
+            .map_err(|e| invalid(format!("benchmark: {e}")))?;
+        Ok(ExperimentSpec {
+            benchmark,
+            predictor: decode_predictor(d)?,
+            scheme: decode_scheme(d)?,
+            shift: decode_shift(d)?,
+            profile: decode_profile_source(d)?,
+            measure_input: decode_input(d)?,
+            seed: d.u64("seed")?,
+            profile_instructions: decode_option_u64(d, "profile instructions")?,
+            measure_instructions: decode_option_u64(d, "measure instructions")?,
+            warmup_instructions: d.u64("warmup instructions")?,
+        })
+    }
+}
+
+impl Codec for Report {
+    const SCHEMA: &'static str = "sdbp-report";
+    const VERSION: u32 = 1;
+
+    fn encode_payload(&self, e: &mut Encoder) {
+        e.str(self.benchmark.name());
+        encode_predictor(&self.predictor, e);
+        e.str(&self.scheme_label);
+        encode_shift(self.shift, e);
+        encode_input(self.measure_input, e);
+        e.u64(self.hints as u64);
+        e.u64(self.stats.instructions);
+        e.u64(self.stats.branches);
+        e.u64(self.stats.mispredictions);
+        e.u64(self.stats.static_predicted);
+        e.u64(self.stats.static_mispredictions);
+        e.u64(self.stats.collisions.total);
+        e.u64(self.stats.collisions.constructive);
+        e.u64(self.stats.collisions.destructive);
+    }
+
+    fn decode_payload(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let benchmark: Benchmark = d
+            .str("benchmark name")?
+            .parse()
+            .map_err(|e| invalid(format!("benchmark: {e}")))?;
+        let predictor = decode_predictor(d)?;
+        let scheme_label = d.str("scheme label")?;
+        let shift = decode_shift(d)?;
+        let measure_input = decode_input(d)?;
+        let hints = d.u64("hint count")? as usize;
+        let stats = SimStats {
+            instructions: d.u64("instructions")?,
+            branches: d.u64("branches")?,
+            mispredictions: d.u64("mispredictions")?,
+            static_predicted: d.u64("static predicted")?,
+            static_mispredictions: d.u64("static mispredictions")?,
+            collisions: CollisionStats {
+                total: d.u64("collisions total")?,
+                constructive: d.u64("collisions constructive")?,
+                destructive: d.u64("collisions destructive")?,
+            },
+        };
+        if stats.mispredictions > stats.branches
+            || stats.static_predicted > stats.branches
+            || stats.collisions.constructive + stats.collisions.destructive > stats.collisions.total
+        {
+            return Err(invalid("report counters exceed their totals"));
+        }
+        Ok(Report {
+            benchmark,
+            predictor,
+            scheme_label,
+            shift,
+            measure_input,
+            hints,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdbp_predictors::PredictorKind;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::self_trained(
+            Benchmark::Gcc,
+            PredictorConfig::new(PredictorKind::Gshare, 4096).unwrap(),
+            SelectionScheme::static_95(),
+        )
+    }
+
+    fn report() -> Report {
+        Report {
+            benchmark: Benchmark::Perl,
+            predictor: PredictorConfig::new(PredictorKind::BiMode, 2048).unwrap(),
+            scheme_label: "static_acc".into(),
+            shift: ShiftPolicy::Shift,
+            measure_input: InputSet::Ref,
+            hints: 321,
+            stats: SimStats {
+                instructions: 1_000_000,
+                branches: 150_000,
+                mispredictions: 9_000,
+                static_predicted: 40_000,
+                static_mispredictions: 800,
+                collisions: CollisionStats {
+                    total: 5_000,
+                    constructive: 1_200,
+                    destructive: 3_100,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn specs_roundtrip_across_every_variant() {
+        let variants = [
+            spec(),
+            spec()
+                .with_scheme(SelectionScheme::None)
+                .with_shift(ShiftPolicy::Shift),
+            spec()
+                .with_scheme(SelectionScheme::collision_aware())
+                .with_profile(ProfileSource::CrossTrained)
+                .with_measure_input(InputSet::Train),
+            spec()
+                .with_scheme(SelectionScheme::Factor { factor: 1.25 })
+                .with_profile(ProfileSource::MergedCrossTrained {
+                    max_bias_change: 0.05,
+                })
+                .with_instructions(500_000)
+                .with_seed(7)
+                .with_warmup(10_000),
+        ];
+        for s in variants {
+            let back = ExperimentSpec::from_bytes(&s.to_bytes()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_separates_specs() {
+        let a = spec_digest(&spec());
+        let b = spec_digest(&spec());
+        assert_eq!(a, b);
+        assert_ne!(a, spec_digest(&spec().with_seed(1)));
+        assert_ne!(
+            a,
+            spec_digest(&spec().with_scheme(SelectionScheme::static_acc()))
+        );
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let r = report();
+        assert_eq!(Report::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn report_decode_rejects_impossible_counters() {
+        struct Evil;
+        impl Codec for Evil {
+            const SCHEMA: &'static str = "sdbp-report";
+            const VERSION: u32 = 1;
+            fn encode_payload(&self, e: &mut Encoder) {
+                let mut r = report();
+                r.stats.mispredictions = r.stats.branches + 1;
+                r.encode_payload(e);
+            }
+            fn decode_payload(_: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                Ok(Evil)
+            }
+        }
+        let err = Report::from_bytes(&Evil.to_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn spec_and_report_schemas_are_distinct() {
+        let err = Report::from_bytes(&spec().to_bytes()).unwrap_err();
+        assert!(matches!(err, CodecError::SchemaMismatch { .. }), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn reports_roundtrip(
+            branches in any::<u32>(),
+            misp in any::<u32>(),
+            hints in any::<u32>(),
+            total in any::<u32>(),
+            constructive in any::<u32>(),
+        ) {
+            let branches = u64::from(branches);
+            let total = u64::from(total);
+            let constructive = u64::from(constructive).min(total);
+            let mut r = report();
+            r.stats.branches = branches;
+            r.stats.mispredictions = u64::from(misp).min(branches);
+            r.stats.static_predicted = branches / 2;
+            r.stats.static_mispredictions = branches / 8;
+            r.hints = hints as usize;
+            r.stats.collisions = CollisionStats {
+                total,
+                constructive,
+                destructive: total - constructive,
+            };
+            prop_assert_eq!(Report::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+
+        #[test]
+        fn truncated_specs_error_not_panic(cut in any::<u32>()) {
+            let bytes = spec().to_bytes();
+            let cut = cut as usize % bytes.len();
+            prop_assert!(ExperimentSpec::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

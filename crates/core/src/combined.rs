@@ -91,8 +91,7 @@ impl CombinedPredictor {
     /// Accepts anything convertible into [`AnyPredictor`]: a concrete
     /// predictor (plain or boxed — so `Box::new(Gshare::new(..))` call sites
     /// keep working, now unboxed into static dispatch), an [`AnyPredictor`]
-    /// from [`PredictorConfig::build_any`]
-    /// (sdbp_predictors::PredictorConfig::build_any), or a
+    /// from [`sdbp_predictors::PredictorConfig::build_any`], or a
     /// `Box<dyn DynamicPredictor>` for user-defined schemes (which stay
     /// virtually dispatched through the `Custom` escape hatch).
     pub fn new(

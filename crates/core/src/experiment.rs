@@ -10,6 +10,7 @@ use crate::cache::ArtifactCache;
 use crate::combined::{CombinedPredictor, ShiftPolicy};
 use crate::report::Report;
 use crate::simulator::Simulator;
+use sdbp_artifacts::{CodecError, StoreError};
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{
     AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectError, SelectionScheme,
@@ -281,8 +282,15 @@ impl fmt::Display for SpecProblem {
     }
 }
 
-/// Errors from experiment execution.
-#[derive(Debug, Clone, PartialEq)]
+/// Errors from experiment execution and artifact persistence.
+///
+/// The taxonomy distinguishes what went wrong — a selection failure, a
+/// pre-flight rejection, an I/O failure of the artifact store, a codec or
+/// schema-version mismatch, or store corruption — so callers can react per
+/// class (the CLI maps classes to distinct exit codes). Every variant
+/// implements [`std::error::Error`] with [`source`](std::error::Error::source)
+/// chaining to the underlying cause where one exists.
+#[derive(Debug, Clone)]
 pub enum ExperimentError {
     /// Hint selection failed.
     Select(SelectError),
@@ -293,6 +301,113 @@ pub enum ExperimentError {
         /// The rendered pre-flight diagnostics.
         reason: String,
     },
+    /// The cell was not executed at all (e.g. a sweep hit its cell cap
+    /// before reaching it). A resumed sweep runs skipped cells.
+    Skipped {
+        /// Why the cell was passed over.
+        reason: String,
+    },
+    /// An artifact-store or manifest I/O operation failed.
+    Io {
+        /// What was being read or written.
+        context: String,
+        /// The underlying I/O error.
+        source: Arc<std::io::Error>,
+    },
+    /// An artifact failed to encode or decode (including schema-version
+    /// mismatches from a store written by a different build).
+    Codec {
+        /// What was being (de)serialized.
+        context: String,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+    /// A stored artifact's bytes do not match their content digest or
+    /// envelope checksum — on-disk corruption, not a logic error.
+    StoreCorrupt {
+        /// Path of the damaged object.
+        path: String,
+        /// What the validation found.
+        source: CodecError,
+    },
+    /// An error replayed from a previous run's manifest whose precise
+    /// variant could not be reconstructed; `kind` preserves the original
+    /// class label.
+    Replayed {
+        /// The original [`kind_label`](ExperimentError::kind_label).
+        kind: String,
+        /// The original rendered message.
+        message: String,
+    },
+}
+
+impl ExperimentError {
+    /// A stable one-word class label, used by manifests to record (and
+    /// later replay) the error class.
+    pub fn kind_label(&self) -> &str {
+        match self {
+            ExperimentError::Select(_) => "select",
+            ExperimentError::Rejected { .. } => "rejected",
+            ExperimentError::Skipped { .. } => "skipped",
+            ExperimentError::Io { .. } => "io",
+            ExperimentError::Codec { .. } => "codec",
+            ExperimentError::StoreCorrupt { .. } => "store-corrupt",
+            ExperimentError::Replayed { kind, .. } => kind,
+        }
+    }
+}
+
+impl PartialEq for ExperimentError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ExperimentError::Select(a), ExperimentError::Select(b)) => a == b,
+            (ExperimentError::Rejected { reason: a }, ExperimentError::Rejected { reason: b })
+            | (ExperimentError::Skipped { reason: a }, ExperimentError::Skipped { reason: b }) => {
+                a == b
+            }
+            (
+                ExperimentError::Io {
+                    context: ca,
+                    source: sa,
+                },
+                ExperimentError::Io {
+                    context: cb,
+                    source: sb,
+                },
+            ) => ca == cb && sa.kind() == sb.kind(),
+            (
+                ExperimentError::Codec {
+                    context: ca,
+                    source: sa,
+                },
+                ExperimentError::Codec {
+                    context: cb,
+                    source: sb,
+                },
+            ) => ca == cb && sa == sb,
+            (
+                ExperimentError::StoreCorrupt {
+                    path: pa,
+                    source: sa,
+                },
+                ExperimentError::StoreCorrupt {
+                    path: pb,
+                    source: sb,
+                },
+            ) => pa == pb && sa == sb,
+            (
+                ExperimentError::Replayed {
+                    kind: ka,
+                    message: ma,
+                },
+                ExperimentError::Replayed {
+                    kind: kb,
+                    message: mb,
+                },
+            ) => ka == kb && ma == mb,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ExperimentError {
@@ -302,6 +417,19 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Rejected { reason } => {
                 write!(f, "spec rejected by pre-flight checks: {reason}")
             }
+            ExperimentError::Skipped { reason } => write!(f, "cell skipped: {reason}"),
+            ExperimentError::Io { context, source } => {
+                write!(f, "artifact I/O failed while {context}: {source}")
+            }
+            ExperimentError::Codec { context, source } => {
+                write!(f, "artifact codec failed while {context}: {source}")
+            }
+            ExperimentError::StoreCorrupt { path, source } => {
+                write!(f, "corrupt artifact at {path}: {source}")
+            }
+            ExperimentError::Replayed { kind, message } => {
+                write!(f, "replayed {kind} error from manifest: {message}")
+            }
         }
     }
 }
@@ -310,7 +438,12 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExperimentError::Select(e) => Some(e),
-            ExperimentError::Rejected { .. } => None,
+            ExperimentError::Io { source, .. } => Some(source.as_ref()),
+            ExperimentError::Codec { source, .. }
+            | ExperimentError::StoreCorrupt { source, .. } => Some(source),
+            ExperimentError::Rejected { .. }
+            | ExperimentError::Skipped { .. }
+            | ExperimentError::Replayed { .. } => None,
         }
     }
 }
@@ -318,6 +451,18 @@ impl std::error::Error for ExperimentError {
 impl From<SelectError> for ExperimentError {
     fn from(e: SelectError) -> Self {
         ExperimentError::Select(e)
+    }
+}
+
+impl From<StoreError> for ExperimentError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io { path, source } => ExperimentError::Io {
+                context: format!("accessing {path}"),
+                source,
+            },
+            StoreError::Corrupt { path, source } => ExperimentError::StoreCorrupt { path, source },
+        }
     }
 }
 

@@ -24,6 +24,11 @@
 //!   [`ExperimentSpec`]s across scoped worker threads sharing one
 //!   [`ArtifactCache`], returning bit-identical results to a serial run,
 //!   in deterministic spec order.
+//! * [`RunStore`] / [`manifest`] — the durable artifact layer: a
+//!   content-addressed on-disk store caching profiles across processes
+//!   (keyed by [`spec_digest`]-style run digests), plus an append-only
+//!   `manifest.jsonl` of finished cells that lets an interrupted sweep
+//!   resume exactly where it stopped.
 //!
 //! # Examples
 //!
@@ -57,19 +62,25 @@
 
 pub mod analysis;
 pub mod cache;
+pub mod codec;
 pub mod combined;
 pub mod experiment;
+pub mod manifest;
 pub mod metrics;
 pub mod report;
 pub mod simulator;
 pub mod sweep;
 
 pub use analysis::{BranchAnalysis, BranchRecord};
-pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use cache::{
+    accuracy_profile_digest, bias_profile_digest, ArtifactCache, ArtifactKey, CacheStats,
+};
+pub use codec::spec_digest;
 pub use combined::{BranchResolution, CombinedPredictor, ShiftPolicy};
 pub use experiment::{
     run_experiment, ExperimentError, ExperimentSpec, Lab, PreflightFn, ProfileSource, SpecProblem,
 };
+pub use manifest::{ManifestEntry, ManifestError, RunManifest, RunStore};
 pub use metrics::{CollisionStats, SimStats};
 pub use report::Report;
 pub use simulator::Simulator;

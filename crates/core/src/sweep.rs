@@ -38,8 +38,10 @@
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::experiment::{ExperimentError, ExperimentSpec, Lab, PreflightFn};
+use crate::manifest::{entry_for, RunStore};
 use crate::report::Report;
 use std::num::NonZeroUsize;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -76,6 +78,9 @@ pub struct Sweep {
     verbose: bool,
     strict: bool,
     preflight: Option<PreflightFn>,
+    store_dir: Option<PathBuf>,
+    resume: bool,
+    cell_cap: Option<usize>,
 }
 
 impl Sweep {
@@ -89,7 +94,36 @@ impl Sweep {
             verbose: false,
             strict: true,
             preflight: None,
+            store_dir: None,
+            resume: false,
+            cell_cap: None,
         }
+    }
+
+    /// Attaches a persistent run store at `dir`: profiles are cached on disk
+    /// across processes and every finished cell is appended to the store's
+    /// `manifest.jsonl` (see [`crate::manifest`]).
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// With a store attached, replays cells whose spec digests already
+    /// appear completed in the manifest instead of re-running them. Without
+    /// a store this has no effect.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Caps the number of cells actually executed this run (`0` lifts the
+    /// cap); the rest come back as [`ExperimentError::Skipped`]. With a
+    /// store and [`Sweep::with_resume`], a later run picks up the skipped
+    /// cells — this is how the resume-equivalence harness interrupts a grid
+    /// deterministically.
+    pub fn with_max_cells(mut self, cap: usize) -> Self {
+        self.cell_cap = (cap > 0).then_some(cap);
+        self
     }
 
     /// Shares an existing artifact cache (e.g. a [`Lab::cache`], or the
@@ -154,6 +188,12 @@ impl Sweep {
     }
 
     /// Executes every cell and returns the results in spec order.
+    ///
+    /// With a store attached (see [`Sweep::with_store`]), a failure to open
+    /// the run store fails every cell with the same typed error instead of
+    /// panicking; finished cells are appended to the store's manifest as
+    /// they complete, resumed cells are replayed from it, and capped cells
+    /// come back as [`ExperimentError::Skipped`] without touching it.
     pub fn run(self) -> SweepResult {
         let threads = self.threads();
         let rejections: Vec<Option<ExperimentError>> = self
@@ -161,14 +201,75 @@ impl Sweep {
             .iter()
             .map(|spec| self.preflight_cell(spec).err())
             .collect();
+        let run_store = match &self.store_dir {
+            Some(dir) => match RunStore::open(dir, self.resume) {
+                Ok(rs) => {
+                    let rs = Arc::new(rs);
+                    self.cache.attach_store(rs.store());
+                    Some(rs)
+                }
+                Err(e) => {
+                    let cells = self
+                        .specs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(index, spec)| SweepCell {
+                            index,
+                            spec,
+                            report: Err(e.clone()),
+                            elapsed: Duration::ZERO,
+                        })
+                        .collect();
+                    return SweepResult {
+                        cells,
+                        wall_time: Duration::ZERO,
+                        threads,
+                        cache_stats: CacheStats::default(),
+                        resumed: 0,
+                        skipped: 0,
+                    };
+                }
+            },
+            None => None,
+        };
         let Sweep {
             specs,
             cache,
             verbose,
+            resume,
+            cell_cap,
             ..
         } = self;
         let started = Instant::now();
         let before = cache.stats();
+
+        enum Disposition {
+            Run,
+            Replay(Result<Report, ExperimentError>),
+            Skip,
+        }
+        let mut runnable = 0usize;
+        let dispositions: Vec<Disposition> = specs
+            .iter()
+            .map(|spec| {
+                if resume {
+                    if let Some(entry) = run_store.as_deref().and_then(|rs| rs.replay(spec)) {
+                        return Disposition::Replay(entry.outcome.clone());
+                    }
+                }
+                if cell_cap.is_some_and(|cap| runnable >= cap) {
+                    return Disposition::Skip;
+                }
+                runnable += 1;
+                Disposition::Run
+            })
+            .collect();
+        let work: Vec<usize> = dispositions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| matches!(d, Disposition::Run).then_some(i))
+            .collect();
+
         let total = specs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -179,16 +280,22 @@ impl Sweep {
                 scope.spawn(|| {
                     let lab = Lab::with_cache(Arc::clone(&cache));
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = work.get(slot) else {
                             break;
-                        }
+                        };
                         let cell_started = Instant::now();
-                        let report = match &rejections[i] {
+                        let mut report = match &rejections[i] {
                             Some(rejection) => Err(rejection.clone()),
                             None => lab.run(&specs[i]),
                         };
                         let elapsed = cell_started.elapsed();
+                        if let Some(rs) = &run_store {
+                            let entry = entry_for(i, &specs[i], &report, elapsed);
+                            if let Err(e) = rs.append(&entry) {
+                                report = Err(e);
+                            }
+                        }
                         if verbose {
                             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                             match &report {
@@ -206,15 +313,34 @@ impl Sweep {
             }
         });
 
+        let mut resumed = 0usize;
+        let mut skipped = 0usize;
         let cells = specs
             .into_iter()
             .zip(slots)
+            .zip(dispositions)
             .enumerate()
-            .map(|(index, (spec, slot))| {
-                let (report, elapsed) = slot
-                    .into_inner()
-                    .expect("sweep slot lock")
-                    .expect("every cell was executed");
+            .map(|(index, ((spec, slot), disposition))| {
+                let (report, elapsed) = match disposition {
+                    Disposition::Run => slot
+                        .into_inner()
+                        .expect("sweep slot lock")
+                        .expect("every runnable cell was executed"),
+                    Disposition::Replay(outcome) => {
+                        resumed += 1;
+                        (outcome, Duration::ZERO)
+                    }
+                    Disposition::Skip => {
+                        skipped += 1;
+                        let cap = cell_cap.expect("skips only happen under a cap");
+                        (
+                            Err(ExperimentError::Skipped {
+                                reason: format!("cell cap of {cap} reached before this cell"),
+                            }),
+                            Duration::ZERO,
+                        )
+                    }
+                };
                 SweepCell {
                     index,
                     spec,
@@ -228,6 +354,8 @@ impl Sweep {
             wall_time: started.elapsed(),
             threads,
             cache_stats: cache.stats().since(&before),
+            resumed,
+            skipped,
         }
     }
 }
@@ -266,6 +394,10 @@ pub struct SweepResult {
     pub threads: usize,
     /// Cache activity during this sweep (deltas, not lifetime totals).
     pub cache_stats: CacheStats,
+    /// Cells replayed from a prior run's manifest instead of executing.
+    pub resumed: usize,
+    /// Cells not executed because the cell cap was reached.
+    pub skipped: usize,
 }
 
 impl SweepResult {
@@ -290,10 +422,13 @@ impl SweepResult {
     /// also shrinks the per-cell times themselves.
     pub fn speedup(&self) -> f64 {
         let wall = self.wall_time.as_secs_f64();
-        if wall == 0.0 {
+        let total = self.total_cell_time().as_secs_f64();
+        // Guard the degenerate sweeps (no cells, everything replayed, or a
+        // sub-resolution wall clock): report parity, never NaN/inf.
+        if !wall.is_finite() || wall <= 0.0 || !total.is_finite() || total <= 0.0 {
             1.0
         } else {
-            self.total_cell_time().as_secs_f64() / wall
+            total / wall
         }
     }
 
@@ -312,7 +447,9 @@ impl SweepResult {
     /// per-kernel figure — see `sdbp bench-kernel` for those.
     pub fn branches_per_sec(&self) -> f64 {
         let wall = self.wall_time.as_secs_f64();
-        if wall == 0.0 {
+        // A zero or non-finite wall clock (empty sweep, fully replayed
+        // sweep) must not turn the throughput into NaN or infinity.
+        if !wall.is_finite() || wall <= 0.0 {
             0.0
         } else {
             self.total_branches() as f64 / wall
@@ -322,7 +459,7 @@ impl SweepResult {
     /// A one-line summary: cell count, threads, wall time, speedup,
     /// aggregate branch throughput, and cache hit/miss counters.
     pub fn summary(&self) -> String {
-        format!(
+        let mut summary = format!(
             "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x, {:.1} Mbr/s); {}",
             self.cells.len(),
             self.threads,
@@ -331,7 +468,14 @@ impl SweepResult {
             self.speedup(),
             self.branches_per_sec() / 1e6,
             self.cache_stats,
-        )
+        );
+        if self.resumed > 0 {
+            summary.push_str(&format!("; {} replayed from manifest", self.resumed));
+        }
+        if self.skipped > 0 {
+            summary.push_str(&format!("; {} skipped at cell cap", self.skipped));
+        }
+        summary
     }
 }
 
@@ -478,6 +622,120 @@ mod tests {
             "lax mode runs the degenerate cell: {:?}",
             lax.cells[0].report
         );
+    }
+
+    #[test]
+    fn degenerate_sweeps_never_produce_nan_throughput() {
+        let empty = Sweep::new(Vec::new()).with_threads(1).run();
+        assert!(empty.speedup().is_finite(), "{}", empty.speedup());
+        assert!(
+            empty.branches_per_sec().is_finite(),
+            "{}",
+            empty.branches_per_sec()
+        );
+        let summary = empty.summary();
+        assert!(!summary.contains("NaN"), "{summary}");
+        assert!(!summary.contains("inf"), "{summary}");
+
+        // A hand-built result with a zero wall clock (every cell replayed).
+        let zero_wall = SweepResult {
+            cells: Vec::new(),
+            wall_time: Duration::ZERO,
+            threads: 1,
+            cache_stats: CacheStats::default(),
+            resumed: 3,
+            skipped: 0,
+        };
+        assert_eq!(zero_wall.speedup(), 1.0);
+        assert_eq!(zero_wall.branches_per_sec(), 0.0);
+        let summary = zero_wall.summary();
+        assert!(!summary.contains("NaN"), "{summary}");
+        assert!(summary.contains("3 replayed from manifest"), "{summary}");
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sdbp-sweep-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_records_a_manifest_and_resume_replays_it() {
+        use crate::manifest::{RunManifest, RunStore};
+
+        let root = temp_root("resume");
+        let full = Sweep::new(grid()).with_threads(2).run();
+        let full_reports = full.into_reports().unwrap();
+
+        // Interrupted run: only the first 3 cells execute.
+        let partial = Sweep::new(grid())
+            .with_threads(2)
+            .with_store(&root)
+            .with_max_cells(3)
+            .run();
+        assert_eq!(partial.skipped, grid().len() - 3);
+        assert!(matches!(
+            partial.cells[5].report,
+            Err(ExperimentError::Skipped { .. })
+        ));
+        let text = std::fs::read_to_string(RunStore::manifest_path(&root)).unwrap();
+        assert_eq!(RunManifest::parse(&text).unwrap().entries.len(), 3);
+
+        // Resumed run: replays 3, executes the remaining 5.
+        let resumed = Sweep::new(grid())
+            .with_threads(2)
+            .with_store(&root)
+            .with_resume(true)
+            .run();
+        assert_eq!(resumed.resumed, 3);
+        assert_eq!(resumed.skipped, 0);
+        assert!(
+            resumed.cache_stats.disk_hits > 0,
+            "resume must hit the profile disk tier: {}",
+            resumed.cache_stats
+        );
+        let resumed_reports = resumed.into_reports().unwrap();
+        assert_eq!(resumed_reports, full_reports, "resume is bit-identical");
+
+        // The final manifest covers every cell and matches an uninterrupted
+        // store-backed run in canonical form.
+        let text = std::fs::read_to_string(RunStore::manifest_path(&root)).unwrap();
+        let final_manifest = RunManifest::parse(&text).unwrap();
+        assert_eq!(final_manifest.entries.len(), grid().len());
+
+        let clean_root = temp_root("clean");
+        let _ = Sweep::new(grid())
+            .with_threads(2)
+            .with_store(&clean_root)
+            .run();
+        let clean_text = std::fs::read_to_string(RunStore::manifest_path(&clean_root)).unwrap();
+        let clean_manifest = RunManifest::parse(&clean_text).unwrap();
+        assert_eq!(final_manifest.canonical(), clean_manifest.canonical());
+
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&clean_root);
+    }
+
+    #[test]
+    fn unopenable_store_fails_every_cell_with_a_typed_error() {
+        // A file where the store directory should be.
+        let root = temp_root("blocked");
+        std::fs::create_dir_all(&root).unwrap();
+        let blocker = root.join("not-a-dir");
+        std::fs::write(&blocker, b"in the way").unwrap();
+        let result = Sweep::new(grid()[..2].to_vec())
+            .with_threads(1)
+            .with_store(&blocker)
+            .run();
+        for cell in &result.cells {
+            assert!(
+                matches!(cell.report, Err(ExperimentError::Io { .. })),
+                "{:?}",
+                cell.report
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

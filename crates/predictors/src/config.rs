@@ -128,6 +128,8 @@ pub enum ConfigError {
         /// The rejected size in bytes.
         size_bytes: usize,
     },
+    /// A size value that is not a byte count at all (e.g. `--size huge`).
+    BadSizeLiteral(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -136,6 +138,9 @@ impl fmt::Display for ConfigError {
             ConfigError::UnknownKind(s) => write!(f, "unknown predictor kind '{s}'"),
             ConfigError::BadSize { kind, size_bytes } => {
                 write!(f, "invalid size {size_bytes} bytes for {kind}")
+            }
+            ConfigError::BadSizeLiteral(s) => {
+                write!(f, "size '{s}' is not a byte count")
             }
         }
     }
@@ -184,6 +189,33 @@ impl PredictorConfig {
             return Err(ConfigError::BadSize { kind, size_bytes });
         }
         Ok(Self { kind, size_bytes })
+    }
+
+    /// Parses a `(kind, size)` pair of command-line strings into a validated
+    /// configuration — the one helper behind both the CLI's
+    /// `--predictor`/`--size` options and `sdbp check`'s spec fields, so the
+    /// two surfaces cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownKind`] for an unrecognized scheme name,
+    /// [`ConfigError::BadSizeLiteral`] when `size_bytes` is not an unsigned
+    /// integer, and [`ConfigError::BadSize`] when the byte count is invalid
+    /// for the scheme.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdbp_predictors::{PredictorConfig, PredictorKind};
+    ///
+    /// let cfg = PredictorConfig::parse("gshare", "16384").unwrap();
+    /// assert_eq!(cfg.kind(), PredictorKind::Gshare);
+    /// assert!(PredictorConfig::parse("gshare", "huge").is_err());
+    /// ```
+    pub fn parse(kind: &str, size_bytes: &str) -> Result<Self, ConfigError> {
+        let kind: PredictorKind = kind.parse()?;
+        let size = parse_size_bytes(size_bytes)?;
+        Self::new(kind, size)
     }
 
     /// The scheme.
@@ -237,6 +269,19 @@ impl PredictorConfig {
     }
 }
 
+/// Parses a byte-count literal (`"8192"`), rejecting anything that is not a
+/// plain unsigned integer. Used by [`PredictorConfig::parse`] and by spec
+/// parsers that need the raw count before validating it against a kind.
+///
+/// # Errors
+///
+/// [`ConfigError::BadSizeLiteral`] naming the rejected text.
+pub fn parse_size_bytes(s: &str) -> Result<usize, ConfigError> {
+    s.trim()
+        .parse::<usize>()
+        .map_err(|_| ConfigError::BadSizeLiteral(s.to_string()))
+}
+
 impl fmt::Display for PredictorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.size_bytes >= 1024 && self.size_bytes.is_multiple_of(1024) {
@@ -287,6 +332,28 @@ mod tests {
                 p.shift_history(i % 3 == 0);
             }
         }
+    }
+
+    #[test]
+    fn parse_helper_matches_the_constructor() {
+        assert_eq!(
+            PredictorConfig::parse("gshare", "4096").unwrap(),
+            PredictorConfig::new(PredictorKind::Gshare, 4096).unwrap()
+        );
+        assert_eq!(
+            PredictorConfig::parse("nonsense", "4096").unwrap_err(),
+            ConfigError::UnknownKind("nonsense".into())
+        );
+        assert_eq!(
+            PredictorConfig::parse("gshare", "huge").unwrap_err(),
+            ConfigError::BadSizeLiteral("huge".into())
+        );
+        assert!(matches!(
+            PredictorConfig::parse("gshare", "3000").unwrap_err(),
+            ConfigError::BadSize { .. }
+        ));
+        assert_eq!(parse_size_bytes(" 512 "), Ok(512));
+        assert!(parse_size_bytes("-1").is_err());
     }
 
     #[test]

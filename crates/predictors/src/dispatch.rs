@@ -18,8 +18,9 @@ use sdbp_trace::{BranchAddr, BranchEvent};
 ///
 /// Construct one from any concrete predictor via `From`/`Into` — plain or
 /// boxed values both convert, so existing `Box::new(Gshare::new(..))` call
-/// sites keep compiling — or from [`PredictorConfig::build_any`]
-/// (crate::PredictorConfig::build_any). A `Box<dyn DynamicPredictor>`
+/// sites keep compiling — or from
+/// [`PredictorConfig::build_any`](crate::PredictorConfig::build_any).
+/// A `Box<dyn DynamicPredictor>`
 /// converts into [`AnyPredictor::Custom`].
 ///
 /// # Examples

@@ -59,7 +59,7 @@ pub mod yags;
 pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use bimode::BiMode;
-pub use config::{ConfigError, PredictorConfig, PredictorKind};
+pub use config::{parse_size_bytes, ConfigError, PredictorConfig, PredictorKind};
 pub use counter::SaturatingCounter;
 pub use dispatch::AnyPredictor;
 pub use ghist::Ghist;

@@ -42,7 +42,7 @@ pub(crate) fn fold_tag(pc: BranchAddr) -> u32 {
 /// loaded and stored for collision accounting. The valid bit replaces the
 /// `None` state of the reference layout's `Option<BranchAddr>` tags,
 /// keeping first-touch ("no collision") semantics exact, and the 32-bit
-/// tag fold is exact for any address below 2^32 (see [`fold_tag`]).
+/// tag fold is exact for any address below 2^32 (see `fold_tag`).
 /// Counters are limited to 7 bits — ample for the 2- and 3-bit counters of
 /// every tabled scheme here.
 ///

@@ -99,6 +99,12 @@ impl AccuracyProfile {
         self.sites.get(&pc).map(|s| s.rate())
     }
 
+    /// Inserts or replaces the counters of one site (used by the artifact
+    /// codec and by tests).
+    pub fn insert(&mut self, pc: BranchAddr, counters: SiteAccuracy) {
+        self.sites.insert(pc, counters);
+    }
+
     /// Raw counters of one branch.
     pub fn site(&self, pc: BranchAddr) -> Option<&SiteAccuracy> {
         self.sites.get(&pc)

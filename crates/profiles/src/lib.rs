@@ -41,6 +41,7 @@
 
 pub mod accuracy;
 pub mod bias;
+pub mod codec;
 pub mod database;
 pub mod hints;
 pub mod select;

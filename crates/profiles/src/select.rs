@@ -168,6 +168,38 @@ impl fmt::Display for SelectionScheme {
     }
 }
 
+/// Parses the scheme syntax shared by the CLI, spec files, and the linter:
+/// `none | static_95 | static_<pct> | static_acc | static_col`.
+///
+/// This is the single source of truth for scheme names — `sdbp sim --scheme`
+/// and `sdbp check`'s spec parser both call it, so they cannot drift.
+impl std::str::FromStr for SelectionScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(SelectionScheme::None),
+            "static_95" => Ok(SelectionScheme::static_95()),
+            "static_acc" => Ok(SelectionScheme::static_acc()),
+            "static_col" => Ok(SelectionScheme::collision_aware()),
+            other => {
+                let cutoff: f64 = other
+                    .strip_prefix("static_")
+                    .and_then(|pct| pct.parse().ok())
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown scheme '{other}' \
+                             (expected none, static_<pct>, static_acc, or static_col)"
+                        )
+                    })?;
+                Ok(SelectionScheme::Bias {
+                    cutoff: cutoff / 100.0,
+                })
+            }
+        }
+    }
+}
+
 /// Errors from hint selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectError {
@@ -295,6 +327,30 @@ mod tests {
             SelectionScheme::Factor { factor: 1.0 }.label(),
             "static_fac1.00"
         );
+    }
+
+    #[test]
+    fn parses_the_cli_scheme_syntax() {
+        assert_eq!("none".parse::<SelectionScheme>(), Ok(SelectionScheme::None));
+        assert_eq!(
+            "static_95".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::static_95())
+        );
+        assert_eq!(
+            "static_acc".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::static_acc())
+        );
+        assert_eq!(
+            "static_col".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::collision_aware())
+        );
+        assert_eq!(
+            "static_80".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::Bias { cutoff: 0.80 })
+        );
+        let err = "statik_95".parse::<SelectionScheme>().unwrap_err();
+        assert!(err.contains("statik_95"));
+        assert!("static_x".parse::<SelectionScheme>().is_err());
     }
 
     #[test]
