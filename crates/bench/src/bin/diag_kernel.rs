@@ -4,8 +4,9 @@
 
 use sdbp_bench::kernel::ReferenceGshare;
 use sdbp_core::{ArtifactCache, CombinedPredictor, Simulator};
+use sdbp_passes::{FnPass, PassRunner};
 use sdbp_predictors::{AnyPredictor, DynamicPredictor, Gshare};
-use sdbp_trace::SliceSource;
+use sdbp_trace::{BranchEvent, SliceSource};
 use sdbp_workloads::{Benchmark, InputSet};
 use std::hint::black_box;
 use std::time::Instant;
@@ -87,31 +88,38 @@ fn main() {
         misses
     });
 
-    time("packed gshare, batch loop", &mut || {
+    // The chunked layers ride the pass runner (its default chunk matches
+    // the simulator's batch size), so this times exactly the framework path
+    // the production consumers use rather than a hand-rolled replica.
+    time("packed gshare, batch pass", &mut || {
         let mut p: AnyPredictor = Gshare::new(4096).into();
         let mut out = Vec::with_capacity(4096);
         let mut misses = 0u64;
-        for chunk in events.chunks(4096) {
+        let mut pass = FnPass::new("batch", |chunk: &[BranchEvent]| {
             out.clear();
             p.predict_update_batch(chunk, &mut out);
             for (e, pred) in chunk.iter().zip(&out) {
                 misses += u64::from(pred.taken != e.taken);
             }
-        }
+        });
+        PassRunner::new().run(SliceSource::new(&events), &mut [&mut pass]);
+        drop(pass);
         misses
     });
 
-    time("packed gshare, resolve_batch loop", &mut || {
+    time("packed gshare, resolve_batch pass", &mut || {
         let mut p = CombinedPredictor::pure_dynamic(Gshare::new(4096));
         let mut out = Vec::with_capacity(4096);
         let mut misses = 0u64;
-        for chunk in events.chunks(4096) {
+        let mut pass = FnPass::new("resolve-batch", |chunk: &[BranchEvent]| {
             out.clear();
             p.resolve_batch(chunk, &mut out);
             for (e, r) in chunk.iter().zip(&out) {
                 misses += u64::from(r.predicted_taken != e.taken);
             }
-        }
+        });
+        PassRunner::new().run(SliceSource::new(&events), &mut [&mut pass]);
+        drop(pass);
         misses
     });
 

@@ -165,3 +165,4 @@ mod tests {
 }
 pub mod experiments;
 pub mod kernel;
+pub mod passes;

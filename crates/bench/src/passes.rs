@@ -1,0 +1,267 @@
+//! The pass-fusion benchmark: fused vs. sequential trace traversals.
+//!
+//! Measures the wall-clock effect of the streaming pass framework's fusion
+//! path on a profile-heavy grid — the accuracy-profile selection scheme
+//! across several predictor configurations per benchmark — with the trace
+//! cache disabled (capacity 0), so every traversal regenerates its event
+//! stream. That is exactly the regime fusion targets: without it each
+//! profile artifact costs one full generation; with it
+//! [`ArtifactCache::profile_bundle`] collects the bias profile and every
+//! accuracy profile of a benchmark in a single generator traversal.
+//!
+//! Consumed by the `sdbp bench-passes` subcommand, which writes the
+//! machine-readable `BENCH_passes.json` used by CI and the performance
+//! docs.
+
+use sdbp_core::{ArtifactCache, ExperimentSpec, Sweep};
+use sdbp_predictors::{PredictorConfig, PredictorKind};
+use sdbp_profiles::SelectionScheme;
+use sdbp_workloads::Benchmark;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-phase instruction budget of the full grid (profile == measure).
+pub const FULL_INSTRUCTIONS: u64 = 2_000_000;
+
+/// Per-phase instruction budget under `--quick` (CI smoke mode).
+pub const QUICK_INSTRUCTIONS: u64 = 120_000;
+
+/// The gshare sizes giving each benchmark its accuracy-profile fan-out
+/// (three distinct predictor configurations → three accuracy profiles that
+/// fusion can collect alongside the bias profile in one traversal).
+pub const GRID_SIZES: [usize; 3] = [1024, 4 * 1024, 16 * 1024];
+
+/// One timed grid traversal mode: the whole spec grid through a
+/// single-threaded [`Sweep`] with fusion on or off.
+#[derive(Debug, Clone)]
+pub struct PassesMeasurement {
+    /// `"fused"` or `"unfused"`.
+    pub label: String,
+    /// Best-of-reps wall-clock seconds for one grid pass.
+    pub seconds: f64,
+    /// Generator traversals spent (the cache's bypass counter — with the
+    /// trace store disabled, every traversal is a bypass).
+    pub traversals: u64,
+    /// Profile traversals saved by fusion during the pass.
+    pub traversals_saved: u64,
+    /// Total mispredictions over the grid (cross-check: both modes must
+    /// agree exactly).
+    pub mispredictions: u64,
+}
+
+impl PassesMeasurement {
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"seconds\": {:.6}, \"traversals\": {}, \"traversals_saved\": {}, \"mispredictions\": {}}}",
+            self.label, self.seconds, self.traversals, self.traversals_saved, self.mispredictions,
+        )
+    }
+}
+
+/// Everything one `bench-passes` run produced.
+#[derive(Debug)]
+pub struct PassesReport {
+    /// Whether this was a `--quick` (CI smoke) run.
+    pub quick: bool,
+    /// Profile/measure instruction budget per cell.
+    pub instructions: u64,
+    /// Benchmarks in the grid.
+    pub benchmarks: usize,
+    /// Grid cells (benchmarks × predictor configurations).
+    pub cells: usize,
+    /// The grid with pass fusion enabled (the default path).
+    pub fused: PassesMeasurement,
+    /// The grid with fusion disabled (one traversal per profile artifact).
+    pub unfused: PassesMeasurement,
+}
+
+impl PassesReport {
+    /// Unfused over fused wall-clock — the headline speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.fused.seconds > 0.0 {
+            self.unfused.seconds / self.fused.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the report as the `BENCH_passes.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"sdbp-bench-passes/v1\",\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!(
+            "  \"grid\": {{\"benchmarks\": {}, \"cells\": {}, \"scheme\": \"static_acc\", \"seed\": {}, \"instructions\": {}, \"trace_cache\": \"disabled\"}},\n",
+            self.benchmarks,
+            self.cells,
+            crate::SEED,
+            self.instructions,
+        ));
+        out.push_str(&format!("  \"fused\": {},\n", self.fused.json()));
+        out.push_str(&format!("  \"unfused\": {},\n", self.unfused.json()));
+        out.push_str(&format!(
+            "  \"results_identical\": {},\n",
+            self.fused.mispredictions == self.unfused.mispredictions
+        ));
+        out.push_str(&format!("  \"fusion_speedup\": {:.2}\n", self.speedup()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// A terse human-readable table for the CLI.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pass-fusion wall clock ({} cells, static_acc, trace cache disabled, best of reps)\n",
+            self.cells
+        ));
+        for m in [&self.unfused, &self.fused] {
+            out.push_str(&format!(
+                "  {:<8} {:>8.3} s  {:>3} generator traversals ({} saved by fusion)\n",
+                m.label, m.seconds, m.traversals, m.traversals_saved
+            ));
+        }
+        out.push_str(&format!(
+            "  fusion speedup: {:.2}x (results identical: {})\n",
+            self.speedup(),
+            self.fused.mispredictions == self.unfused.mispredictions
+        ));
+        out
+    }
+}
+
+/// The profile-heavy grid: `static_acc` (needs a bias *and* a per-predictor
+/// accuracy profile) at every [`GRID_SIZES`] gshare configuration on each
+/// benchmark.
+pub fn grid_specs(benchmarks: &[Benchmark], instructions: u64) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for &benchmark in benchmarks {
+        for size in GRID_SIZES {
+            let config = PredictorConfig::new(PredictorKind::Gshare, size)
+                .expect("grid sizes are powers of two");
+            let mut spec =
+                ExperimentSpec::self_trained(benchmark, config, SelectionScheme::static_acc())
+                    .with_seed(crate::SEED);
+            spec.profile_instructions = Some(instructions);
+            spec.measure_instructions = Some(instructions);
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// One single-threaded sweep over the grid with a fresh,
+/// trace-store-disabled cache: every traversal streams straight off the
+/// workload generator, so the traversal count *is* the generation count.
+/// The sweep engine (not a bare serial [`sdbp_core::Lab`]) is what pools a
+/// benchmark's accuracy profiles across cells into one fused prewarm
+/// traversal, so this times the production grid path. Returns
+/// (mispredictions, traversals, traversals saved by fusion).
+pub fn grid_pass(specs: &[ExperimentSpec], fuse: bool) -> (u64, u64, u64) {
+    let cache = Arc::new(ArtifactCache::with_trace_capacity(0));
+    let result = Sweep::new(specs.to_vec())
+        .with_cache(Arc::clone(&cache))
+        .with_threads(1)
+        .with_fusion(fuse)
+        .run();
+    let mispredictions = result
+        .into_reports()
+        .expect("bench grid specs are well-formed")
+        .iter()
+        .map(|r| r.stats.mispredictions)
+        .sum();
+    let stats = cache.stats();
+    (
+        mispredictions,
+        stats.trace_bypassed,
+        stats.fused_traversals_saved,
+    )
+}
+
+fn timed<F: FnMut() -> (u64, u64, u64)>(label: &str, reps: u32, mut pass: F) -> PassesMeasurement {
+    let mut best = f64::INFINITY;
+    let (mut misps, mut traversals, mut saved) = (0u64, 0u64, 0u64);
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let (m, t, s) = black_box(pass());
+        best = best.min(started.elapsed().as_secs_f64());
+        misps = m;
+        traversals = t;
+        saved = s;
+    }
+    PassesMeasurement {
+        label: label.to_string(),
+        seconds: best,
+        traversals,
+        traversals_saved: saved,
+        mispredictions: misps,
+    }
+}
+
+/// Runs the full pass-fusion benchmark: the grid once with fusion disabled
+/// (one generator traversal per profile artifact) and once fused, with
+/// `progress` invoked as each mode finishes.
+pub fn run(quick: bool, mut progress: impl FnMut(&PassesMeasurement)) -> PassesReport {
+    let instructions = if quick {
+        QUICK_INSTRUCTIONS
+    } else {
+        FULL_INSTRUCTIONS
+    };
+    let reps = if quick { 1 } else { 3 };
+    let benchmarks: &[Benchmark] = if quick {
+        &[Benchmark::Compress, Benchmark::Ijpeg]
+    } else {
+        &Benchmark::ALL
+    };
+    let specs = grid_specs(benchmarks, instructions);
+
+    let unfused = timed("unfused", reps, || grid_pass(&specs, false));
+    progress(&unfused);
+    let fused = timed("fused", reps, || grid_pass(&specs, true));
+    progress(&fused);
+
+    PassesReport {
+        quick,
+        instructions,
+        benchmarks: benchmarks.len(),
+        cells: specs.len(),
+        fused,
+        unfused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_and_unfused_grid_passes_agree() {
+        let specs = grid_specs(&[Benchmark::Compress], 60_000);
+        let (fused_misps, fused_traversals, fused_saved) = grid_pass(&specs, true);
+        let (unfused_misps, unfused_traversals, unfused_saved) = grid_pass(&specs, false);
+        assert_eq!(fused_misps, unfused_misps, "fusion must not change results");
+        // Unfused: 1 bias + 3 accuracy + 3 measure traversals. Fused: the
+        // bundle collapses the four profile traversals into one.
+        assert_eq!(unfused_traversals, 7);
+        assert_eq!(fused_traversals, 4);
+        assert_eq!(fused_saved, 3);
+        assert_eq!(unfused_saved, 0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = run(true, |_| {});
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"sdbp-bench-passes/v1\""));
+        assert!(json.contains("\"fused\""));
+        assert!(json.contains("\"unfused\""));
+        assert!(json.contains("\"fusion_speedup\""));
+        assert!(json.contains("\"results_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(report.fused.mispredictions, report.unfused.mispredictions);
+        assert!(report.fused.traversals < report.unfused.traversals);
+        assert!(report.fused.traversals_saved > 0);
+        assert!(report.speedup() > 0.0);
+    }
+}

@@ -183,27 +183,36 @@ pub fn select(args: &Args) -> CmdResult {
         .get("out")
         .ok_or("select requires --out <path>".to_string())?;
     let opts = run_options(args)?;
-    let bias = match args.get("profile") {
+    let source = || {
+        Workload::spec95(opts.benchmark)
+            .generator(opts.input, opts.seed)
+            .take_instructions(opts.instructions)
+    };
+    let (bias, accuracy) = match args.get("profile") {
         Some(path) => {
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            BiasProfile::from_text(&text)?
+            let bias = BiasProfile::from_text(&text)?;
+            let accuracy = if scheme.needs_accuracy_profile() {
+                let mut predictor = predictor_of(args)?.build();
+                Some(sdbp_profiles::AccuracyProfile::collect(
+                    source(),
+                    predictor.as_mut(),
+                ))
+            } else {
+                None
+            };
+            (bias, accuracy)
         }
-        None => BiasProfile::from_source(
-            Workload::spec95(opts.benchmark)
-                .generator(opts.input, opts.seed)
-                .take_instructions(opts.instructions),
-        ),
-    };
-    let accuracy = if scheme.needs_accuracy_profile() {
-        let mut predictor = predictor_of(args)?.build();
-        Some(sdbp_profiles::AccuracyProfile::collect(
-            Workload::spec95(opts.benchmark)
-                .generator(opts.input, opts.seed)
-                .take_instructions(opts.instructions),
-            predictor.as_mut(),
-        ))
-    } else {
-        None
+        // No profile file: both profiles come from a fresh run — fused
+        // into a single generator traversal through the pass framework.
+        None if scheme.needs_accuracy_profile() => {
+            let mut predictor = predictor_of(args)?.build();
+            let mut bias_pass = sdbp_profiles::BiasPass::new();
+            let mut accuracy_pass = sdbp_profiles::AccuracyPass::new(predictor.as_mut());
+            sdbp_passes::PassRunner::new().run(source(), &mut [&mut bias_pass, &mut accuracy_pass]);
+            (bias_pass.into_profile(), Some(accuracy_pass.into_profile()))
+        }
+        None => (BiasProfile::from_source(source()), None),
     };
     let hints = scheme
         .select(&bias, accuracy.as_ref())
@@ -349,7 +358,10 @@ pub fn grid(args: &Args) -> CmdResult {
             specs.push(spec);
         }
     }
-    let mut sweep = Sweep::new(specs).with_threads(threads).with_verbose(true);
+    let mut sweep = Sweep::new(specs)
+        .with_threads(threads)
+        .with_verbose(true)
+        .with_fusion(!args.has_flag("no-fuse"));
     if let Some(dir) = args.get("store") {
         sweep = sweep
             .with_store(dir)
@@ -596,6 +608,27 @@ pub fn bench_kernel(args: &Args) -> CmdResult {
         "cache: {} trace hits / {} misses",
         report.cache_hits, report.cache_misses
     );
+    fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `sdbp bench-passes` — time a profile-heavy grid with pass fusion on and
+/// off, and write the machine-readable `BENCH_passes.json` report.
+pub fn bench_passes(args: &Args) -> CmdResult {
+    let quick = args.has_flag("quick");
+    let out = args.get_or("out", "BENCH_passes.json");
+    eprintln!(
+        "benchmarking pass fusion ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sdbp_bench::passes::run(quick, |m| {
+        eprintln!(
+            "  {:<8} {:>8.3} s  {:>3} traversals",
+            m.label, m.seconds, m.traversals
+        );
+    });
+    print!("{}", report.summary());
     fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())

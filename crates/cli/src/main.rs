@@ -47,6 +47,7 @@ fn main() {
         "check" => commands::check(&args),
         "artifact" => commands::artifact(&artifact_action, &args),
         "bench-kernel" => commands::bench_kernel(&args),
+        "bench-passes" => commands::bench_passes(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
@@ -93,6 +94,10 @@ commands:
                                reference kernel) and write a machine-readable
                                report (--out BENCH_simkernel.json, --quick
                                for the CI smoke budget)
+  bench-passes                 time a profile-heavy grid with pass fusion on
+                               and off and write a machine-readable report
+                               (--out BENCH_passes.json, --quick for the CI
+                               smoke budget)
 
 common options:
   --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)
@@ -120,14 +125,20 @@ common options:
   --max-cells N                                    with --store: stop after N
                                                    executed cells (testing
                                                    interruption/resume)
+  --no-fuse                                        grid: disable fused
+                                                   multi-pass profiling (one
+                                                   traversal per profile
+                                                   artifact, for A/B checks)
 
 parallelism:
   sweep and grid run their cells across worker threads sharing one artifact
   cache, so each benchmark's bias/accuracy profiles and branch streams are
   computed once and reused; results are bit-identical to a serial run. The
   stderr summary line reports threads, wall time, speedup, and cache
-  hit/miss counters. SDBP_THREADS=N overrides the default thread count
-  process-wide (the --threads flag wins when both are given).
+  hit/miss counters, plus the profile traversals saved by pass fusion
+  (each benchmark's bias and accuracy profiles are collected in one fused
+  trace traversal unless --no-fuse). SDBP_THREADS=N overrides the default
+  thread count process-wide (the --threads flag wins when both are given).
 
 diagnostics:
   check lints without simulating: spec problems (unknown names, bad sizes,

@@ -24,8 +24,9 @@
 //! disables trace caching entirely). Profiles are small and never evicted.
 
 use sdbp_artifacts::{Codec, Digest, Hasher, Store, StoreError};
+use sdbp_passes::{Pass, PassRunner, TraversalStats};
 use sdbp_predictors::PredictorConfig;
-use sdbp_profiles::{AccuracyProfile, BiasProfile};
+use sdbp_profiles::{AccuracyPass, AccuracyProfile, BiasPass, BiasProfile};
 use sdbp_trace::{BranchEvent, BranchSource, SliceSource};
 use sdbp_workloads::{Benchmark, InputSet, Workload};
 use std::collections::HashMap;
@@ -70,6 +71,10 @@ pub struct CacheStats {
     /// Disk-tier probes that found nothing usable (absent, damaged, or
     /// unreadable) and fell through to computation.
     pub disk_misses: u64,
+    /// Whole-trace traversals avoided by pass fusion: a fused call that
+    /// computed `m` artifacts in one traversal saves `m - 1` traversals
+    /// over the sequential one-artifact-per-traversal protocol.
+    pub fused_traversals_saved: u64,
 }
 
 impl CacheStats {
@@ -107,6 +112,7 @@ impl CacheStats {
             trace_bypassed: self.trace_bypassed - earlier.trace_bypassed,
             disk_hits: self.disk_hits - earlier.disk_hits,
             disk_misses: self.disk_misses - earlier.disk_misses,
+            fused_traversals_saved: self.fused_traversals_saved - earlier.fused_traversals_saved,
         }
     }
 }
@@ -131,6 +137,13 @@ impl fmt::Display for CacheStats {
         )?;
         if self.disk_hits + self.disk_misses > 0 {
             write!(f, ", disk {}/{} hit/miss", self.disk_hits, self.disk_misses)?;
+        }
+        if self.fused_traversals_saved > 0 {
+            write!(
+                f,
+                ", {} traversals saved by fusion",
+                self.fused_traversals_saved
+            )?;
         }
         Ok(())
     }
@@ -169,6 +182,7 @@ pub struct ArtifactCache {
     trace_bypassed: AtomicU64,
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
+    fused_traversals_saved: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -204,6 +218,7 @@ impl ArtifactCache {
             trace_bypassed: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
+            fused_traversals_saved: AtomicU64::new(0),
         }
     }
 
@@ -233,6 +248,7 @@ impl ArtifactCache {
             trace_bypassed: self.trace_bypassed.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            fused_traversals_saved: self.fused_traversals_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -292,6 +308,180 @@ impl ArtifactCache {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
         }
         Arc::clone(events)
+    }
+
+    /// Streams one generated run through `passes` in a single traversal.
+    ///
+    /// This is the cache-aware entry point of the pass framework: cached
+    /// streams are replayed zero-copy from the trace store (with the usual
+    /// hit/miss accounting), while streams whose budget exceeds the store
+    /// capacity are generated **once for the whole traversal** and fed to
+    /// every pass chunk-by-chunk — peak memory is bounded by the runner's
+    /// chunk size, not the trace length, and `trace_bypassed` counts one
+    /// generation per traversal rather than one per consumer.
+    pub fn run_passes(
+        &self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+        passes: &mut [&mut dyn Pass],
+    ) -> TraversalStats {
+        let capacity = self.traces.lock().expect("cache lock").capacity;
+        if instructions > capacity {
+            self.trace_bypassed.fetch_add(1, Ordering::Relaxed);
+            let source = Workload::spec95(benchmark)
+                .generator(input, seed)
+                .take_instructions(instructions);
+            return PassRunner::new().run(source, passes);
+        }
+        let events = self.events(benchmark, input, seed, instructions);
+        PassRunner::new().run(SliceSource::new(&events), passes)
+    }
+
+    /// The (cached) bias profile of a run **and** the accuracy profiles of
+    /// every predictor in `predictors` on it, computing whatever is missing
+    /// in one fused traversal.
+    ///
+    /// Semantically equivalent to one [`ArtifactCache::bias_profile`] call
+    /// plus one [`ArtifactCache::accuracy_profile`] call per predictor —
+    /// same artifacts (bit-identical, since every pass is chunk-invariant),
+    /// same hit/miss/disk accounting — but all artifacts that are in neither
+    /// the memory nor the disk tier are collected in a **single** traversal
+    /// of the event stream instead of one traversal each. The traversals
+    /// avoided that way are counted in
+    /// [`CacheStats::fused_traversals_saved`].
+    ///
+    /// Accuracy profiles are returned in `predictors` order.
+    pub fn profile_bundle(
+        &self,
+        benchmark: Benchmark,
+        input: InputSet,
+        seed: u64,
+        instructions: u64,
+        predictors: &[PredictorConfig],
+    ) -> (Arc<BiasProfile>, Vec<Arc<AccuracyProfile>>) {
+        let key = (benchmark, input, seed, instructions);
+        // Claim every slot up front (short map locks, as in the sequential
+        // paths), then decide which artifacts actually need computing.
+        let bias_slot = {
+            let mut map = self.bias.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let acc_slots: Vec<Slot<AccuracyProfile>> = {
+            let mut map = self.accuracy.lock().expect("cache lock");
+            predictors
+                .iter()
+                .map(|&p| {
+                    Arc::clone(
+                        map.entry((key, p))
+                            .or_insert_with(|| Arc::new(OnceLock::new())),
+                    )
+                })
+                .collect()
+        };
+
+        // Probe the disk tier for each artifact that is cold in memory —
+        // mirroring the sequential lookups, which only touch disk on a
+        // memory miss. Whatever the disk cannot supply joins the fused
+        // traversal.
+        let mut bias_value: Option<Arc<BiasProfile>> = None;
+        let mut bias_cold = false;
+        if bias_slot.get().is_none() {
+            let disk_key = bias_profile_digest(benchmark, input, seed, instructions);
+            match self.disk_fetch::<BiasProfile>(disk_key) {
+                Some(stored) => bias_value = Some(Arc::new(stored)),
+                None => bias_cold = true,
+            }
+        }
+        let mut acc_values: Vec<Option<Arc<AccuracyProfile>>> = vec![None; predictors.len()];
+        let mut acc_cold: Vec<usize> = Vec::new();
+        for (i, (&predictor, slot)) in predictors.iter().zip(&acc_slots).enumerate() {
+            if slot.get().is_some() {
+                continue;
+            }
+            let disk_key = accuracy_profile_digest(benchmark, input, seed, instructions, predictor);
+            match self.disk_fetch::<AccuracyProfile>(disk_key) {
+                Some(stored) => acc_values[i] = Some(Arc::new(stored)),
+                None => acc_cold.push(i),
+            }
+        }
+
+        // One traversal computes every cold artifact simultaneously. Two
+        // threads racing on overlapping bundles may both compute; the slots
+        // below keep exactly one copy (results are deterministic, so either
+        // copy is bit-identical).
+        if bias_cold || !acc_cold.is_empty() {
+            let mut bias_pass = bias_cold.then(BiasPass::new);
+            let mut engines: Vec<_> = acc_cold
+                .iter()
+                .map(|&i| predictors[i].build_any())
+                .collect();
+            let mut acc_passes: Vec<_> = engines.iter_mut().map(AccuracyPass::new).collect();
+            let mut passes: Vec<&mut dyn Pass> = Vec::new();
+            if let Some(p) = bias_pass.as_mut() {
+                passes.push(p);
+            }
+            for p in acc_passes.iter_mut() {
+                passes.push(p);
+            }
+            let fused = passes.len() as u64;
+            self.run_passes(benchmark, input, seed, instructions, &mut passes);
+            if fused > 1 {
+                self.fused_traversals_saved
+                    .fetch_add(fused - 1, Ordering::Relaxed);
+            }
+            if let Some(pass) = bias_pass {
+                let profile = Arc::new(pass.into_profile());
+                let disk_key = bias_profile_digest(benchmark, input, seed, instructions);
+                self.disk_persist(disk_key, &*profile);
+                bias_value = Some(profile);
+            }
+            for (&i, pass) in acc_cold.iter().zip(acc_passes) {
+                let profile = Arc::new(pass.into_profile());
+                let disk_key =
+                    accuracy_profile_digest(benchmark, input, seed, instructions, predictors[i]);
+                self.disk_persist(disk_key, &*profile);
+                acc_values[i] = Some(profile);
+            }
+        }
+
+        // Fill the slots and settle the counters: an artifact we computed
+        // (or revived from disk) is a miss, one already present — including
+        // one another thread filled while we worked — is a hit.
+        let bias = {
+            let mut computed = false;
+            let profile = bias_slot.get_or_init(|| {
+                computed = true;
+                bias_value.expect("cold bias computed above")
+            });
+            let counter = if computed {
+                &self.bias_misses
+            } else {
+                &self.bias_hits
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(profile)
+        };
+        let accuracies = acc_slots
+            .into_iter()
+            .zip(acc_values)
+            .map(|(slot, value)| {
+                let mut computed = false;
+                let profile = slot.get_or_init(|| {
+                    computed = true;
+                    value.expect("cold accuracy computed above")
+                });
+                let counter = if computed {
+                    &self.accuracy_misses
+                } else {
+                    &self.accuracy_hits
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(profile)
+            })
+            .collect();
+        (bias, accuracies)
     }
 
     /// Drops completed least-recently-used traces until the store fits its
@@ -602,6 +792,131 @@ mod tests {
         assert_eq!(c.stats().trace_hits, before.trace_hits + 1);
         let _ = c.events(Benchmark::Compress, InputSet::Ref, 2, BUDGET);
         assert_eq!(c.stats().trace_misses, before.trace_misses + 1);
+    }
+
+    #[test]
+    fn profile_bundle_matches_sequential_lookups() {
+        let gshare = PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap();
+        let bimodal = PredictorConfig::new(PredictorKind::Bimodal, 1024).unwrap();
+
+        let seq = cache();
+        let bias_ref = seq.bias_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET);
+        let acc_g = seq.accuracy_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET, gshare);
+        let acc_b = seq.accuracy_profile(Benchmark::Compress, InputSet::Ref, 1, BUDGET, bimodal);
+
+        let c = cache();
+        let (bias, accs) = c.profile_bundle(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            &[gshare, bimodal],
+        );
+        assert_eq!(*bias, *bias_ref, "fused bias is bit-identical");
+        assert_eq!(*accs[0], *acc_g, "fused accuracy is bit-identical");
+        assert_eq!(*accs[1], *acc_b);
+        let s = c.stats();
+        assert_eq!((s.bias_misses, s.accuracy_misses), (1, 2));
+        assert_eq!(s.trace_misses, 1, "one traversal generated the trace");
+        assert_eq!(
+            s.fused_traversals_saved, 2,
+            "three artifacts in one traversal saves two"
+        );
+
+        // Everything is now hot: a repeat bundle is pure hits and no
+        // further traversals are saved (none were needed).
+        let before = c.stats();
+        let _ = c.profile_bundle(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            &[gshare, bimodal],
+        );
+        let delta = c.stats().since(&before);
+        assert_eq!((delta.bias_hits, delta.accuracy_hits), (1, 2));
+        assert_eq!(delta.misses(), 0, "{delta}");
+        assert_eq!(delta.fused_traversals_saved, 0);
+    }
+
+    #[test]
+    fn profile_bundle_with_no_predictors_is_a_bias_lookup() {
+        let c = cache();
+        let (bias, accs) = c.profile_bundle(Benchmark::Compress, InputSet::Ref, 1, BUDGET, &[]);
+        assert!(accs.is_empty());
+        assert!(!bias.is_empty());
+        let s = c.stats();
+        assert_eq!((s.bias_misses, s.accuracy_misses), (1, 0));
+        assert_eq!(s.fused_traversals_saved, 0, "one artifact saves nothing");
+    }
+
+    #[test]
+    fn fused_bypass_generates_once_per_traversal() {
+        let gshare = PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap();
+        let bimodal = PredictorConfig::new(PredictorKind::Bimodal, 1024).unwrap();
+        // Oversized: the bundle must stream one generation through all
+        // three passes instead of regenerating per consumer.
+        let c = ArtifactCache::with_trace_capacity(BUDGET / 2);
+        let (bias, accs) = c.profile_bundle(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            &[gshare, bimodal],
+        );
+        let s = c.stats();
+        assert_eq!(s.trace_bypassed, 1, "one generation fed every pass: {s}");
+        assert_eq!(
+            c.cached_traces(),
+            0,
+            "nothing was materialized into the store"
+        );
+        assert_eq!(s.fused_traversals_saved, 2);
+
+        // The streamed artifacts are bit-identical to the cached-path ones.
+        let full = cache();
+        let (bias2, accs2) = full.profile_bundle(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            &[gshare, bimodal],
+        );
+        assert_eq!(*bias, *bias2);
+        assert_eq!(*accs[0], *accs2[0]);
+        assert_eq!(*accs[1], *accs2[1]);
+    }
+
+    #[test]
+    fn run_passes_streams_oversized_budgets_in_bounded_memory() {
+        use sdbp_passes::{FnPass, DEFAULT_CHUNK};
+        // Capacity 0 disables trace caching entirely: the traversal must
+        // stream generator chunks, never materializing the event vector.
+        let c = ArtifactCache::with_trace_capacity(0);
+        let mut events = 0u64;
+        let mut max_chunk = 0usize;
+        let mut pass = FnPass::new("count", |chunk: &[BranchEvent]| {
+            events += chunk.len() as u64;
+            max_chunk = max_chunk.max(chunk.len());
+        });
+        let stats = c.run_passes(
+            Benchmark::Compress,
+            InputSet::Ref,
+            1,
+            BUDGET,
+            &mut [&mut pass],
+        );
+        drop(pass);
+        assert_eq!(stats.events, events);
+        assert!(max_chunk <= DEFAULT_CHUNK, "peak buffer is one chunk");
+        assert_eq!(c.cached_traces(), 0);
+        let s = c.stats();
+        assert_eq!((s.trace_bypassed, s.trace_misses, s.trace_hits), (1, 0, 0));
+        // The streamed event count matches a materialized generation.
+        assert_eq!(
+            events as usize,
+            generate_events((Benchmark::Compress, InputSet::Ref, 1, BUDGET)).len()
+        );
     }
 
     fn temp_store(tag: &str) -> Arc<Store> {

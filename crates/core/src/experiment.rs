@@ -9,13 +9,12 @@
 use crate::cache::ArtifactCache;
 use crate::combined::{CombinedPredictor, ShiftPolicy};
 use crate::report::Report;
-use crate::simulator::Simulator;
+use crate::simulator::MeasurePass;
 use sdbp_artifacts::{CodecError, StoreError};
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{
     AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectError, SelectionScheme,
 };
-use sdbp_trace::SliceSource;
 use sdbp_workloads::{Benchmark, InputSet, Workload};
 use std::fmt;
 use std::sync::Arc;
@@ -494,6 +493,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<Report, ExperimentError> 
 pub struct Lab {
     cache: Arc<ArtifactCache>,
     preflight: Option<PreflightFn>,
+    fuse: bool,
 }
 
 /// A pre-flight validator installable into a [`Lab`] or a
@@ -516,6 +516,7 @@ impl Lab {
         Self {
             cache: Arc::new(ArtifactCache::new()),
             preflight: None,
+            fuse: true,
         }
     }
 
@@ -524,7 +525,21 @@ impl Lab {
         Self {
             cache,
             preflight: None,
+            fuse: true,
         }
+    }
+
+    /// Enables or disables pass fusion (on by default).
+    ///
+    /// A fused lab collects the bias profile and any needed accuracy
+    /// profiles of a run in **one** traversal of the event stream
+    /// ([`ArtifactCache::profile_bundle`]); an unfused lab performs the
+    /// classic one-artifact-per-traversal lookups. Results are bit-identical
+    /// either way — the escape hatch exists for benchmarking and for
+    /// isolating the fusion layer when debugging.
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
     }
 
     /// Installs a pre-flight validator that every subsequent [`Lab::run`]
@@ -568,6 +583,11 @@ impl Lab {
     }
 
     /// Selects the hint database for a spec (phase one).
+    ///
+    /// With fusion enabled (the default), the profiling run's bias profile
+    /// and the accuracy profile of the spec's predictor — when its scheme
+    /// needs one — are collected in a single traversal of the event stream;
+    /// see [`Lab::with_fusion`].
     pub fn select_hints(&self, spec: &ExperimentSpec) -> Result<HintDatabase, ExperimentError> {
         if spec.scheme == SelectionScheme::None {
             return Ok(HintDatabase::new());
@@ -575,33 +595,53 @@ impl Lab {
         let profile_input = spec.profile.profile_input(spec.measure_input);
         let profile_budget = spec.budget(profile_input, spec.profile_instructions);
 
-        let bias: Arc<BiasProfile> = match spec.profile {
-            ProfileSource::SelfTrained | ProfileSource::CrossTrained => {
-                self.bias_profile(spec.benchmark, profile_input, spec.seed, profile_budget)
-            }
-            ProfileSource::MergedCrossTrained { max_bias_change } => {
-                let train =
-                    self.bias_profile(spec.benchmark, InputSet::Train, spec.seed, profile_budget);
-                let ref_budget = spec.budget(InputSet::Ref, spec.profile_instructions);
-                let reference =
-                    self.bias_profile(spec.benchmark, InputSet::Ref, spec.seed, ref_budget);
-                let mut db = ProfileDatabase::new(spec.benchmark.name());
-                db.add_run("train", (*train).clone());
-                db.add_run("ref", (*reference).clone());
-                Arc::new(db.merged_stable(max_bias_change))
-            }
-        };
-
-        let accuracy = if spec.scheme.needs_accuracy_profile() {
-            Some(self.accuracy_profile(
+        let (profiled_bias, accuracy) = if self.fuse {
+            // One fused lookup: bias plus (at most) one accuracy profile,
+            // any cold artifact collected in the same traversal.
+            let predictors: &[PredictorConfig] = if spec.scheme.needs_accuracy_profile() {
+                std::slice::from_ref(&spec.predictor)
+            } else {
+                &[]
+            };
+            let (bias, mut accuracies) = self.cache.profile_bundle(
                 spec.benchmark,
                 profile_input,
                 spec.seed,
                 profile_budget,
-                spec.predictor,
-            ))
+                predictors,
+            );
+            (bias, accuracies.pop())
         } else {
-            None
+            let bias = self.bias_profile(spec.benchmark, profile_input, spec.seed, profile_budget);
+            let accuracy = spec.scheme.needs_accuracy_profile().then(|| {
+                self.accuracy_profile(
+                    spec.benchmark,
+                    profile_input,
+                    spec.seed,
+                    profile_budget,
+                    spec.predictor,
+                )
+            });
+            (bias, accuracy)
+        };
+
+        let bias: Arc<BiasProfile> = match spec.profile {
+            // `profile_input` already names the profiled run for these two
+            // regimes, so the fused bias is the selection bias.
+            ProfileSource::SelfTrained | ProfileSource::CrossTrained => profiled_bias,
+            ProfileSource::MergedCrossTrained { max_bias_change } => {
+                // `profiled_bias` is the `Train` run (`profile_input` is
+                // `Train` for every cross-trained regime); the merge needs
+                // the `Ref` bias as well, which lives under a different key
+                // and therefore takes its own (cached) traversal.
+                let ref_budget = spec.budget(InputSet::Ref, spec.profile_instructions);
+                let reference =
+                    self.bias_profile(spec.benchmark, InputSet::Ref, spec.seed, ref_budget);
+                let mut db = ProfileDatabase::new(spec.benchmark.name());
+                db.add_run("train", (*profiled_bias).clone());
+                db.add_run("ref", (*reference).clone());
+                Arc::new(db.merged_stable(max_bias_change))
+            }
         };
 
         Ok(spec.scheme.select(&bias, accuracy.as_deref())?)
@@ -618,15 +658,18 @@ impl Lab {
         // vtable — this is the system's hottest path.
         let mut combined = CombinedPredictor::new(spec.predictor.build_any(), hints, spec.shift);
         let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
-        let events = self.cache.events(
+        // The measurement phase rides the cache-aware pass runner: cached
+        // streams replay zero-copy, and budgets too large for the trace
+        // store stream straight off the generator in chunk-sized memory.
+        let mut measure = MeasurePass::new(&mut combined).with_warmup(spec.warmup_instructions);
+        self.cache.run_passes(
             spec.benchmark,
             spec.measure_input,
             spec.seed,
             measure_budget,
+            &mut [&mut measure],
         );
-        let stats = Simulator::new()
-            .with_warmup(spec.warmup_instructions)
-            .run(SliceSource::new(&events), &mut combined);
+        let stats = measure.into_stats();
         Ok(Report {
             benchmark: spec.benchmark,
             predictor: spec.predictor,
@@ -710,6 +753,43 @@ mod tests {
         let debug = format!("{lab:?}");
         assert!(debug.contains("bias_profiles: 1"), "{debug}");
         assert!(debug.contains("accuracy_profiles: 1"), "{debug}");
+    }
+
+    #[test]
+    fn fused_and_unfused_labs_agree_bit_for_bit() {
+        for scheme in [
+            SelectionScheme::None,
+            SelectionScheme::static_95(),
+            SelectionScheme::static_acc(),
+        ] {
+            let s = spec(scheme);
+            let fused = Lab::new().run(&s).unwrap();
+            let unfused = Lab::new().with_fusion(false).run(&s).unwrap();
+            assert_eq!(fused, unfused);
+        }
+        let merged =
+            spec(SelectionScheme::static_acc()).with_profile(ProfileSource::MergedCrossTrained {
+                max_bias_change: 0.05,
+            });
+        assert_eq!(
+            Lab::new().run(&merged).unwrap(),
+            Lab::new().with_fusion(false).run(&merged).unwrap()
+        );
+    }
+
+    #[test]
+    fn fused_lab_profiles_in_one_traversal() {
+        let lab = Lab::new();
+        let _ = lab.run(&spec(SelectionScheme::static_acc())).unwrap();
+        let stats = lab.cache().stats();
+        assert_eq!(
+            stats.fused_traversals_saved, 1,
+            "bias + accuracy collected together: {stats}"
+        );
+
+        let unfused = Lab::new().with_fusion(false);
+        let _ = unfused.run(&spec(SelectionScheme::static_acc())).unwrap();
+        assert_eq!(unfused.cache().stats().fused_traversals_saved, 0);
     }
 
     #[test]

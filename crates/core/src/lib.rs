@@ -71,6 +71,9 @@ pub mod report;
 pub mod simulator;
 pub mod sweep;
 
+#[cfg(test)]
+mod proptests;
+
 pub use analysis::{BranchAnalysis, BranchRecord};
 pub use cache::{
     accuracy_profile_digest, bias_profile_digest, ArtifactCache, ArtifactKey, CacheStats,
@@ -83,5 +86,5 @@ pub use experiment::{
 pub use manifest::{ManifestEntry, ManifestError, RunManifest, RunStore};
 pub use metrics::{CollisionStats, SimStats};
 pub use report::Report;
-pub use simulator::Simulator;
+pub use simulator::{MeasurePass, Simulator};
 pub use sweep::{default_threads, Sweep, SweepCell, SweepResult};

@@ -1,0 +1,97 @@
+//! Property-based tests pinning the pass framework's fusion contract at the
+//! experiment layer: running the bias, accuracy, and simulation consumers
+//! *fused* in one traversal — at an arbitrary chunk size, so chunk
+//! boundaries straddle warm-up and event positions arbitrarily — must be
+//! bit-identical to running each consumer alone over its own traversal.
+
+#![cfg(test)]
+
+use crate::{CombinedPredictor, MeasurePass, Simulator};
+use proptest::prelude::*;
+use sdbp_passes::PassRunner;
+use sdbp_predictors::{Gshare, PredictorConfig, PredictorKind};
+use sdbp_profiles::{AccuracyPass, AccuracyProfile, BiasPass, BiasProfile, HintDatabase};
+use sdbp_trace::{BranchAddr, BranchEvent, SliceSource};
+
+fn arb_events() -> impl Strategy<Value = Vec<BranchEvent>> {
+    proptest::collection::vec((0u64..512, any::<bool>(), 0u32..40), 1..400).prop_map(|v| {
+        v.into_iter()
+            .map(|(w, taken, gap)| BranchEvent::new(BranchAddr(w * 4), taken, gap))
+            .collect()
+    })
+}
+
+fn measure(events: &[BranchEvent], warmup: u64) -> crate::SimStats {
+    let mut combined = CombinedPredictor::pure_dynamic(Gshare::new(1024));
+    Simulator::new()
+        .with_warmup(warmup)
+        .run(SliceSource::new(events), &mut combined)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One fused traversal of all three consumer kinds — bias profiling,
+    /// accuracy profiling, and warm-up-straddling measurement — equals
+    /// three dedicated traversals, for every chunk size.
+    #[test]
+    fn fused_traversal_is_bit_identical_to_sequential_passes(
+        events in arb_events(),
+        chunk in 1usize..70,
+        warmup_events in 0usize..40,
+    ) {
+        // A warm-up boundary placed on an arbitrary event (possibly past
+        // the end of the stream), so chunk straddles hit it everywhere.
+        let warmup: u64 = events
+            .iter()
+            .take(warmup_events)
+            .map(|e| e.instructions())
+            .sum();
+
+        // Sequential reference: each consumer over its own traversal.
+        let seq_bias = BiasProfile::from_source(SliceSource::new(&events));
+        let config = PredictorConfig::new(PredictorKind::Gshare, 1024).expect("valid");
+        let mut engine = config.build_any();
+        let seq_accuracy =
+            AccuracyProfile::collect(SliceSource::new(&events), &mut engine);
+        let seq_stats = measure(&events, warmup);
+
+        // Fused: all three ride one chunked traversal.
+        let mut bias_pass = BiasPass::new();
+        let mut acc_engine = config.build_any();
+        let mut acc_pass = AccuracyPass::new(&mut acc_engine);
+        let mut combined =
+            CombinedPredictor::new(config.build_any(), HintDatabase::new(), Default::default());
+        let mut measure_pass = MeasurePass::new(&mut combined).with_warmup(warmup);
+        let stats = PassRunner::new().with_chunk(chunk).run(
+            SliceSource::new(&events),
+            &mut [&mut bias_pass, &mut acc_pass, &mut measure_pass],
+        );
+
+        prop_assert_eq!(stats.events, events.len() as u64);
+        prop_assert_eq!(bias_pass.into_profile(), seq_bias);
+        prop_assert_eq!(acc_pass.into_profile(), seq_accuracy);
+        prop_assert_eq!(measure_pass.into_stats(), seq_stats);
+    }
+
+    /// The chunk size never leaks into any consumer: two fused runs at
+    /// different chunk sizes agree with each other.
+    #[test]
+    fn chunk_size_is_unobservable(
+        events in arb_events(),
+        chunk_a in 1usize..90,
+        chunk_b in 1usize..90,
+    ) {
+        let run = |chunk: usize| {
+            let mut bias_pass = BiasPass::new();
+            let mut engine = Gshare::new(512);
+            let mut acc_pass = AccuracyPass::new(&mut engine);
+            PassRunner::new().with_chunk(chunk).run(
+                SliceSource::new(&events),
+                &mut [&mut bias_pass, &mut acc_pass],
+            );
+            (bias_pass.into_profile(), acc_pass.into_profile())
+        };
+        prop_assert_eq!(run(chunk_a), run(chunk_b));
+    }
+}

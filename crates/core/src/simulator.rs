@@ -2,6 +2,7 @@
 
 use crate::combined::{BranchResolution, CombinedPredictor};
 use crate::metrics::SimStats;
+use sdbp_passes::{Pass, PassRunner};
 use sdbp_trace::{BranchEvent, BranchSource};
 
 /// Drives a branch stream through a [`CombinedPredictor`], accumulating
@@ -63,43 +64,118 @@ impl Simulator {
     /// examples' custom instrumentation.
     pub fn run_with_observer<S, F>(
         &self,
-        mut source: S,
+        source: S,
         predictor: &mut CombinedPredictor,
-        mut observer: F,
+        observer: F,
     ) -> SimStats
     where
         S: BranchSource,
         F: FnMut(&BranchEvent, &BranchResolution),
     {
-        let mut run = Run {
-            warmup_instructions: self.warmup_instructions,
-            stats: SimStats::default(),
-            seen_instructions: 0,
-            // Once the warm-up budget is crossed, every later event is
-            // measured; the flag keeps the accounting off the steady-state
-            // path.
-            warmed_up: self.warmup_instructions == 0,
-            resolutions: Vec::with_capacity(BATCH),
-        };
-        // Slice-backed sources (in-memory traces — the artifact-cache path
-        // every experiment takes) hand over their whole remainder in one
-        // borrow: zero copies, one pass. Everything else is pulled in chunks
-        // through `fill_events` into one reusable buffer, so the per-event
-        // cost is the predictor work itself, not a virtual `next_event`
-        // round-trip per branch.
-        if let Some(events) = source.drain_as_slice() {
-            run.process(events, predictor, &mut observer);
-            return run.stats;
+        // The traversal itself belongs to the pass runner: slice-backed
+        // sources (in-memory traces — the artifact-cache path every
+        // experiment takes) hand over their whole remainder in one zero-copy
+        // borrow, everything else streams through one reusable
+        // `BATCH`-sized buffer. The measurement logic lives in
+        // [`MeasurePass`] so it can also ride a fused multi-pass traversal.
+        let mut pass =
+            MeasurePass::with_observer(predictor, observer).with_warmup(self.warmup_instructions);
+        PassRunner::new()
+            .with_chunk(BATCH)
+            .run(source, &mut [&mut pass]);
+        pass.into_stats()
+    }
+}
+
+/// The measurement phase as a composable [`Pass`].
+///
+/// Wraps a borrowed [`CombinedPredictor`] and accumulates [`SimStats`] with
+/// the exact semantics of [`Simulator::run`]: the predictor trains on every
+/// event (including warm-up), statistics and the observer see only measured
+/// ones, and the warm-up boundary follows the straddle rule documented on
+/// [`Simulator::with_warmup`]. Chunk-invariant — the warm-up cursor and
+/// collision accounting carry across `consume` calls — so fusing it with
+/// profile passes in one traversal is bit-identical to a dedicated run.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_core::{CombinedPredictor, MeasurePass};
+/// use sdbp_passes::PassRunner;
+/// use sdbp_predictors::Bimodal;
+/// use sdbp_trace::{BranchAddr, BranchEvent, SliceSource};
+///
+/// let events: Vec<BranchEvent> = (0..100)
+///     .map(|i| BranchEvent::new(BranchAddr(0x40), i % 2 == 0, 9))
+///     .collect();
+/// let mut predictor = CombinedPredictor::pure_dynamic(Box::new(Bimodal::new(64)));
+/// let mut pass = MeasurePass::new(&mut predictor);
+/// PassRunner::new().run(SliceSource::new(&events), &mut [&mut pass]);
+/// assert_eq!(pass.stats().branches, 100);
+/// ```
+pub struct MeasurePass<'p, F = fn(&BranchEvent, &BranchResolution)> {
+    predictor: &'p mut CombinedPredictor,
+    observer: F,
+    run: Run,
+}
+
+impl<'p> MeasurePass<'p, fn(&BranchEvent, &BranchResolution)> {
+    /// A measurement pass with no observer, measuring from the first event.
+    pub fn new(predictor: &'p mut CombinedPredictor) -> Self {
+        Self::with_observer(predictor, |_, _| {})
+    }
+}
+
+impl<'p, F> MeasurePass<'p, F>
+where
+    F: FnMut(&BranchEvent, &BranchResolution),
+{
+    /// A measurement pass invoking `observer` for every measured branch.
+    pub fn with_observer(predictor: &'p mut CombinedPredictor, observer: F) -> Self {
+        Self {
+            predictor,
+            observer,
+            run: Run {
+                warmup_instructions: 0,
+                stats: SimStats::default(),
+                seen_instructions: 0,
+                warmed_up: true,
+                resolutions: Vec::with_capacity(BATCH),
+            },
         }
-        let mut buf = Vec::with_capacity(BATCH);
-        loop {
-            buf.clear();
-            if source.fill_events(&mut buf, BATCH) == 0 {
-                break;
-            }
-            run.process(&buf, predictor, &mut observer);
-        }
-        run.stats
+    }
+
+    /// Excludes the first `instructions` from the statistics; see
+    /// [`Simulator::with_warmup`] for the boundary rule.
+    pub fn with_warmup(mut self, instructions: u64) -> Self {
+        self.run.warmup_instructions = instructions;
+        // Once the warm-up budget is crossed, every later event is measured;
+        // the flag keeps the accounting off the steady-state path.
+        self.run.warmed_up = instructions == 0;
+        self
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.run.stats
+    }
+
+    /// Consumes the pass, returning the accumulated statistics.
+    pub fn into_stats(self) -> SimStats {
+        self.run.stats
+    }
+}
+
+impl<F> Pass for MeasurePass<'_, F>
+where
+    F: FnMut(&BranchEvent, &BranchResolution),
+{
+    fn consume(&mut self, events: &[BranchEvent]) {
+        self.run.process(events, self.predictor, &mut self.observer);
+    }
+
+    fn name(&self) -> &str {
+        "simulator-measure"
     }
 }
 

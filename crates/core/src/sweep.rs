@@ -40,6 +40,9 @@ use crate::cache::{ArtifactCache, CacheStats};
 use crate::experiment::{ExperimentError, ExperimentSpec, Lab, PreflightFn};
 use crate::manifest::{entry_for, RunStore};
 use crate::report::Report;
+use sdbp_predictors::PredictorConfig;
+use sdbp_profiles::SelectionScheme;
+use sdbp_workloads::{Benchmark, InputSet};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,6 +84,7 @@ pub struct Sweep {
     store_dir: Option<PathBuf>,
     resume: bool,
     cell_cap: Option<usize>,
+    fuse: bool,
 }
 
 impl Sweep {
@@ -97,7 +101,23 @@ impl Sweep {
             store_dir: None,
             resume: false,
             cell_cap: None,
+            fuse: true,
         }
+    }
+
+    /// Enables or disables pass fusion (on by default; see
+    /// [`Lab::with_fusion`]).
+    ///
+    /// A fused sweep additionally *pre-warms* the cache: runnable cells
+    /// sharing a profiling run — the same
+    /// `(benchmark, input, seed, budget)` — pool their profile needs, so
+    /// the bias profile and every distinct predictor's accuracy profile of
+    /// that run are collected in **one** traversal instead of one per
+    /// profile. Results are bit-identical either way; traversals avoided
+    /// show up in the summary's cache counters.
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
     }
 
     /// Attaches a persistent run store at `dir`: profiles are cached on disk
@@ -238,6 +258,7 @@ impl Sweep {
             verbose,
             resume,
             cell_cap,
+            fuse,
             ..
         } = self;
         let started = Instant::now();
@@ -270,6 +291,49 @@ impl Sweep {
             .filter_map(|(i, d)| matches!(d, Disposition::Run).then_some(i))
             .collect();
 
+        // Pre-warm: pool the profile needs of every runnable cell by
+        // profiling run, so each run's bias profile and all the accuracy
+        // profiles the grid needs on it are collected in one fused
+        // traversal. Workers then find everything hot. (Profiles are
+        // deterministic, so racing workers would be harmless — this is
+        // purely a traversal saver.)
+        if fuse {
+            type ProfileRun = (Benchmark, InputSet, u64, u64);
+            let mut groups: Vec<(ProfileRun, Vec<PredictorConfig>)> = Vec::new();
+            for &i in &work {
+                let spec = &specs[i];
+                if rejections[i].is_some() || spec.scheme == SelectionScheme::None {
+                    continue;
+                }
+                let input = spec.profile.profile_input(spec.measure_input);
+                let run = (spec.benchmark, input, spec.seed, spec.profile_budget());
+                let predictors = match groups.iter_mut().find(|(k, _)| *k == run) {
+                    Some((_, predictors)) => predictors,
+                    None => {
+                        groups.push((run, Vec::new()));
+                        &mut groups.last_mut().expect("just pushed").1
+                    }
+                };
+                if spec.scheme.needs_accuracy_profile() && !predictors.contains(&spec.predictor) {
+                    predictors.push(spec.predictor);
+                }
+            }
+            let next_group = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(groups.len()) {
+                    scope.spawn(|| loop {
+                        let g = next_group.fetch_add(1, Ordering::Relaxed);
+                        let Some(((benchmark, input, seed, budget), predictors)) = groups.get(g)
+                        else {
+                            break;
+                        };
+                        let _ =
+                            cache.profile_bundle(*benchmark, *input, *seed, *budget, predictors);
+                    });
+                }
+            });
+        }
+
         let total = specs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -278,7 +342,7 @@ impl Sweep {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let lab = Lab::with_cache(Arc::clone(&cache));
+                    let lab = Lab::with_cache(Arc::clone(&cache)).with_fusion(fuse);
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = work.get(slot) else {
@@ -530,6 +594,26 @@ mod tests {
             .into_reports()
             .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fusion_off_matches_fused_results_bit_for_bit() {
+        let fused = Sweep::new(grid()).with_threads(2).run();
+        let unfused = Sweep::new(grid()).with_threads(2).with_fusion(false).run();
+        // grid(): per benchmark, one profiling run feeds a bias profile and
+        // two accuracy profiles (512 B and 1 KB gshare) — fusing the three
+        // saves two traversals, times two benchmarks.
+        assert_eq!(
+            fused.cache_stats.fused_traversals_saved, 4,
+            "{}",
+            fused.cache_stats
+        );
+        assert_eq!(unfused.cache_stats.fused_traversals_saved, 0);
+        assert_eq!(
+            fused.into_reports().unwrap(),
+            unfused.into_reports().unwrap(),
+            "fusion must not change a single bit of the results"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-branch dynamic-predictor accuracy profiles.
 
-use sdbp_predictors::DynamicPredictor;
-use sdbp_trace::{BranchAddr, BranchSource};
+use sdbp_predictors::{DynamicPredictor, Prediction};
+use sdbp_trace::{BranchAddr, BranchEvent, BranchSource};
 use std::collections::HashMap;
 
 /// Per-branch prediction accuracy of a specific dynamic predictor.
@@ -77,21 +77,29 @@ impl AccuracyProfile {
     /// The predictor runs exactly as it would in a pure dynamic
     /// configuration: every branch is looked up, trained, and shifted into
     /// the history.
-    pub fn collect<S, P>(mut source: S, predictor: &mut P) -> Self
+    pub fn collect<S, P>(source: S, predictor: &mut P) -> Self
     where
         S: BranchSource,
         P: DynamicPredictor + ?Sized,
     {
-        let mut profile = Self::new();
-        while let Some(e) = source.next_event() {
-            let pred = predictor.predict(e.pc);
-            predictor.update(e.pc, e.taken);
-            let s = profile.sites.entry(e.pc).or_default();
-            s.executed += 1;
-            s.correct += u64::from(pred.taken == e.taken);
-            s.destructive_collisions += u64::from(pred.collision && pred.taken != e.taken);
-        }
-        profile
+        let mut pass = crate::passes::AccuracyPass::new(predictor);
+        sdbp_passes::PassRunner::new().run(source, &mut [&mut pass]);
+        pass.into_profile()
+    }
+
+    /// Records one predicted branch execution.
+    ///
+    /// This is the per-event accumulation step behind [`collect`]
+    /// (and [`AccuracyPass`](crate::AccuracyPass)): `pred` must be the
+    /// prediction the dynamic predictor produced for `event` *before* being
+    /// trained on its outcome.
+    ///
+    /// [`collect`]: AccuracyProfile::collect
+    pub fn record_prediction(&mut self, event: &BranchEvent, pred: Prediction) {
+        let s = self.sites.entry(event.pc).or_default();
+        s.executed += 1;
+        s.correct += u64::from(pred.taken == event.taken);
+        s.destructive_collisions += u64::from(pred.collision && pred.taken != event.taken);
     }
 
     /// Accuracy of one branch, if it was observed.

@@ -44,12 +44,10 @@ impl BiasProfile {
     }
 
     /// Profiles an entire source.
-    pub fn from_source<S: BranchSource>(mut source: S) -> Self {
-        let mut p = Self::new();
-        while let Some(e) = source.next_event() {
-            p.record(&e);
-        }
-        p
+    pub fn from_source<S: BranchSource>(source: S) -> Self {
+        let mut pass = crate::passes::BiasPass::new();
+        sdbp_passes::PassRunner::new().run(source, &mut [&mut pass]);
+        pass.into_profile()
     }
 
     /// Per-site counts, if the branch was observed.

@@ -44,10 +44,12 @@ pub mod bias;
 pub mod codec;
 pub mod database;
 pub mod hints;
+pub mod passes;
 pub mod select;
 
 pub use accuracy::AccuracyProfile;
 pub use bias::BiasProfile;
 pub use database::ProfileDatabase;
 pub use hints::HintDatabase;
+pub use passes::{AccuracyPass, BiasPass};
 pub use select::{SelectError, SelectionScheme};

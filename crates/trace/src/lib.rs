@@ -43,6 +43,8 @@ mod error;
 pub use codec::{read_binary, read_text, write_binary, write_text};
 pub use error::TraceError;
 pub use event::{BranchAddr, BranchEvent, Outcome};
-pub use source::{BranchSource, SliceSource, TakeSource};
+pub use source::{
+    BranchSource, IterSource, SampleSource, SkipSource, SliceSource, TakeSource, TeeSource,
+};
 pub use stats::{SiteStats, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceMeta};

@@ -88,6 +88,57 @@ pub trait BranchSource {
         }
     }
 
+    /// Mirrors every emitted event into `observer` while passing it through
+    /// unchanged — the way to bolt a side consumer (an incremental stats or
+    /// profile collector) onto a stream another component is already
+    /// driving, instead of generating the stream a second time.
+    fn tee<F>(self, observer: F) -> TeeSource<Self, F>
+    where
+        Self: Sized,
+        F: FnMut(&BranchEvent),
+    {
+        TeeSource {
+            inner: self,
+            observer,
+        }
+    }
+
+    /// Drops the stream's first `instructions` — the mirror image of
+    /// [`take_instructions`](BranchSource::take_instructions), used to cut
+    /// cold-start out of a profiling stream.
+    ///
+    /// Boundary rule (matching the simulator's warm-up attribution): an
+    /// event is skipped iff the running instruction total *including it*
+    /// stays ≤ the budget; the first event to cross the budget is emitted.
+    /// Every event therefore lands in exactly one of the skipped and
+    /// emitted windows.
+    fn skip_instructions(self, instructions: u64) -> SkipSource<Self>
+    where
+        Self: Sized,
+    {
+        SkipSource {
+            inner: self,
+            remaining: instructions,
+        }
+    }
+
+    /// Systematic 1-in-`period` sampling: emits the first event of every
+    /// `period`-event window (a `period` of 0 or 1 is the identity).
+    ///
+    /// Sampling preserves per-branch *rates* (bias, taken-rate) in
+    /// expectation but scales down every absolute count — use it to cheapen
+    /// estimates, never for instruction-budget accounting.
+    fn sample(self, period: u64) -> SampleSource<Self>
+    where
+        Self: Sized,
+    {
+        SampleSource {
+            inner: self,
+            period: period.max(1),
+            pos: 0,
+        }
+    }
+
     /// Collects the whole stream into an in-memory [`Trace`].
     ///
     /// Intended for tests and small experiments; the instruction total of the
@@ -220,6 +271,116 @@ impl<S: BranchSource> BranchSource for TakeSource<S> {
             self.remaining -= cost;
         }
         pulled
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A source mirroring every emitted event into a side observer; see
+/// [`BranchSource::tee`].
+#[derive(Debug, Clone)]
+pub struct TeeSource<S, F> {
+    inner: S,
+    observer: F,
+}
+
+impl<S: BranchSource, F: FnMut(&BranchEvent)> BranchSource for TeeSource<S, F> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        let e = self.inner.next_event()?;
+        (self.observer)(&e);
+        Some(e)
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        let start = buf.len();
+        let filled = self.inner.fill_events(buf, max);
+        for e in &buf[start..start + filled] {
+            (self.observer)(e);
+        }
+        filled
+    }
+
+    fn drain_as_slice(&mut self) -> Option<&[BranchEvent]> {
+        let events = self.inner.drain_as_slice()?;
+        for e in events {
+            (self.observer)(e);
+        }
+        Some(events)
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A source dropping an instruction-budget prefix; see
+/// [`BranchSource::skip_instructions`].
+#[derive(Debug, Clone)]
+pub struct SkipSource<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: BranchSource> BranchSource for SkipSource<S> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        loop {
+            let e = self.inner.next_event()?;
+            if self.remaining == 0 {
+                return Some(e);
+            }
+            let cost = e.instructions();
+            if cost > self.remaining {
+                // The straddling event crosses the skip budget and is the
+                // first emitted one — the simulator's warm-up rule.
+                self.remaining = 0;
+                return Some(e);
+            }
+            self.remaining -= cost;
+        }
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        if self.remaining > 0 {
+            // Fast-forward event by event until the first emitted one, then
+            // hand the rest of the pull to the inner bulk path.
+            let Some(first) = self.next_event() else {
+                return 0;
+            };
+            buf.push(first);
+            return 1 + self.inner.fill_events(buf, max - 1);
+        }
+        self.inner.fill_events(buf, max)
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A source emitting one event per `period`-event window; see
+/// [`BranchSource::sample`].
+#[derive(Debug, Clone)]
+pub struct SampleSource<S> {
+    inner: S,
+    period: u64,
+    pos: u64,
+}
+
+impl<S: BranchSource> BranchSource for SampleSource<S> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        loop {
+            let e = self.inner.next_event()?;
+            let emit = self.pos.is_multiple_of(self.period);
+            self.pos += 1;
+            if emit {
+                return Some(e);
+            }
+        }
     }
 
     fn label(&self) -> &str {
@@ -402,6 +563,107 @@ mod tests {
         let mut it = IterSource::new(events.iter().copied(), "it");
         assert_eq!(it.drain_as_slice(), None);
         assert!(it.next_event().is_some(), "declining must not consume");
+    }
+
+    #[test]
+    fn tee_observes_every_event_on_every_path() {
+        let events: Vec<BranchEvent> = (0..6).map(|i| ev(i * 4, 1)).collect();
+        // Per-event path.
+        let mut seen = Vec::new();
+        let mut t = SliceSource::new(&events).tee(|e| seen.push(*e));
+        while t.next_event().is_some() {}
+        assert_eq!(seen, events);
+        // Chunked path.
+        let mut seen = Vec::new();
+        let mut t = SliceSource::new(&events).tee(|e| seen.push(*e));
+        let mut buf = Vec::new();
+        while t.fill_events(&mut buf, 4) > 0 {}
+        assert_eq!(seen, events);
+        assert_eq!(buf, events, "tee passes events through unchanged");
+        // Zero-copy drain path.
+        let mut seen = Vec::new();
+        let mut t = SliceSource::new(&events).tee(|e| seen.push(*e));
+        assert_eq!(t.drain_as_slice(), Some(&events[..]));
+        assert_eq!(seen, events);
+    }
+
+    #[test]
+    fn tee_inherits_the_label() {
+        let events = [ev(0, 0)];
+        let t = SliceSource::new(&events).tee(|_| {});
+        assert_eq!(t.label(), "<slice>");
+    }
+
+    #[test]
+    fn skip_instructions_complements_take() {
+        // Each event costs 5 instructions. A skip budget of 12 drops the
+        // first two (5, 10 ≤ 12) and emits the straddler (15 > 12) onward —
+        // exactly the events a warm-up budget of 12 would measure.
+        let events: Vec<BranchEvent> = (0..6).map(|i| ev(i * 4, 4)).collect();
+        let mut s = SliceSource::new(&events).skip_instructions(12);
+        let emitted: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+        assert_eq!(emitted, events[2..]);
+        // A budget ending exactly on an event boundary skips that event too.
+        let mut s = SliceSource::new(&events).skip_instructions(10);
+        assert_eq!(s.next_event(), Some(events[2]));
+        // Zero skips nothing; a budget past the stream emits nothing.
+        let mut s = SliceSource::new(&events).skip_instructions(0);
+        assert_eq!(s.next_event(), Some(events[0]));
+        let mut s = SliceSource::new(&events).skip_instructions(1_000);
+        assert_eq!(s.next_event(), None);
+    }
+
+    #[test]
+    fn skip_chunked_matches_single_event() {
+        let events: Vec<BranchEvent> = (0..20).map(|i| ev(i * 4, (i % 4) as u32)).collect();
+        for budget in [0u64, 3, 7, 10, 33, 200] {
+            let mut single = SliceSource::new(&events).skip_instructions(budget);
+            let mut expect = Vec::new();
+            while let Some(e) = single.next_event() {
+                expect.push(e);
+            }
+            let mut chunked = SliceSource::new(&events).skip_instructions(budget);
+            let mut buf = Vec::new();
+            while chunked.fill_events(&mut buf, 3) > 0 {}
+            assert_eq!(buf, expect, "budget {budget}");
+            assert_eq!(chunked.fill_events(&mut buf, 0), 0, "max 0 is a no-op");
+        }
+    }
+
+    #[test]
+    fn skip_then_take_windows_the_stream() {
+        // Events cost 5 each; skip 10 then take 10 yields exactly two.
+        let events: Vec<BranchEvent> = (0..8).map(|i| ev(i * 4, 4)).collect();
+        let mut s = SliceSource::new(&events)
+            .skip_instructions(10)
+            .take_instructions(10);
+        assert_eq!(s.next_event(), Some(events[2]));
+        assert_eq!(s.next_event(), Some(events[3]));
+        assert_eq!(s.next_event(), None);
+    }
+
+    #[test]
+    fn sample_emits_one_event_per_period() {
+        let events: Vec<BranchEvent> = (0..10).map(|i| ev(i * 4, 0)).collect();
+        let mut s = SliceSource::new(&events).sample(3);
+        let emitted: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+        assert_eq!(emitted, vec![events[0], events[3], events[6], events[9]]);
+        // Period 1 (and the clamped 0) is the identity.
+        for period in [0u64, 1] {
+            let mut s = SliceSource::new(&events).sample(period);
+            let all: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+            assert_eq!(all, events, "period {period}");
+        }
+    }
+
+    #[test]
+    fn sample_approximates_rates_not_counts() {
+        // 1-in-2 sampling of an alternating branch keeps the taken-rate
+        // visible while halving the event count.
+        let events: Vec<BranchEvent> = (0..100).map(|i| ev(0x40, (i % 4) as u32)).collect();
+        let mut s = SliceSource::new(&events).sample(2);
+        let kept = std::iter::from_fn(|| s.next_event()).count();
+        assert_eq!(kept, 50);
     }
 
     #[test]

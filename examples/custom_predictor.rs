@@ -103,8 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .take_instructions(4_000_000)
     };
 
-    // Phase one: profile for Static_95 hints.
-    let bias = BiasProfile::from_source(source());
+    // Phase one: profile for Static_95 hints. The source combinators window
+    // the profiling stream declaratively: skip the first 500k instructions
+    // of cold start, then keep one branch in four — bias *rates* survive
+    // systematic sampling even though counts shrink.
+    let bias = BiasProfile::from_source(source().skip_instructions(500_000).sample(4));
     let hints = SelectionScheme::static_95().select(&bias, None)?;
     println!("selected {} static hints on ijpeg", hints.len());
 

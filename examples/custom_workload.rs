@@ -39,11 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let workload = Workload::from_spec(spec);
 
-    let stats = TraceStats::from_source(
-        workload
-            .generator(InputSet::Ref, 7)
-            .take_instructions(2_000_000),
-    );
+    // One traversal does double duty: a `tee` observer rides the first
+    // simulation's event stream and feeds the trace statistics, instead of
+    // spending a whole extra generation on a dedicated profiling pass.
+    let mut stats = TraceStats::new();
+    let mut results = Vec::new();
+    {
+        let mut predictor = CombinedPredictor::pure_dynamic(
+            PredictorConfig::new(PredictorKind::Bimodal, 8 * 1024)?.build(),
+        );
+        let sim = Simulator::new().run(
+            workload
+                .generator(InputSet::Ref, 7)
+                .take_instructions(2_000_000)
+                .tee(|e| stats.record(e)),
+            &mut predictor,
+        );
+        results.push((PredictorKind::Bimodal, sim));
+    }
     println!(
         "custom workload 'interp': {} sites executed, {:.0} CBRs/KI, {:.1}% highly biased",
         stats.static_branches(),
@@ -51,20 +64,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.dynamic_fraction_biased(0.95) * 100.0
     );
 
-    for kind in [
-        PredictorKind::Bimodal,
-        PredictorKind::Gshare,
-        PredictorKind::TwoBcGskew,
-    ] {
+    for kind in [PredictorKind::Gshare, PredictorKind::TwoBcGskew] {
         let mut predictor =
             CombinedPredictor::pure_dynamic(PredictorConfig::new(kind, 8 * 1024)?.build());
-        let stats = Simulator::new().run(
+        let sim = Simulator::new().run(
             workload
                 .generator(InputSet::Ref, 7)
                 .take_instructions(2_000_000),
             &mut predictor,
         );
-        println!("  {:<9} {:.3} MISPs/KI", kind.name(), stats.misp_per_ki());
+        results.push((kind, sim));
+    }
+    for (kind, sim) in &results {
+        println!("  {:<9} {:.3} MISPs/KI", kind.name(), sim.misp_per_ki());
     }
 
     // 2. An external trace in the text interchange format — e.g. produced

@@ -22,7 +22,9 @@
 //!   simulator with constructive/destructive collision classification, and
 //!   the two-phase experiment runner;
 //! * [`trace`] — the branch-event model, streaming sources, and trace
-//!   codecs; [`util`] — deterministic RNG and table rendering.
+//!   codecs; [`passes`] — the composable streaming pass framework every
+//!   trace consumer runs on (one traversal, many fused consumers);
+//!   [`util`] — deterministic RNG and table rendering.
 //!
 //! The `sdbp-bench` crate regenerates every table and figure of the paper
 //! (`cargo run --release -p sdbp-bench --bin all_experiments`), and the
@@ -60,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub use sdbp_core as core;
+pub use sdbp_passes as passes;
 pub use sdbp_predictors as predictors;
 pub use sdbp_profiles as profiles;
 pub use sdbp_trace as trace;
@@ -80,6 +83,7 @@ pub mod prelude {
         CombinedPredictor, ExperimentSpec, Lab, ProfileSource, Report, ShiftPolicy, SimStats,
         Simulator, Sweep, SweepResult,
     };
+    pub use sdbp_passes::{Pass, PassRunner};
     pub use sdbp_predictors::{
         Agree, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
         Prediction, PredictorConfig, PredictorKind, Tournament, TwoBcGskew, Yags,
