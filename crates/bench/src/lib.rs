@@ -164,5 +164,6 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod frontier;
 pub mod kernel;
 pub mod passes;

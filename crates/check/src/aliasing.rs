@@ -1,25 +1,25 @@
-//! Static destructive-aliasing analysis.
+//! Static destructive-aliasing analysis, rendered as diagnostics.
 //!
-//! The paper's central quantity — destructive interference between branches
-//! sharing a table entry — is normally measured by simulation. This module
-//! *predicts* it from a bias profile alone: it evaluates the predictor's
-//! index function (exposed through
-//! [`DynamicPredictor::probe_indices`]) over every profiled branch under a
-//! sample of global histories, accumulates per-entry taken/not-taken mass,
-//! and scores each branch by how much opposing mass it shares entries
-//! with. The ranking correlates with the simulator's measured
-//! destructive-collision counts (a pinned test cross-checks this), which is
-//! what makes `sdbp check --aliasing` useful before committing to a long
-//! measurement run.
+//! The analyzer itself lives in [`sdbp_profiles::interference`] (where the
+//! `Static_Collide` selection scheme also consumes it); this module is the
+//! diagnostics surface: [`analyze_aliasing`] runs the ranking under the
+//! checker's option shape, and [`lint_aliasing`] renders it as SDBP040
+//! hotspot notes or an SDBP041 opaque-scheme note.
+//!
+//! The ranking correlates with the simulator's measured destructive-collision
+//! counts (a pinned test in `tests/aliasing_crosscheck.rs` verifies this),
+//! which is what makes `sdbp check --aliasing` useful before committing to a
+//! long measurement run.
 
 use crate::codes;
 use crate::diag::{Diagnostic, Diagnostics, Span};
-use sdbp_predictors::{DynamicPredictor, PredictorConfig};
-use sdbp_profiles::BiasProfile;
-use sdbp_trace::BranchAddr;
-use std::collections::HashMap;
+use sdbp_predictors::PredictorConfig;
+use sdbp_profiles::{rank_interference, BiasProfile, InterferenceOptions};
 
-/// Tuning knobs for [`analyze_aliasing`].
+pub use sdbp_profiles::{InterferenceHotspot as Hotspot, InterferenceRanking as AliasingReport};
+
+/// Tuning knobs for [`analyze_aliasing`]: the analyzer's own options plus
+/// the checker's reporting depth.
 #[derive(Debug, Clone, Copy)]
 pub struct AliasingOptions {
     /// Histories are enumerated exhaustively up to `2^exhaustive_bits`;
@@ -33,175 +33,35 @@ pub struct AliasingOptions {
 
 impl Default for AliasingOptions {
     fn default() -> Self {
+        let inner = InterferenceOptions::default();
         Self {
-            exhaustive_bits: 10,
-            history_samples: 256,
+            exhaustive_bits: inner.exhaustive_bits,
+            history_samples: inner.history_samples,
             top: 10,
         }
     }
 }
 
-/// One predicted hotspot.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Hotspot {
-    /// The branch.
-    pub pc: BranchAddr,
-    /// Predicted destructive-interference mass (executions expected to meet
-    /// an entry trained the opposite way by *other* branches).
-    pub score: f64,
-    /// Profiled execution count.
-    pub executed: u64,
-}
-
-/// The analyzer's output.
-#[derive(Debug, Clone)]
-pub struct AliasingReport {
-    /// Branches ranked by descending predicted destructive interference
-    /// (ties broken by address). Zero-score branches are omitted.
-    pub hotspots: Vec<Hotspot>,
-    /// Sum of all hotspot scores.
-    pub total_score: f64,
-    /// Distinct `(bank, entry)` cells touched.
-    pub cells_touched: usize,
-    /// Profiled branches analyzed.
-    pub branches: usize,
-}
-
-/// `splitmix64`, the standard 64-bit mix — deterministic history sampling
-/// without an RNG dependency.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-fn history_samples(bits: u32, options: &AliasingOptions) -> Vec<u64> {
-    if bits == 0 {
-        return vec![0];
+impl AliasingOptions {
+    fn analyzer_options(&self) -> InterferenceOptions {
+        InterferenceOptions {
+            exhaustive_bits: self.exhaustive_bits,
+            history_samples: self.history_samples,
+        }
     }
-    if bits <= options.exhaustive_bits {
-        return (0..(1u64 << bits)).collect();
-    }
-    let mask = if bits >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << bits) - 1
-    };
-    let mut state = 0x5db9_d00d_2000_u64; // fixed seed: analysis is deterministic
-    let mut samples: Vec<u64> = (0..options.history_samples)
-        .map(|_| splitmix64(&mut state) & mask)
-        .collect();
-    samples.sort_unstable();
-    samples.dedup();
-    samples
 }
 
 /// Statically analyzes destructive aliasing of `config` on the branches in
-/// `profile`.
+/// `profile` — [`sdbp_profiles::rank_interference`] under the checker's
+/// options.
 ///
-/// Returns `None` when the scheme does not expose its index function
-/// ([`DynamicPredictor::probe_indices`] returns `false`).
-///
-/// The model: every profiled branch deposits its per-history share of
-/// taken/not-taken mass into each `(bank, entry)` cell its index function
-/// can reach; a branch's destructive score is its mass in a cell times the
-/// fraction of that cell's mass trained the opposite way by *other*
-/// branches. Self-interference (a mixed branch fighting itself) is
-/// excluded — that is mispredictability, not aliasing.
+/// Returns `None` when the scheme does not expose its index function.
 pub fn analyze_aliasing(
     profile: &BiasProfile,
     config: PredictorConfig,
     options: &AliasingOptions,
 ) -> Option<AliasingReport> {
-    let predictor = config.build();
-    let mut scratch = Vec::new();
-    // Deterministic order: HashMap iteration must not leak into float sums.
-    let mut branches: Vec<(BranchAddr, u64, u64)> = profile
-        .iter()
-        .filter(|(_, stats)| stats.executed > 0)
-        .map(|(pc, stats)| (pc, stats.executed, stats.taken))
-        .collect();
-    branches.sort_unstable_by_key(|(pc, _, _)| *pc);
-    if branches.is_empty() {
-        return Some(AliasingReport {
-            hotspots: Vec::new(),
-            total_score: 0.0,
-            cells_touched: 0,
-            branches: 0,
-        });
-    }
-
-    // Probe support check on the first branch.
-    scratch.clear();
-    if !predictor.probe_indices(branches[0].0, 0, &mut scratch) {
-        return None;
-    }
-    let histories = history_samples(DynamicPredictor::history_bits(&*predictor), options);
-    let per_history = 1.0 / histories.len() as f64;
-
-    // Pass 1: accumulate (taken, not-taken) mass per cell.
-    let mut cells: HashMap<(u32, u64), [f64; 2]> = HashMap::new();
-    for &(pc, executed, taken) in &branches {
-        let taken_mass = taken as f64 * per_history;
-        let nt_mass = (executed - taken) as f64 * per_history;
-        for &history in &histories {
-            scratch.clear();
-            predictor.probe_indices(pc, history, &mut scratch);
-            for &(bank, index) in &scratch {
-                let cell = cells.entry((bank, index)).or_default();
-                cell[0] += taken_mass;
-                cell[1] += nt_mass;
-            }
-        }
-    }
-
-    // Pass 2: per-branch destructive mass against the other branches.
-    let mut hotspots = Vec::with_capacity(branches.len());
-    let mut total_score = 0.0;
-    for &(pc, executed, taken) in &branches {
-        let own = [
-            taken as f64 * per_history,
-            (executed - taken) as f64 * per_history,
-        ];
-        let mut score = 0.0;
-        for &history in &histories {
-            scratch.clear();
-            predictor.probe_indices(pc, history, &mut scratch);
-            for &(bank, index) in &scratch {
-                let cell = cells[&(bank, index)];
-                let total = cell[0] + cell[1];
-                if total <= 0.0 {
-                    continue;
-                }
-                for dir in 0..2 {
-                    let opposing = (cell[1 - dir] - own[1 - dir]).max(0.0);
-                    score += own[dir] * opposing / total;
-                }
-            }
-        }
-        if score > 0.0 {
-            total_score += score;
-            hotspots.push(Hotspot {
-                pc,
-                score,
-                executed,
-            });
-        }
-    }
-    hotspots.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.pc.cmp(&b.pc))
-    });
-    Some(AliasingReport {
-        hotspots,
-        total_score,
-        cells_touched: cells.len(),
-        branches: branches.len(),
-    })
+    rank_interference(profile, config, &options.analyzer_options())
 }
 
 /// Runs the analyzer and renders its findings as diagnostics: SDBP040 notes
@@ -251,7 +111,7 @@ pub fn lint_aliasing(
 mod tests {
     use super::*;
     use sdbp_predictors::PredictorKind;
-    use sdbp_trace::SiteStats;
+    use sdbp_trace::{BranchAddr, SiteStats};
 
     fn profile_of(sites: &[(u64, u64, u64)]) -> BiasProfile {
         let mut profile = BiasProfile::new();
@@ -406,15 +266,5 @@ mod tests {
         let b = run();
         assert_eq!(a.hotspots, b.hotspots);
         assert_eq!(a.total_score, b.total_score);
-    }
-
-    #[test]
-    fn history_sampling_enumerates_short_and_samples_long() {
-        let options = AliasingOptions::default();
-        assert_eq!(history_samples(0, &options), vec![0]);
-        assert_eq!(history_samples(3, &options).len(), 8);
-        let long = history_samples(20, &options);
-        assert!(long.len() > 200 && long.len() <= 256, "{}", long.len());
-        assert!(long.iter().all(|h| *h < (1 << 20)));
     }
 }

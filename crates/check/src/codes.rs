@@ -67,6 +67,8 @@ pub const PROFILE_PARSE_ERROR: Code = Code(35);
 pub const ALIASING_HOTSPOT: Code = Code(40);
 /// SDBP041: the scheme does not expose its index function.
 pub const ALIASING_OPAQUE_SCHEME: Code = Code(41);
+/// SDBP042: static_collide selected for an analysis-opaque predictor.
+pub const COLLIDE_ON_OPAQUE_PREDICTOR: Code = Code(42);
 
 /// SDBP050: a manifest line failed to parse.
 pub const MANIFEST_PARSE_ERROR: Code = Code(50);
@@ -267,6 +269,12 @@ pub const REGISTRY: &[CodeInfo] = &[
         name: "aliasing-opaque-scheme",
         severity: Severity::Note,
         summary: "the scheme does not expose its index function to static analysis",
+    },
+    CodeInfo {
+        code: COLLIDE_ON_OPAQUE_PREDICTOR,
+        name: "collide-on-opaque-predictor",
+        severity: Severity::Warning,
+        summary: "static_collide was requested for a predictor opaque to static analysis",
     },
     CodeInfo {
         code: MANIFEST_PARSE_ERROR,

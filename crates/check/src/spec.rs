@@ -95,8 +95,16 @@ const PREDICTOR_NAMES: &[&str] = &[
     "tournament",
     "local",
     "gselect",
+    "perceptron",
+    "tage-lite",
 ];
-const SCHEME_NAMES: &[&str] = &["none", "static_95", "static_acc", "static_col"];
+const SCHEME_NAMES: &[&str] = &[
+    "none",
+    "static_95",
+    "static_acc",
+    "static_col",
+    "static_collide",
+];
 const SHIFT_NAMES: &[&str] = &["no-shift", "shift"];
 const TRAINING_NAMES: &[&str] = &["self", "cross", "cross-merged"];
 const INPUT_NAMES: &[&str] = &["train", "ref"];
@@ -197,7 +205,10 @@ pub fn parse_spec_text(text: &str, origin: &str) -> (ParsedSpec, Diagnostics) {
                         format!("unknown selection scheme '{value}'"),
                     )
                     .with_span(Span::line(origin, "scheme", line_no))
-                    .with_note("expected none, static_<pct>, static_acc, or static_col"),
+                    .with_note(
+                        "expected none, static_<pct>, static_acc, static_col, \
+                         or static_collide",
+                    ),
                     value,
                     SCHEME_NAMES,
                 )),
@@ -453,6 +464,48 @@ pub fn lint_spec_with_history(
                         format!("minimum collision rate {min_collision_rate} outside [0, 1)"),
                     )
                     .with_span(span("scheme")),
+                );
+            }
+        }
+        sdbp_profiles::SelectionScheme::Collide {
+            min_bias,
+            min_score_rate,
+        } => {
+            if !(min_bias > 0.0 && min_bias < 1.0) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::SCHEME_PARAMETER_OUT_OF_RANGE,
+                        format!("minimum bias {min_bias} outside the open interval (0, 1)"),
+                    )
+                    .with_span(span("scheme")),
+                );
+            }
+            if !(0.0..1.0).contains(&min_score_rate) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::SCHEME_PARAMETER_OUT_OF_RANGE,
+                        format!("minimum score rate {min_score_rate} outside [0, 1)"),
+                    )
+                    .with_span(span("scheme")),
+                );
+            }
+            // SDBP042: Static_Collide needs the predictor's index function.
+            if !sdbp_profiles::exposes_indices(spec.predictor) {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::COLLIDE_ON_OPAQUE_PREDICTOR,
+                        format!(
+                            "static_collide cannot rank interference on {}: the scheme \
+                             does not expose its index function to static analysis",
+                            spec.predictor.kind()
+                        ),
+                    )
+                    .with_span(span("scheme"))
+                    .with_suggestion(
+                        "use an analyzable predictor (bimodal, gshare, perceptron, \
+                         tage-lite, ...), or select with static_col from a measured \
+                         accuracy profile",
+                    ),
                 );
             }
         }
@@ -717,6 +770,96 @@ warmup 1000
             max_bias_change: 2.0,
         });
         assert_eq!(codes_of(&lint_spec(&spec, "<t>")), [7]);
+    }
+
+    #[test]
+    fn collide_on_an_analyzable_predictor_is_clean() {
+        for (kind, size) in [
+            (PredictorKind::Gshare, 1024),
+            (PredictorKind::Perceptron, 4096),
+            (PredictorKind::TageLite, 4096),
+        ] {
+            let spec = ExperimentSpec::self_trained(
+                Benchmark::Compress,
+                PredictorConfig::new(kind, size).unwrap(),
+                SelectionScheme::static_collide(),
+            )
+            .with_instructions(300_000);
+            let diags = lint_spec(&spec, "<t>");
+            // Frontier designs emit an SDBP004 realizability note; what
+            // matters is that nothing warns or errors — no SDBP042.
+            assert!(diags.is_clean(), "{kind}: {}", diags.render_text());
+            assert!(
+                !codes_of(&diags).contains(&42),
+                "{kind}: {}",
+                diags.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn collide_on_an_opaque_predictor_is_sdbp042() {
+        for kind in [PredictorKind::BiMode, PredictorKind::TwoBcGskew] {
+            let spec = ExperimentSpec::self_trained(
+                Benchmark::Compress,
+                PredictorConfig::new(kind, 4096).unwrap(),
+                SelectionScheme::static_collide(),
+            )
+            .with_instructions(300_000);
+            let diags = lint_spec(&spec, "<t>");
+            assert_eq!(codes_of(&diags), [42], "{}", diags.render_text());
+            assert!(!diags.has_errors(), "a warning, not an error");
+            assert!(!diags.passes(true), "fatal under --deny-warnings");
+        }
+    }
+
+    #[test]
+    fn out_of_range_collide_parameters_are_sdbp007() {
+        let spec = paper_spec().with_scheme(SelectionScheme::Collide {
+            min_bias: 1.2,
+            min_score_rate: 1.5,
+        });
+        assert_eq!(codes_of(&lint_spec(&spec, "<t>")), [7, 7]);
+    }
+
+    #[test]
+    fn frontier_names_parse_in_spec_files() {
+        let (parsed, diags) = parse_spec_text(
+            "predictor tage-lite\nsize 4096\nscheme static_collide\n",
+            "<t>",
+        );
+        assert!(diags.is_empty(), "{}", diags.render_text());
+        let spec = parsed.spec.unwrap();
+        assert_eq!(spec.predictor.kind(), PredictorKind::TageLite);
+        assert_eq!(spec.scheme, SelectionScheme::static_collide());
+        let (parsed, diags) = parse_spec_text("predictor perceptron\nsize 2048\n", "<t>");
+        assert!(diags.is_empty(), "{}", diags.render_text());
+        assert_eq!(
+            parsed.spec.unwrap().predictor.kind(),
+            PredictorKind::Perceptron
+        );
+    }
+
+    #[test]
+    fn handbook_covers_every_predictor_and_scheme() {
+        // The predictor handbook must name every dynamic predictor and
+        // every selection scheme — a new `PredictorKind` variant or scheme
+        // name fails here until docs/predictors.md documents it.
+        let doc = include_str!("../../../docs/predictors.md");
+        for kind in PredictorKind::ALL {
+            let quoted = format!("`{}`", kind.name());
+            assert!(
+                doc.contains(&quoted),
+                "docs/predictors.md is missing predictor {quoted}"
+            );
+        }
+        for scheme in SCHEME_NAMES {
+            let quoted = format!("`{scheme}`");
+            assert!(
+                doc.contains(&quoted),
+                "docs/predictors.md is missing scheme {quoted}"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use sdbp_check::{analyze_aliasing, AliasingOptions};
 use sdbp_predictors::{PredictorConfig, PredictorKind};
-use sdbp_profiles::{AccuracyProfile, BiasProfile};
+use sdbp_profiles::{
+    rank_interference, AccuracyProfile, BiasProfile, InterferenceOptions, SelectionScheme,
+};
 use sdbp_trace::{BranchAddr, BranchSource};
 use sdbp_workloads::{Benchmark, InputSet, Workload};
 use std::collections::HashSet;
@@ -69,6 +71,43 @@ fn bimodal_hotspot_ranking_matches_the_simulator() {
         agree >= 10,
         "static analysis and simulation agree on only {agree}/20 bimodal hotspots"
     );
+}
+
+#[test]
+fn static_collide_selection_overlaps_measured_collision_hotspots() {
+    // `Static_Collide` consumes the same ranking the analyzer reports; its
+    // selected hints must land on the branches the simulator *measures* as
+    // destructive-collision hotspots. The overlap count is pinned — the
+    // whole pipeline (workload, analyzer, selection) is deterministic, so
+    // any drift is a real behavior change.
+    let config = PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap();
+    let profile = BiasProfile::from_source(source());
+    let ranking = rank_interference(&profile, config, &InterferenceOptions::default())
+        .expect("gshare exposes its index function");
+    let hints = SelectionScheme::static_collide()
+        .select_with_interference(&profile, None, Some(&ranking))
+        .expect("a ranking was supplied");
+    assert!(!hints.is_empty(), "collide selected nothing");
+    // Every hint targets a branch the ranking actually scored.
+    for (pc, _) in hints.iter() {
+        assert!(
+            ranking.score_of(pc) > 0.0,
+            "hinted branch {pc} has no interference score"
+        );
+    }
+    // Pinned top-20 overlap with the measured destructive ranking.
+    let measured = measured_top(config, 20);
+    let hinted_hotspots = measured
+        .iter()
+        .filter(|pc| hints.get(**pc).is_some())
+        .count();
+    assert_eq!(
+        hinted_hotspots,
+        14,
+        "collide hints {hinted_hotspots}/20 of the measured hotspots ({} hints total)",
+        hints.len()
+    );
+    assert_eq!(hints.len(), 165, "collide hint count drifted");
 }
 
 #[test]

@@ -214,8 +214,19 @@ pub fn select(args: &Args) -> CmdResult {
         }
         None => (BiasProfile::from_source(source()), None),
     };
+    // Static_Collide ranks interference against the configured predictor's
+    // index function; other schemes never consult a ranking.
+    let ranking = if scheme.needs_interference_ranking() {
+        sdbp_profiles::rank_interference(
+            &bias,
+            predictor_of(args)?,
+            &sdbp_profiles::InterferenceOptions::default(),
+        )
+    } else {
+        None
+    };
     let hints = scheme
-        .select(&bias, accuracy.as_ref())
+        .select_with_interference(&bias, accuracy.as_ref(), ranking.as_ref())
         .map_err(|e| e.to_string())?;
     fs::write(out, hints.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}: {} ({scheme})", hints);
@@ -341,22 +352,42 @@ pub fn grid(args: &Args) -> CmdResult {
         .get_parsed_or("size", 8192usize)
         .map_err(CliError::Usage)?;
     let threads = threads_of(args)?;
-    let schemes = [
-        SelectionScheme::None,
-        SelectionScheme::static_95(),
-        SelectionScheme::static_acc(),
-    ];
+    let schemes: Vec<SelectionScheme> = args
+        .get_or("schemes", "none,static_95,static_acc")
+        .split(',')
+        .map(|name| {
+            name.trim()
+                .parse()
+                .map_err(|e| CliError::Usage(format!("invalid --schemes entry '{name}': {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if schemes.is_empty() {
+        return Err(CliError::Usage(
+            "--schemes must name at least one scheme".into(),
+        ));
+    }
+    // Cells whose scheme needs the interference ranking on a predictor that
+    // is opaque to it would fail at selection time; skip them up front and
+    // render n/a — the same policy as `bench-frontier` and SDBP042.
     let mut specs = Vec::new();
+    let mut layout: Vec<Vec<Option<usize>>> = Vec::new();
     for kind in PredictorKind::PAPER {
         let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
-        for scheme in schemes {
+        let mut row = Vec::new();
+        for &scheme in &schemes {
+            if scheme.needs_interference_ranking() && !sdbp_profiles::exposes_indices(config) {
+                row.push(None);
+                continue;
+            }
             let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
                 .with_seed(opts.seed)
                 .with_measure_input(opts.input);
             spec.measure_instructions = Some(opts.instructions);
             spec.profile_instructions = Some(opts.instructions);
             specs.push(spec);
+            row.push(Some(specs.len() - 1));
         }
+        layout.push(row);
     }
     let mut sweep = Sweep::new(specs)
         .with_threads(threads)
@@ -377,29 +408,38 @@ pub fn grid(args: &Args) -> CmdResult {
     }
     let result = sweep.run();
     let summary = result.summary();
-    let mut reports = result.into_reports()?.into_iter();
-    let mut t = TableWriter::with_columns(&[
-        "predictor",
-        "none",
-        "static_95",
-        "static_acc",
-        "Δ95",
-        "Δacc",
-    ]);
-    t.numeric();
-    for kind in PredictorKind::PAPER {
-        let cells: Vec<_> = schemes
+    let reports = result.into_reports()?;
+    // Columns: one per scheme, then a delta column per non-baseline scheme
+    // (the first scheme listed is the baseline).
+    let mut columns: Vec<String> = vec!["predictor".to_string()];
+    columns.extend(schemes.iter().map(|s| s.label().to_string()));
+    columns.extend(
+        schemes[1..]
             .iter()
-            .map(|_| reports.next().expect("one report per spec"))
-            .collect();
-        t.row(vec![
-            kind.name().to_string(),
-            fixed(cells[0].stats.misp_per_ki(), 3),
-            fixed(cells[1].stats.misp_per_ki(), 3),
-            fixed(cells[2].stats.misp_per_ki(), 3),
-            format!("{:+.1}%", cells[1].improvement_over(&cells[0]) * 100.0),
-            format!("{:+.1}%", cells[2].improvement_over(&cells[0]) * 100.0),
-        ]);
+            .map(|s| format!("Δ{}", s.label().trim_start_matches("static_"))),
+    );
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = TableWriter::with_columns(&column_refs);
+    t.numeric();
+    for (kind, row_layout) in PredictorKind::PAPER.iter().zip(&layout) {
+        let cells: Vec<Option<&sdbp_core::Report>> =
+            row_layout.iter().map(|i| i.map(|i| &reports[i])).collect();
+        let mut row = vec![kind.name().to_string()];
+        for cell in &cells {
+            row.push(match cell {
+                Some(r) => fixed(r.stats.misp_per_ki(), 3),
+                None => "n/a".to_string(),
+            });
+        }
+        for cell in &cells[1..] {
+            row.push(match (cells[0], cell) {
+                (Some(base), Some(r)) => {
+                    format!("{:+.1}%", r.improvement_over(base) * 100.0)
+                }
+                _ => "n/a".to_string(),
+            });
+        }
+        t.row(row);
     }
     eprintln!("  {summary}");
     println!(
@@ -634,6 +674,33 @@ pub fn bench_passes(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `sdbp bench-frontier` — run the predictor-frontier ablation (tabular
+/// vs. perceptron/TAGE-lite predictors under every selection scheme,
+/// `Static_Collide` included) and write the machine-readable
+/// `BENCH_frontier.json` report.
+pub fn bench_frontier(args: &Args) -> CmdResult {
+    let quick = args.has_flag("quick");
+    let out = args.get_or("out", "BENCH_frontier.json");
+    eprintln!(
+        "benchmarking the predictor frontier ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sdbp_bench::frontier::run(quick, |cell| {
+        eprintln!(
+            "  {:<9} {:<10} {:<15} {:>8.3} MISPs/KI  {:>6} hints",
+            cell.benchmark.name(),
+            cell.predictor.name(),
+            cell.scheme,
+            cell.misp_per_ki,
+            cell.hints
+        );
+    });
+    print!("{}", report.summary());
+    fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 /// Opens the `--store` directory an `artifact` action operates on.
 fn store_of(args: &Args) -> Result<Store, CliError> {
     let dir = args
@@ -745,7 +812,7 @@ pub fn list() -> CmdResult {
             }
         );
     }
-    println!("\nschemes: none, static_95, static_<pct>, static_acc, static_col");
+    println!("\nschemes: none, static_95, static_<pct>, static_acc, static_col, static_collide");
     Ok(())
 }
 

@@ -48,6 +48,7 @@ fn main() {
         "artifact" => commands::artifact(&artifact_action, &args),
         "bench-kernel" => commands::bench_kernel(&args),
         "bench-passes" => commands::bench_passes(&args),
+        "bench-frontier" => commands::bench_frontier(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
@@ -98,15 +99,28 @@ commands:
                                and off and write a machine-readable report
                                (--out BENCH_passes.json, --quick for the CI
                                smoke budget)
+  bench-frontier               run the predictor-frontier ablation — gshare,
+                               bi-mode, 2bcgskew vs perceptron and tage-lite
+                               under every selection scheme including
+                               static_collide — and write a machine-readable
+                               report (--out BENCH_frontier.json, --quick
+                               for the CI smoke budget)
 
 common options:
   --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)
   --input train|ref                                (default ref)
   --seed N                                         (default 2000)
   --instructions N                                 (default per workload)
-  --predictor bimodal|ghist|gshare|bi-mode|2bcgskew|agree|yags|e-gskew|tournament|local|gselect
+  --predictor bimodal|ghist|gshare|bi-mode|2bcgskew|agree|yags|e-gskew|tournament|local|gselect|perceptron|tage-lite
   --size BYTES                                     (default 8192)
-  --scheme none|static_95|static_<pct>|static_acc|static_col
+  --scheme none|static_95|static_<pct>|static_acc|static_col|static_collide
+  --schemes a,b,c                                  grid: the scheme columns
+                                                   (default none,static_95,
+                                                   static_acc; first entry
+                                                   is the Δ baseline;
+                                                   static_collide cells on
+                                                   analysis-opaque
+                                                   predictors render n/a)
   --training self|cross|merged                     (default self)
   --shift                                          shift static outcomes into ghist
   --hints h.hints                                  hint database (trace mode)

@@ -96,6 +96,14 @@ fn encode_scheme(scheme: &SelectionScheme, e: &mut Encoder) {
             e.f64(*min_bias);
             e.f64(*min_collision_rate);
         }
+        SelectionScheme::Collide {
+            min_bias,
+            min_score_rate,
+        } => {
+            e.u8(5);
+            e.f64(*min_bias);
+            e.f64(*min_score_rate);
+        }
     }
 }
 
@@ -112,6 +120,10 @@ fn decode_scheme(d: &mut Decoder<'_>) -> Result<SelectionScheme, CodecError> {
         4 => Ok(SelectionScheme::CollisionAware {
             min_bias: d.f64("minimum bias")?,
             min_collision_rate: d.f64("minimum collision rate")?,
+        }),
+        5 => Ok(SelectionScheme::Collide {
+            min_bias: d.f64("minimum bias")?,
+            min_score_rate: d.f64("minimum score rate")?,
         }),
         tag => Err(invalid(format!("selection scheme tag {tag}"))),
     }
@@ -298,6 +310,9 @@ mod tests {
             spec()
                 .with_scheme(SelectionScheme::collision_aware())
                 .with_profile(ProfileSource::CrossTrained)
+                .with_measure_input(InputSet::Train),
+            spec()
+                .with_scheme(SelectionScheme::static_collide())
                 .with_measure_input(InputSet::Train),
             spec()
                 .with_scheme(SelectionScheme::Factor { factor: 1.25 })

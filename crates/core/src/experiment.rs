@@ -13,7 +13,8 @@ use crate::simulator::MeasurePass;
 use sdbp_artifacts::{CodecError, StoreError};
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{
-    AccuracyProfile, BiasProfile, HintDatabase, ProfileDatabase, SelectError, SelectionScheme,
+    rank_interference, AccuracyProfile, BiasProfile, HintDatabase, InterferenceOptions,
+    ProfileDatabase, SelectError, SelectionScheme,
 };
 use sdbp_workloads::{Benchmark, InputSet, Workload};
 use std::fmt;
@@ -246,6 +247,23 @@ impl ExperimentSpec {
                     problem(
                         "scheme",
                         format!("minimum collision rate {min_collision_rate} outside [0, 1)"),
+                    );
+                }
+            }
+            SelectionScheme::Collide {
+                min_bias,
+                min_score_rate,
+            } => {
+                if !(min_bias > 0.0 && min_bias < 1.0) {
+                    problem(
+                        "scheme",
+                        format!("minimum bias {min_bias} outside the open interval (0, 1)"),
+                    );
+                }
+                if !(0.0..1.0).contains(&min_score_rate) {
+                    problem(
+                        "scheme",
+                        format!("minimum score rate {min_score_rate} outside [0, 1)"),
                     );
                 }
             }
@@ -588,6 +606,11 @@ impl Lab {
     /// and the accuracy profile of the spec's predictor — when its scheme
     /// needs one — are collected in a single traversal of the event stream;
     /// see [`Lab::with_fusion`].
+    ///
+    /// A `Static_Collide` scheme additionally runs the static interference
+    /// ranking ([`rank_interference`]) over the selection bias; that analysis
+    /// needs the predictor's index function, so opaque predictors fail with
+    /// [`SelectError::MissingInterferenceRanking`].
     pub fn select_hints(&self, spec: &ExperimentSpec) -> Result<HintDatabase, ExperimentError> {
         if spec.scheme == SelectionScheme::None {
             return Ok(HintDatabase::new());
@@ -644,7 +667,14 @@ impl Lab {
             }
         };
 
-        Ok(spec.scheme.select(&bias, accuracy.as_deref())?)
+        let ranking = if spec.scheme.needs_interference_ranking() {
+            rank_interference(&bias, spec.predictor, &InterferenceOptions::default())
+        } else {
+            None
+        };
+        Ok(spec
+            .scheme
+            .select_with_interference(&bias, accuracy.as_deref(), ranking.as_ref())?)
     }
 
     /// Runs one experiment end to end (phase one + phase two).
@@ -843,12 +873,38 @@ mod tests {
         spec(SelectionScheme::static_95()).validate().unwrap();
         spec(SelectionScheme::static_acc()).validate().unwrap();
         spec(SelectionScheme::collision_aware()).validate().unwrap();
+        spec(SelectionScheme::static_collide()).validate().unwrap();
         spec(SelectionScheme::static_95())
             .with_profile(ProfileSource::MergedCrossTrained {
                 max_bias_change: 0.05,
             })
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn static_collide_runs_end_to_end_on_an_analyzable_predictor() {
+        let report = run_experiment(&spec(SelectionScheme::static_collide())).unwrap();
+        assert!(report.stats.branches > 10_000);
+        assert_eq!(report.scheme_label, "static_collide");
+        // The ranking-gated selection is a subset of plain Static_95.
+        let bias_only = run_experiment(&spec(SelectionScheme::Bias { cutoff: 0.80 })).unwrap();
+        assert!(
+            report.hints <= bias_only.hints,
+            "collide {} vs bias {}",
+            report.hints,
+            bias_only.hints
+        );
+    }
+
+    #[test]
+    fn static_collide_rejects_opaque_predictors() {
+        let mut s = spec(SelectionScheme::static_collide());
+        s.predictor = PredictorConfig::new(PredictorKind::BiMode, 1024).unwrap();
+        match run_experiment(&s) {
+            Err(ExperimentError::Select(SelectError::MissingInterferenceRanking)) => {}
+            other => panic!("expected a missing-ranking error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -887,6 +943,14 @@ mod tests {
             SelectionScheme::CollisionAware {
                 min_bias: 0.8,
                 min_collision_rate: 1.0,
+            },
+            SelectionScheme::Collide {
+                min_bias: 0.0,
+                min_score_rate: 0.05,
+            },
+            SelectionScheme::Collide {
+                min_bias: 0.8,
+                min_score_rate: -0.5,
             },
         ] {
             let problems = spec(scheme).validate().unwrap_err();

@@ -61,6 +61,39 @@ use sdbp_trace::{BranchEvent, BranchSource};
 /// set of passes (`&mut [&mut dyn Pass]`) through one traversal. See the
 /// [module docs](self) for the chunk-invariance contract every
 /// implementation must uphold.
+///
+/// # Examples
+///
+/// Only [`consume`](Pass::consume) is required; a minimal pass is a struct
+/// holding its accumulator:
+///
+/// ```
+/// use sdbp_passes::Pass;
+/// use sdbp_trace::{BranchAddr, BranchEvent};
+///
+/// #[derive(Default)]
+/// struct Instructions(u64);
+/// impl Pass for Instructions {
+///     fn consume(&mut self, events: &[BranchEvent]) {
+///         self.0 += events.iter().map(|e| 1 + u64::from(e.gap)).sum::<u64>();
+///     }
+///     fn name(&self) -> &str {
+///         "instructions"
+///     }
+/// }
+///
+/// let mut pass = Instructions::default();
+/// // Chunk-invariance: one chunk of two events...
+/// pass.consume(&[
+///     BranchEvent::new(BranchAddr(0x10), true, 3),
+///     BranchEvent::new(BranchAddr(0x14), false, 5),
+/// ]);
+/// // ...must equal two chunks of one.
+/// let mut split = Instructions::default();
+/// split.consume(&[BranchEvent::new(BranchAddr(0x10), true, 3)]);
+/// split.consume(&[BranchEvent::new(BranchAddr(0x14), false, 5)]);
+/// assert_eq!(pass.0, split.0);
+/// ```
 pub trait Pass {
     /// Called once before the first chunk. Default: nothing.
     fn begin(&mut self) {}

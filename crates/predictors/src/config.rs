@@ -6,7 +6,7 @@
 
 use crate::{
     Agree, AnyPredictor, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
-    Tournament, TwoBcGskew, Yags,
+    Perceptron, TageLite, Tournament, TwoBcGskew, Yags,
 };
 use std::fmt;
 use std::str::FromStr;
@@ -36,12 +36,16 @@ pub enum PredictorKind {
     Local,
     /// Address ∥ history concatenated index ([`Gselect`]).
     Gselect,
+    /// Hashed perceptron over global history ([`Perceptron`]).
+    Perceptron,
+    /// Tagged geometric-history tables ([`TageLite`]).
+    TageLite,
 }
 
 impl PredictorKind {
     /// All kinds, in the order the paper's figures present them followed by
-    /// the related-work extensions.
-    pub const ALL: [PredictorKind; 11] = [
+    /// the related-work extensions and the post-paper frontier designs.
+    pub const ALL: [PredictorKind; 13] = [
         PredictorKind::Bimodal,
         PredictorKind::Ghist,
         PredictorKind::Gshare,
@@ -53,6 +57,8 @@ impl PredictorKind {
         PredictorKind::Tournament,
         PredictorKind::Local,
         PredictorKind::Gselect,
+        PredictorKind::Perceptron,
+        PredictorKind::TageLite,
     ];
 
     /// The five schemes evaluated in the paper (Figures 7–12, Table 2).
@@ -78,6 +84,8 @@ impl PredictorKind {
             PredictorKind::Tournament => "tournament",
             PredictorKind::Local => "local",
             PredictorKind::Gselect => "gselect",
+            PredictorKind::Perceptron => "perceptron",
+            PredictorKind::TageLite => "tage-lite",
         }
     }
 
@@ -110,6 +118,8 @@ impl FromStr for PredictorKind {
             "tournament" | "21264" => Ok(PredictorKind::Tournament),
             "local" | "pag" => Ok(PredictorKind::Local),
             "gselect" => Ok(PredictorKind::Gselect),
+            "perceptron" => Ok(PredictorKind::Perceptron),
+            "tage-lite" | "tagelite" | "tage" => Ok(PredictorKind::TageLite),
             other => Err(ConfigError::UnknownKind(other.to_string())),
         }
     }
@@ -176,13 +186,16 @@ impl PredictorConfig {
     ///
     /// [`ConfigError::BadSize`] when `size_bytes` is not a power of two or
     /// is below the scheme's minimum (16 bytes for the multi-bank hybrids,
-    /// so every bank has at least a handful of entries).
+    /// so every bank has at least a handful of entries; 32 bytes for the
+    /// frontier designs — one full perceptron weight row, or two entries in
+    /// every tagged TAGE bank).
     pub fn new(kind: PredictorKind, size_bytes: usize) -> Result<Self, ConfigError> {
         let min = match kind {
             PredictorKind::Bimodal
             | PredictorKind::Ghist
             | PredictorKind::Gshare
             | PredictorKind::Gselect => 1,
+            PredictorKind::Perceptron | PredictorKind::TageLite => 32,
             _ => 16,
         };
         if !size_bytes.is_power_of_two() || size_bytes < min {
@@ -255,6 +268,8 @@ impl PredictorConfig {
             PredictorKind::Gselect => Gselect::new(self.size_bytes).into(),
             PredictorKind::Tournament => Tournament::new(self.size_bytes).into(),
             PredictorKind::Local => Local::new(self.size_bytes).into(),
+            PredictorKind::Perceptron => Perceptron::new(self.size_bytes).into(),
+            PredictorKind::TageLite => TageLite::new(self.size_bytes).into(),
             PredictorKind::EGskew => {
                 // Largest power-of-two bank that fits three times in budget.
                 let per_bank = (self.size_bytes / 3).max(1);

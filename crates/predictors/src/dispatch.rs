@@ -10,7 +10,8 @@
 
 use crate::traits::{DynamicPredictor, Prediction};
 use crate::{
-    Agree, BiMode, Bimodal, EGskew, Ghist, Gselect, Gshare, Local, Tournament, TwoBcGskew, Yags,
+    Agree, BiMode, Bimodal, EGskew, Ghist, Gselect, Gshare, Local, Perceptron, TageLite,
+    Tournament, TwoBcGskew, Yags,
 };
 use sdbp_trace::{BranchAddr, BranchEvent};
 
@@ -57,6 +58,10 @@ pub enum AnyPredictor {
     Local(Local),
     /// Concatenated address/history index bits.
     Gselect(Gselect),
+    /// Hashed perceptron: signed weight rows over global history.
+    Perceptron(Perceptron),
+    /// TAGE-lite: tagged geometric-history tables over a bimodal base.
+    TageLite(TageLite),
     /// Escape hatch: any user-supplied predictor, virtually dispatched.
     Custom(Box<dyn DynamicPredictor>),
 }
@@ -76,6 +81,8 @@ macro_rules! dispatch {
             AnyPredictor::Tournament($p) => $body,
             AnyPredictor::Local($p) => $body,
             AnyPredictor::Gselect($p) => $body,
+            AnyPredictor::Perceptron($p) => $body,
+            AnyPredictor::TageLite($p) => $body,
             AnyPredictor::Custom($p) => $body,
         }
     };
@@ -188,6 +195,8 @@ from_concrete!(
     Tournament(Tournament),
     Local(Local),
     Gselect(Gselect),
+    Perceptron(Perceptron),
+    TageLite(TageLite),
 );
 
 impl From<Box<dyn DynamicPredictor>> for AnyPredictor {

@@ -5,7 +5,10 @@
 //! and [`TwoBcGskew`] — plus five period-appropriate designs used for
 //! ablations: the related-work alias reducers [`Agree`], [`Yags`] and the
 //! raw [`EGskew`] majority-vote hybrid, the 21264-style [`Tournament`]
-//! combiner, and the two-level [`Local`] (PAg) predictor.
+//! combiner, and the two-level [`Local`] (PAg) predictor. Two post-paper
+//! designs — the hashed [`Perceptron`] and the tagged [`TageLite`] — close
+//! the "do static hints survive modern predictors?" frontier question
+//! (ROADMAP item 4); see `docs/predictors.md` for the full handbook.
 //!
 //! All predictors:
 //!
@@ -49,8 +52,10 @@ pub mod gshare;
 pub mod gskew;
 pub mod history;
 pub mod local;
+pub mod perceptron;
 pub mod skew;
 pub mod table;
+pub mod tage;
 pub mod tbcgskew;
 pub mod tournament;
 pub mod traits;
@@ -68,7 +73,9 @@ pub use gshare::Gshare;
 pub use gskew::EGskew;
 pub use history::HistoryRegister;
 pub use local::Local;
+pub use perceptron::Perceptron;
 pub use table::{PredictionTable, ReferenceTable};
+pub use tage::TageLite;
 pub use tbcgskew::TwoBcGskew;
 pub use tournament::Tournament;
 pub use traits::{DynamicPredictor, Prediction};

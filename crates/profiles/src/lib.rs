@@ -11,7 +11,9 @@
 //!   collected by simulation (the paper points at ProfileMe/Atom for this),
 //! * [`SelectionScheme`] — the paper's `Static_95` (bias cutoff) and
 //!   `Static_Acc` (bias > per-branch dynamic accuracy), plus the
-//!   `Static_Fac` extension (Lindsay's factor scheme),
+//!   `Static_Fac` extension (Lindsay's factor scheme) and the two
+//!   collision-driven schemes (`Static_Col` from measured collisions,
+//!   `Static_Collide` from the static ranking in [`interference`]),
 //! * [`HintDatabase`] — the selected hints, keyed by branch address — the
 //!   software stand-in for the two IA-64-style hint bits,
 //! * [`ProfileDatabase`] — a Spike-like multi-run store with profile
@@ -44,6 +46,7 @@ pub mod bias;
 pub mod codec;
 pub mod database;
 pub mod hints;
+pub mod interference;
 pub mod passes;
 pub mod select;
 
@@ -51,5 +54,9 @@ pub use accuracy::AccuracyProfile;
 pub use bias::BiasProfile;
 pub use database::ProfileDatabase;
 pub use hints::HintDatabase;
+pub use interference::{
+    exposes_indices, history_samples, rank_interference, InterferenceHotspot, InterferenceOptions,
+    InterferenceRanking,
+};
 pub use passes::{AccuracyPass, BiasPass};
 pub use select::{SelectError, SelectionScheme};

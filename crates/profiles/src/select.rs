@@ -3,6 +3,9 @@
 use crate::accuracy::AccuracyProfile;
 use crate::bias::BiasProfile;
 use crate::hints::HintDatabase;
+use crate::interference::InterferenceRanking;
+use sdbp_trace::BranchAddr;
+use std::collections::HashMap;
 use std::fmt;
 
 /// How branches are chosen for static prediction.
@@ -22,6 +25,27 @@ use std::fmt;
 ///   version of Lindsay's scheme: select when `bias > factor × accuracy`;
 ///   `factor > 1` demands a margin (more conservative), `factor < 1`
 ///   selects more aggressively.
+///
+/// Plus the paper's §5 future-work idea in two forms:
+/// [`SelectionScheme::CollisionAware`] (measured) and
+/// [`SelectionScheme::Collide`] (statically analyzed). The full catalog,
+/// with the frontier ablation comparing them, is in `docs/predictors.md`.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_profiles::{BiasProfile, SelectionScheme};
+/// use sdbp_trace::{BranchAddr, SiteStats};
+///
+/// let mut bias = BiasProfile::new();
+/// bias.insert(BranchAddr(0x10), SiteStats { executed: 100, taken: 99 });
+/// bias.insert(BranchAddr(0x14), SiteStats { executed: 100, taken: 55 });
+///
+/// let scheme: SelectionScheme = "static_95".parse().unwrap();
+/// let hints = scheme.select(&bias, None).unwrap();
+/// assert_eq!(hints.get(BranchAddr(0x10)), Some(true), "99% taken: hinted");
+/// assert_eq!(hints.get(BranchAddr(0x14)), None, "55% bias stays dynamic");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SelectionScheme {
     /// No static prediction — the pure dynamic baseline.
@@ -42,12 +66,28 @@ pub enum SelectionScheme {
     /// work in §5: statically predict the branches most involved in
     /// *destructive* collisions, provided their bias is high enough that a
     /// static hint is safe. Removing exactly the aliasing troublemakers
-    /// frees the dynamic predictor where it hurts most.
+    /// frees the dynamic predictor where it hurts most. This variant reads
+    /// collision involvement *measured by simulation* from the accuracy
+    /// profile; [`SelectionScheme::Collide`] predicts it statically instead.
     CollisionAware {
         /// Minimum bias for a hint (protects against bad static hints).
         min_bias: f64,
         /// Minimum destructive-collision rate for selection.
         min_collision_rate: f64,
+    },
+    /// **Static_Collide**: the same future-work idea driven by the *static*
+    /// interference analyzer ([`rank_interference`]) instead of a measured
+    /// accuracy profile — no simulation pass needed, only the bias profile
+    /// and the target predictor's index function. A branch is selected when
+    /// its bias clears `min_bias` and its predicted destructive score per
+    /// execution clears `min_score_rate`.
+    ///
+    /// [`rank_interference`]: crate::interference::rank_interference
+    Collide {
+        /// Minimum bias for a hint (protects against bad static hints).
+        min_bias: f64,
+        /// Minimum predicted destructive score per execution.
+        min_score_rate: f64,
     },
 }
 
@@ -71,6 +111,17 @@ impl SelectionScheme {
         }
     }
 
+    /// The `Static_Collide` scheme with the same thresholds as
+    /// [`collision_aware`](SelectionScheme::collision_aware), so the two
+    /// ablate against each other cleanly: any result difference comes from
+    /// *predicted* vs *measured* interference, not from tuning.
+    pub fn static_collide() -> Self {
+        SelectionScheme::Collide {
+            min_bias: 0.80,
+            min_score_rate: 0.05,
+        }
+    }
+
     /// Whether the scheme needs a per-branch accuracy profile of the target
     /// dynamic predictor (i.e. a simulation pass in phase one).
     pub fn needs_accuracy_profile(&self) -> bool {
@@ -80,6 +131,15 @@ impl SelectionScheme {
                 | SelectionScheme::Factor { .. }
                 | SelectionScheme::CollisionAware { .. }
         )
+    }
+
+    /// Whether the scheme needs a static interference ranking of the target
+    /// predictor (i.e. a [`rank_interference`] run in phase one — which
+    /// requires the predictor to expose its index function).
+    ///
+    /// [`rank_interference`]: crate::interference::rank_interference
+    pub fn needs_interference_ranking(&self) -> bool {
+        matches!(self, SelectionScheme::Collide { .. })
     }
 
     /// Selects the hint database.
@@ -92,11 +152,50 @@ impl SelectionScheme {
     /// # Errors
     ///
     /// [`SelectError::MissingAccuracyProfile`] when an accuracy-based scheme
-    /// is invoked without one.
+    /// is invoked without one, [`SelectError::MissingInterferenceRanking`]
+    /// for [`SelectionScheme::Collide`] (which always needs a ranking — use
+    /// [`select_with_interference`](SelectionScheme::select_with_interference)).
     pub fn select(
         &self,
         bias: &BiasProfile,
         accuracy: Option<&AccuracyProfile>,
+    ) -> Result<HintDatabase, SelectError> {
+        self.select_with_interference(bias, accuracy, None)
+    }
+
+    /// Selects the hint database, with a static interference ranking for
+    /// [`SelectionScheme::Collide`]. The other schemes ignore `ranking`;
+    /// [`select`](SelectionScheme::select) is this with `ranking: None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`select`](SelectionScheme::select), plus
+    /// [`SelectError::MissingInterferenceRanking`] when the scheme is
+    /// [`SelectionScheme::Collide`] and `ranking` is `None`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdbp_predictors::{PredictorConfig, PredictorKind};
+    /// use sdbp_profiles::{rank_interference, BiasProfile, SelectionScheme};
+    /// use sdbp_trace::{BranchAddr, SiteStats};
+    ///
+    /// // Two strongly biased, opposing branches sharing a bimodal entry.
+    /// let mut bias = BiasProfile::new();
+    /// bias.insert(BranchAddr(0x1000), SiteStats { executed: 100, taken: 100 });
+    /// bias.insert(BranchAddr(0x1000 + 256 * 4), SiteStats { executed: 100, taken: 0 });
+    /// let config = PredictorConfig::new(PredictorKind::Bimodal, 64).unwrap();
+    /// let ranking = rank_interference(&bias, config, &Default::default()).unwrap();
+    /// let hints = SelectionScheme::static_collide()
+    ///     .select_with_interference(&bias, None, Some(&ranking))
+    ///     .unwrap();
+    /// assert_eq!(hints.get(BranchAddr(0x1000)), Some(true));
+    /// ```
+    pub fn select_with_interference(
+        &self,
+        bias: &BiasProfile,
+        accuracy: Option<&AccuracyProfile>,
+        ranking: Option<&InterferenceRanking>,
     ) -> Result<HintDatabase, SelectError> {
         let mut db = HintDatabase::new();
         match *self {
@@ -144,6 +243,23 @@ impl SelectionScheme {
                     }
                 }
             }
+            SelectionScheme::Collide {
+                min_bias,
+                min_score_rate,
+            } => {
+                let ranking = ranking.ok_or(SelectError::MissingInterferenceRanking)?;
+                let scores: HashMap<BranchAddr, f64> =
+                    ranking.hotspots.iter().map(|h| (h.pc, h.score)).collect();
+                for (pc, stats) in bias.iter() {
+                    if stats.bias() <= min_bias || stats.executed == 0 {
+                        continue;
+                    }
+                    let score = scores.get(&pc).copied().unwrap_or(0.0);
+                    if score / stats.executed as f64 > min_score_rate {
+                        db.insert(pc, stats.majority_taken());
+                    }
+                }
+            }
         }
         Ok(db)
     }
@@ -158,6 +274,7 @@ impl SelectionScheme {
             SelectionScheme::VsAccuracy => "static_acc".to_string(),
             SelectionScheme::Factor { factor } => format!("static_fac{factor:.2}"),
             SelectionScheme::CollisionAware { .. } => "static_col".to_string(),
+            SelectionScheme::Collide { .. } => "static_collide".to_string(),
         }
     }
 }
@@ -169,7 +286,8 @@ impl fmt::Display for SelectionScheme {
 }
 
 /// Parses the scheme syntax shared by the CLI, spec files, and the linter:
-/// `none | static_95 | static_<pct> | static_acc | static_col`.
+/// `none | static_95 | static_<pct> | static_acc | static_col |
+/// static_collide` (with `collide` as a short alias).
 ///
 /// This is the single source of truth for scheme names — `sdbp sim --scheme`
 /// and `sdbp check`'s spec parser both call it, so they cannot drift.
@@ -182,14 +300,15 @@ impl std::str::FromStr for SelectionScheme {
             "static_95" => Ok(SelectionScheme::static_95()),
             "static_acc" => Ok(SelectionScheme::static_acc()),
             "static_col" => Ok(SelectionScheme::collision_aware()),
+            "static_collide" | "collide" => Ok(SelectionScheme::static_collide()),
             other => {
                 let cutoff: f64 = other
                     .strip_prefix("static_")
                     .and_then(|pct| pct.parse().ok())
                     .ok_or_else(|| {
                         format!(
-                            "unknown scheme '{other}' \
-                             (expected none, static_<pct>, static_acc, or static_col)"
+                            "unknown scheme '{other}' (expected none, static_<pct>, \
+                             static_acc, static_col, or static_collide)"
                         )
                     })?;
                 Ok(SelectionScheme::Bias {
@@ -205,6 +324,10 @@ impl std::str::FromStr for SelectionScheme {
 pub enum SelectError {
     /// An accuracy-based scheme was invoked without an accuracy profile.
     MissingAccuracyProfile,
+    /// `Static_Collide` was invoked without an interference ranking —
+    /// either none was supplied, or the target predictor does not expose
+    /// its index function to static analysis.
+    MissingInterferenceRanking,
 }
 
 impl fmt::Display for SelectError {
@@ -213,6 +336,10 @@ impl fmt::Display for SelectError {
             SelectError::MissingAccuracyProfile => {
                 f.write_str("selection scheme requires a dynamic-predictor accuracy profile")
             }
+            SelectError::MissingInterferenceRanking => f.write_str(
+                "static_collide requires an interference ranking \
+                 (the predictor must expose its index function)",
+            ),
         }
     }
 }
@@ -359,5 +486,91 @@ mod tests {
         assert!(!SelectionScheme::static_95().needs_accuracy_profile());
         assert!(SelectionScheme::static_acc().needs_accuracy_profile());
         assert!(SelectionScheme::Factor { factor: 1.0 }.needs_accuracy_profile());
+        // Static_Collide needs the *ranking*, not a simulation pass.
+        assert!(!SelectionScheme::static_collide().needs_accuracy_profile());
+        assert!(SelectionScheme::static_collide().needs_interference_ranking());
+        assert!(!SelectionScheme::collision_aware().needs_interference_ranking());
+    }
+
+    #[test]
+    fn collide_parses_and_labels() {
+        assert_eq!(
+            "static_collide".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::static_collide())
+        );
+        assert_eq!(
+            "collide".parse::<SelectionScheme>(),
+            Ok(SelectionScheme::static_collide())
+        );
+        assert_eq!(SelectionScheme::static_collide().label(), "static_collide");
+    }
+
+    #[test]
+    fn collide_requires_a_ranking() {
+        let bias = BiasProfile::new();
+        assert_eq!(
+            SelectionScheme::static_collide().select(&bias, None),
+            Err(SelectError::MissingInterferenceRanking)
+        );
+    }
+
+    #[test]
+    fn collide_selects_biased_interference_hotspots() {
+        use crate::interference::{rank_interference, InterferenceOptions};
+        use sdbp_predictors::{PredictorConfig, PredictorKind};
+        use sdbp_trace::SiteStats;
+
+        // 64-byte bimodal: word indices 256 apart share an entry.
+        let stride = 256u64 * 4;
+        let mut bias = BiasProfile::new();
+        // Opposing, strongly biased pair: both selected.
+        bias.insert(
+            BranchAddr(0x1000),
+            SiteStats {
+                executed: 1000,
+                taken: 1000,
+            },
+        );
+        bias.insert(
+            BranchAddr(0x1000 + stride),
+            SiteStats {
+                executed: 1000,
+                taken: 0,
+            },
+        );
+        // Interfering but weakly biased: must be left dynamic.
+        bias.insert(
+            BranchAddr(0x2000),
+            SiteStats {
+                executed: 1000,
+                taken: 600,
+            },
+        );
+        bias.insert(
+            BranchAddr(0x2000 + stride),
+            SiteStats {
+                executed: 1000,
+                taken: 0,
+            },
+        );
+        // Strongly biased but alone in its entry: nothing to fix.
+        bias.insert(
+            BranchAddr(0x3008),
+            SiteStats {
+                executed: 1000,
+                taken: 1000,
+            },
+        );
+        let config = PredictorConfig::new(PredictorKind::Bimodal, 64).unwrap();
+        let ranking = rank_interference(&bias, config, &InterferenceOptions::default()).unwrap();
+        let db = SelectionScheme::static_collide()
+            .select_with_interference(&bias, None, Some(&ranking))
+            .unwrap();
+        assert_eq!(db.get(BranchAddr(0x1000)), Some(true));
+        assert_eq!(db.get(BranchAddr(0x1000 + stride)), Some(false));
+        assert!(!db.contains(BranchAddr(0x2000)), "weak bias stays dynamic");
+        assert!(!db.contains(BranchAddr(0x3008)), "no interference, no hint");
+        // The 80%-biased victim of the weak branch still clears both bars.
+        assert_eq!(db.len(), 3, "{db:?}");
     }
 }
