@@ -81,6 +81,17 @@ pub const MANIFEST_CELL_FAILED: Code = Code(53);
 /// SDBP054: the manifest ends in a torn (partially written) line.
 pub const MANIFEST_TORN_TAIL: Code = Code(54);
 
+/// SDBP060: a table's guaranteed-collision PC classes (kernel of `A`).
+pub const GUARANTEED_COLLISION_CLASSES: Code = Code(60);
+/// SDBP061: history bits that provably never reach any table index.
+pub const DEAD_HISTORY_BITS: Code = Code(61);
+/// SDBP062: a table whose index function cannot reach all its entries.
+pub const RANK_DEFICIENT_TABLE: Code = Code(62);
+/// SDBP063: two profiled branches proven to collide at every history.
+pub const PROVEN_ALIASING_PAIR: Code = Code(63);
+/// SDBP064: the exact GF(2) analysis does not apply to this scheme.
+pub const INDEX_ANALYSIS_UNAVAILABLE: Code = Code(64);
+
 /// One registry entry.
 #[derive(Debug, Clone, Copy)]
 pub struct CodeInfo {
@@ -306,6 +317,36 @@ pub const REGISTRY: &[CodeInfo] = &[
         name: "manifest-torn-tail",
         severity: Severity::Note,
         summary: "the manifest ends in a torn, partially written line (interrupted run)",
+    },
+    CodeInfo {
+        code: GUARANTEED_COLLISION_CLASSES,
+        name: "guaranteed-collision-classes",
+        severity: Severity::Note,
+        summary: "PC classes proven to share one table entry at every history",
+    },
+    CodeInfo {
+        code: DEAD_HISTORY_BITS,
+        name: "dead-history-bits",
+        severity: Severity::Note,
+        summary: "history register bits that provably never reach any table index",
+    },
+    CodeInfo {
+        code: RANK_DEFICIENT_TABLE,
+        name: "rank-deficient-table",
+        severity: Severity::Note,
+        summary: "a table whose index function provably cannot reach all its entries",
+    },
+    CodeInfo {
+        code: PROVEN_ALIASING_PAIR,
+        name: "proven-aliasing-pair",
+        severity: Severity::Note,
+        summary: "two opposing profiled branches proven to collide at every history",
+    },
+    CodeInfo {
+        code: INDEX_ANALYSIS_UNAVAILABLE,
+        name: "index-analysis-unavailable",
+        severity: Severity::Note,
+        summary: "the scheme's index function is not affine, so the exact analysis does not apply",
     },
 ];
 

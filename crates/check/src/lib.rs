@@ -19,6 +19,9 @@
 //! * [`aliasing`] — the static destructive-aliasing analyzer: evaluates the
 //!   predictor's index function over profiled branches and ranks predicted
 //!   interference hotspots, cross-checked against simulator measurements.
+//! * [`index_analysis`] — the exact GF(2) index-function analysis: proves
+//!   collision classes, dead history bits, rank deficiencies, and
+//!   all-history aliasing pairs for predictors with affine index functions.
 //!
 //! # Pre-flight integration
 //!
@@ -52,6 +55,7 @@ pub mod aliasing;
 pub mod codes;
 pub mod diag;
 pub mod hints;
+pub mod index_analysis;
 pub mod manifest;
 pub mod profile;
 pub mod spec;
@@ -60,6 +64,7 @@ pub use aliasing::{analyze_aliasing, lint_aliasing, AliasingOptions, AliasingRep
 pub use codes::{lookup, CodeInfo, REGISTRY};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity, Span};
 pub use hints::{lint_hints_against_profile, parse_hints_text, HintLintOptions};
+pub use index_analysis::{lint_facts, lint_index_analysis, IndexAnalysisOptions};
 pub use manifest::lint_manifest_text;
 pub use profile::{
     lint_profile_against_spec, lint_profile_database, parse_profile_text, ProfileMetadata,

@@ -490,21 +490,22 @@ pub fn lint_spec_with_history(
                 );
             }
             // SDBP042: Static_Collide needs the predictor's index function.
-            if !sdbp_profiles::exposes_indices(spec.predictor) {
+            let capability = spec.predictor.index_capability();
+            if !capability.is_analyzable() {
                 diags.push(
                     Diagnostic::warning(
                         codes::COLLIDE_ON_OPAQUE_PREDICTOR,
                         format!(
-                            "static_collide cannot rank interference on {}: the scheme \
-                             does not expose its index function to static analysis",
+                            "static_collide cannot rank interference on {}: its index \
+                             function is {capability} to static analysis",
                             spec.predictor.kind()
                         ),
                     )
                     .with_span(span("scheme"))
                     .with_suggestion(
-                        "use an analyzable predictor (bimodal, gshare, perceptron, \
-                         tage-lite, ...), or select with static_col from a measured \
-                         accuracy profile",
+                        "use an analyzable predictor (bimodal, ghist, gshare, gselect, \
+                         e-gskew, perceptron, tage-lite), or select with static_col \
+                         from a measured accuracy profile",
                     ),
                 );
             }

@@ -605,6 +605,38 @@ pub fn check(args: &Args) -> CmdResult {
         }
     }
 
+    // --index-analysis: prove the index function's collision structure with
+    // exact GF(2) linear algebra (SDBP060–SDBP064). Like --aliasing, a
+    // bounded fresh profiling run stands in when no --profile was given —
+    // the profile drives the SDBP063 proven-pair search.
+    if args.has_flag("index-analysis") {
+        if let Some(spec) = &parsed.spec {
+            let fresh;
+            let bias = match &profile {
+                Some(b) => b,
+                None => {
+                    let budget = args
+                        .get_parsed_or("instructions", 500_000u64)
+                        .map_err(CliError::Usage)?;
+                    fresh = BiasProfile::from_source(
+                        Workload::spec95(spec.benchmark)
+                            .generator(InputSet::Train, spec.seed)
+                            .take_instructions(budget),
+                    );
+                    &fresh
+                }
+            };
+            let options = sdbp_check::IndexAnalysisOptions {
+                top_pairs: args
+                    .get_parsed_or("top", 10usize)
+                    .map_err(CliError::Usage)?,
+            };
+            let (_, index_diags) =
+                sdbp_check::lint_index_analysis(Some(bias), spec.predictor, &options, &origin);
+            diags.merge(index_diags);
+        }
+    }
+
     match args.get_or("format", "text") {
         "json" => println!("{}", diags.to_json()),
         "text" => {

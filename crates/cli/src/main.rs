@@ -10,6 +10,8 @@
 //! sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod error;
@@ -83,7 +85,7 @@ commands:
                                inline options without running anything
                                (--spec f.spec, --hints h.hints,
                                --profile p.prof, --manifest m.jsonl,
-                               --aliasing, --suite,
+                               --aliasing, --index-analysis, --suite,
                                --format text|json, --deny-warnings)
   artifact ls|inspect|gc       inspect a durable artifact store: list the
                                objects (ls), show one by digest
@@ -159,11 +161,16 @@ diagnostics:
   unrealizable budgets), hint-database problems (duplicates, conflicts,
   stale or contradicted hints), profile/spec mismatches, and — with
   --aliasing — a static forecast of the branches most likely to suffer
-  destructive interference in the configured predictor. Findings carry
-  stable SDBPnnn codes (see docs/diagnostics.md). Exit status is non-zero
-  on any error, or on warnings under --deny-warnings. With --manifest,
-  check also lints a grid run manifest: parse damage, schema drift,
-  duplicate cells, failed cells, and torn tails.
+  destructive interference in the configured predictor. With
+  --index-analysis, check instead *proves* the predictor's collision
+  structure with exact GF(2) linear algebra (linear predictors only:
+  bimodal, ghist, gshare, gselect, e-gskew — see docs/index-analysis.md):
+  guaranteed-collision PC classes, dead history bits, rank-deficient
+  tables, and profiled branch pairs proven to alias at every history.
+  Findings carry stable SDBPnnn codes (see docs/diagnostics.md). Exit
+  status is non-zero on any error, or on warnings under --deny-warnings.
+  With --manifest, check also lints a grid run manifest: parse damage,
+  schema drift, duplicate cells, failed cells, and torn tails.
 
 exit codes:
   0 success; 1 command failure (simulation error, failed check, I/O);
@@ -179,6 +186,8 @@ examples:
   sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
   # lint a spec file and forecast aliasing hotspots, machine-readable:
   sdbp check --spec run.spec --aliasing --format json
+  # prove the index function's collision structure instead of sampling it:
+  sdbp check --predictor gshare --size 1024 --index-analysis
   # durable grid: run once, interrupt at will, resume without recomputing:
   sdbp grid --benchmark gcc --store runs/gcc
   sdbp grid --benchmark gcc --store runs/gcc --resume

@@ -1,0 +1,251 @@
+//! Exact destructive-interference ranking over an [`IndexSpec`].
+//!
+//! The sampling analyzer (`sdbp_profiles::rank_interference`) evaluates
+//! `probe_indices` over a history sample. For a linear predictor the same
+//! quantity has closed form: under `index = c ⊕ A·pc ⊕ B·h`, a branch's
+//! reachable entries are exactly the coset `c ⊕ A·pc ⊕ im(B)` —
+//! `2^rank(B)` entries, each hit `2^(h − rank(B))` times over the full
+//! `2^h` history enumeration. Branches therefore share entries exactly
+//! when their cosets coincide (cosets are equal or disjoint), and all
+//! per-entry masses inside a coset are uniform.
+//!
+//! # Float semantics
+//!
+//! This module reproduces the sampling analyzer's arithmetic, not just its
+//! math. For exhaustively enumerable histories (`history_bits ≤
+//! exhaustive_bits`) every mass deposit is an integer multiple of the
+//! power-of-two `2^-history_bits`, so the sampled accumulation is exact
+//! and order-independent — the per-entry masses here are the *same
+//! floats*. The final per-branch score then replicates the sampled
+//! per-history addition loop literally, bit for bit. Beyond
+//! `exhaustive_bits` the sampling analyzer falls back to 256 pseudo-random
+//! histories; this analyzer instead computes the exact exhaustive value
+//! (per-history terms times `2^history_bits`) — a documented, tested delta
+//! in the linear case.
+
+use crate::gf2::Basis;
+use sdbp_predictors::IndexSpec;
+use sdbp_trace::BranchAddr;
+use std::collections::HashMap;
+
+/// One branch's proven interference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactHotspot {
+    /// The branch.
+    pub pc: BranchAddr,
+    /// Destructive-interference mass over the exhaustive history
+    /// enumeration (executions expected to meet an entry trained the
+    /// opposite way by other branches).
+    pub score: f64,
+    /// Profiled execution count.
+    pub executed: u64,
+}
+
+/// The exact analyzer's output, mirroring the sampling analyzer's ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactRanking {
+    /// Branches ranked by descending score, ties broken by address;
+    /// zero-score branches omitted.
+    pub hotspots: Vec<ExactHotspot>,
+    /// Sum of all hotspot scores.
+    pub total_score: f64,
+    /// Distinct `(bank, entry)` cells reachable by the profiled branches —
+    /// exact coset counting, not sample coverage.
+    pub cells_touched: usize,
+    /// Profiled branches analyzed.
+    pub branches: usize,
+}
+
+/// Per-bank coset structure of the profiled branches.
+struct BankGroups {
+    /// `im(B)` — the subspace of index perturbations history can cause.
+    image_rank: i32,
+    /// Each branch's canonical coset representative, in branch order.
+    keys: Vec<u64>,
+    /// Integer (taken, not-taken) execution sums per coset.
+    groups: HashMap<u64, [u64; 2]>,
+}
+
+/// Ranks destructive interference of the linear predictor described by
+/// `spec` on `branches` — `(pc, executed, taken)` triples sorted by
+/// address with `executed > 0`, as `rank_interference` prepares them.
+///
+/// `exhaustive_bits` is the sampling analyzer's exhaustive-enumeration
+/// threshold; at or below it the returned scores are bitwise identical to
+/// the sampled ranking (see the module docs for why).
+pub fn exact_interference(
+    branches: &[(BranchAddr, u64, u64)],
+    spec: &IndexSpec,
+    exhaustive_bits: u32,
+) -> ExactRanking {
+    let history_bits = spec.history_bits;
+    let banks: Vec<BankGroups> = spec
+        .tables
+        .iter()
+        .map(|table| {
+            let mut image = Basis::new();
+            for &column in &table.hist_columns {
+                image.insert(column);
+            }
+            let mut keys = Vec::with_capacity(branches.len());
+            let mut groups: HashMap<u64, [u64; 2]> = HashMap::new();
+            for &(pc, executed, taken) in branches {
+                let anchor = table.constant ^ table.pc_image(pc.word_index());
+                let key = image.reduce(anchor);
+                keys.push(key);
+                let group = groups.entry(key).or_default();
+                group[0] += taken;
+                group[1] += executed - taken;
+            }
+            BankGroups {
+                image_rank: image.rank() as i32,
+                keys,
+                groups,
+            }
+        })
+        .collect();
+
+    // Each coset holds 2^rank(B) distinct entries; cosets are disjoint.
+    let cells_touched = banks
+        .iter()
+        .map(|bank| bank.groups.len() << bank.image_rank)
+        .sum();
+
+    let per_history = 2f64.powi(-(history_bits as i32));
+    let mut hotspots = Vec::with_capacity(branches.len());
+    let mut total_score = 0.0;
+    let mut terms: Vec<f64> = Vec::with_capacity(spec.tables.len() * 2);
+    for (position, &(pc, executed, taken)) in branches.iter().enumerate() {
+        // The branch's own per-history deposit, and each reachable entry's
+        // total mass: the same floats the sampled accumulation produces
+        // (uniform coset masses, exact dyadic sums).
+        let own = [
+            taken as f64 * per_history,
+            (executed - taken) as f64 * per_history,
+        ];
+        terms.clear();
+        for bank in &banks {
+            let group = bank.groups[&bank.keys[position]];
+            let cell = [
+                group[0] as f64 * 2f64.powi(-bank.image_rank),
+                group[1] as f64 * 2f64.powi(-bank.image_rank),
+            ];
+            let total = cell[0] + cell[1];
+            if total <= 0.0 {
+                continue;
+            }
+            for dir in 0..2 {
+                let opposing = (cell[1 - dir] - own[1 - dir]).max(0.0);
+                terms.push(own[dir] * opposing / total);
+            }
+        }
+        let score = if history_bits <= exhaustive_bits {
+            // Replicate the sampled analyzer's addition order literally:
+            // per history, bank-major, direction-minor — bitwise identical.
+            let mut score = 0.0;
+            for _ in 0..(1u64 << history_bits) {
+                for &term in &terms {
+                    score += term;
+                }
+            }
+            score
+        } else {
+            // Exact exhaustive value where sampling would approximate.
+            let mut per_hist = 0.0;
+            for &term in &terms {
+                per_hist += term;
+            }
+            per_hist * 2f64.powi(history_bits as i32)
+        };
+        if score > 0.0 {
+            total_score += score;
+            hotspots.push(ExactHotspot {
+                pc,
+                score,
+                executed,
+            });
+        }
+    }
+    hotspots.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+    ExactRanking {
+        hotspots,
+        total_score,
+        cells_touched,
+        branches: branches.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::{Bimodal, DynamicPredictor, Gshare};
+
+    #[test]
+    fn opposing_congruent_bimodal_branches_split_the_mass() {
+        // Two fully biased, opposing branches sharing one 256-entry
+        // bimodal cell: each scores exactly half its executions.
+        let spec = Bimodal::new(64).index_spec().unwrap();
+        let stride = 256u64 * 4;
+        let branches = [
+            (BranchAddr(0x1000), 1000, 1000),
+            (BranchAddr(0x1000 + stride), 1000, 0),
+        ];
+        let ranking = exact_interference(&branches, &spec, 10);
+        assert_eq!(ranking.hotspots.len(), 2);
+        assert_eq!(ranking.hotspots[0].score, 500.0);
+        assert_eq!(ranking.hotspots[1].score, 500.0);
+        assert_eq!(ranking.cells_touched, 1);
+    }
+
+    #[test]
+    fn gshare_congruent_pair_scores_exactly_across_the_long_history_path() {
+        // 16KB gshare: 16 index bits, 12-bit history — beyond the
+        // exhaustive threshold, so this exercises the multiplied closed
+        // form. The pair's word indices are congruent mod 2^16.
+        let spec = Gshare::new(16 * 1024).index_spec().unwrap();
+        let stride = 65536u64 * 4;
+        let branches = [
+            (BranchAddr(0x1000), 1000, 1000),
+            (BranchAddr(0x1000 + stride), 1000, 0),
+        ];
+        let ranking = exact_interference(&branches, &spec, 10);
+        assert_eq!(ranking.hotspots[0].score, 500.0);
+        // Each branch sweeps its full 2^12-entry coset.
+        assert_eq!(ranking.cells_touched, 1 << 12);
+        assert_eq!(ranking.branches, 2);
+    }
+
+    #[test]
+    fn separated_branches_score_zero() {
+        // PCs differing in word bit 14 perturb index bit 14 — outside the
+        // 12-bit history image — so the two cosets are provably disjoint.
+        let spec = Gshare::new(16 * 1024).index_spec().unwrap();
+        let stride = (1u64 << 14) * 4;
+        let branches = [
+            (BranchAddr(0x1000), 1000, 1000),
+            (BranchAddr(0x1000 + stride), 1000, 0),
+        ];
+        let ranking = exact_interference(&branches, &spec, 10);
+        assert!(
+            ranking.hotspots.is_empty(),
+            "disjoint cosets cannot interfere"
+        );
+        assert_eq!(ranking.cells_touched, 2 << 12);
+    }
+
+    #[test]
+    fn self_interference_is_excluded() {
+        // One mixed branch alone: fighting itself is mispredictability,
+        // not aliasing — the sampled analyzer subtracts it and so must we.
+        let spec = Bimodal::new(64).index_spec().unwrap();
+        let branches = [(BranchAddr(0x1000), 1000, 500)];
+        let ranking = exact_interference(&branches, &spec, 10);
+        assert!(ranking.hotspots.is_empty());
+        assert_eq!(ranking.total_score, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Exact structural facts derived from an [`IndexSpec`].
+//!
+//! Where the sampling analyzer *estimates* collision structure by probing
+//! histories, this module *proves* it: ranks and null spaces of the PC and
+//! history matrices decide — for every input, not a sample — which PC
+//! classes must collide, which history bits can never reach an index, and
+//! which tables cannot use all their entries.
+
+use crate::gf2::{Basis, BitMatrix};
+use sdbp_predictors::{IndexSpec, TableSpec, MODELED_PC_BITS};
+use sdbp_trace::BranchAddr;
+
+/// Proven facts about one table (bank) of an [`IndexSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFacts {
+    /// The bank id.
+    pub bank: u32,
+    /// The index width.
+    pub index_bits: u32,
+    /// Rank of the PC matrix `A`: the number of independent index bits the
+    /// branch address controls.
+    pub pc_rank: u32,
+    /// Rank of the history matrix `B`: the dimension of the entry set one
+    /// branch can reach across histories (`2^hist_rank` entries).
+    pub hist_rank: u32,
+    /// Rank of the joint matrix `[A|B]`: the dimension of the reachable
+    /// index space. Below `index_bits`, part of the table is provably
+    /// unreachable.
+    pub joint_rank: u32,
+    /// A kernel basis of `A` over the modeled PC word bits: the directions
+    /// `Δ` with `A·Δ = 0`, i.e. PC pairs differing by any span element
+    /// collide in this bank at *every* history. The guaranteed-collision
+    /// class size is `2^kernel_dim` with `kernel_dim = MODELED_PC_BITS -
+    /// pc_rank`.
+    pub pc_kernel: Vec<u64>,
+    /// The mask of history bits with a nonzero column in this bank — bits
+    /// outside it provably never influence this bank's index.
+    pub reached_history: u64,
+}
+
+/// Proven facts about a whole [`IndexSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecFacts {
+    /// The spec's consumed history length.
+    pub history_bits: u32,
+    /// How many low PC word-index bits the model covers.
+    pub modeled_pc_bits: u32,
+    /// Per-bank facts, in bank order.
+    pub tables: Vec<TableFacts>,
+}
+
+impl SpecFacts {
+    /// The mask of history bits that reach *no* bank of the predictor —
+    /// register bits that are provably dead for index formation.
+    pub fn dead_history_bits(&self) -> u64 {
+        let mut reached = 0u64;
+        for table in &self.tables {
+            reached |= table.reached_history;
+        }
+        history_mask(self.history_bits) & !reached
+    }
+}
+
+fn history_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Derives the exact facts for every table of `spec`.
+pub fn analyze(spec: &IndexSpec) -> SpecFacts {
+    let tables = spec
+        .tables
+        .iter()
+        .map(|table| {
+            let mut pc_basis = Basis::new();
+            let mut joint_basis = Basis::new();
+            for &column in &table.pc_columns {
+                pc_basis.insert(column);
+                joint_basis.insert(column);
+            }
+            let mut hist_basis = Basis::new();
+            let mut reached_history = 0u64;
+            for (k, &column) in table.hist_columns.iter().enumerate() {
+                hist_basis.insert(column);
+                joint_basis.insert(column);
+                if column != 0 {
+                    reached_history |= 1u64 << k;
+                }
+            }
+            // Kernel of A from the row (clause) view: one row per output
+            // index bit over the modeled PC word bits.
+            let mut rows = BitMatrix::new(MODELED_PC_BITS);
+            for bit in 0..table.index_bits {
+                rows.push_row(table.clause(bit).pc_mask);
+            }
+            TableFacts {
+                bank: table.bank,
+                index_bits: table.index_bits,
+                pc_rank: pc_basis.rank(),
+                hist_rank: hist_basis.rank(),
+                joint_rank: joint_basis.rank(),
+                pc_kernel: rows.kernel_basis(),
+                reached_history,
+            }
+        })
+        .collect();
+    SpecFacts {
+        history_bits: spec.history_bits,
+        modeled_pc_bits: MODELED_PC_BITS,
+        tables,
+    }
+}
+
+/// Proves whether branches at `p` and `q` index the same entry of `table`
+/// under **every** history value: true exactly when their PC images agree,
+/// since the history contribution is identical for both at any one history.
+pub fn proven_colliding(table: &TableSpec, p: BranchAddr, q: BranchAddr) -> bool {
+    table.pc_image(p.word_index()) == table.pc_image(q.word_index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_predictors::{DynamicPredictor, Gshare};
+
+    #[test]
+    fn gshare_facts_are_full_rank_with_no_dead_bits() {
+        // gshare 1KB: 12 index bits, 12-bit history. A maps 12 word bits
+        // onto 12 index bits (full rank), B is the identity on 12 bits.
+        let spec = Gshare::new(1024).index_spec().unwrap();
+        let facts = analyze(&spec);
+        let t = &facts.tables[0];
+        assert_eq!(t.pc_rank, 12);
+        assert_eq!(t.hist_rank, 12);
+        assert_eq!(t.joint_rank, 12, "the whole table is reachable");
+        assert_eq!(t.pc_kernel.len() as u32, MODELED_PC_BITS - 12);
+        assert_eq!(facts.dead_history_bits(), 0);
+    }
+
+    #[test]
+    fn kernel_directions_collide_under_evaluation() {
+        let spec = Gshare::new(1024).index_spec().unwrap();
+        let facts = analyze(&spec);
+        let table = &spec.tables[0];
+        for &delta in &facts.tables[0].pc_kernel {
+            let p = BranchAddr(0x1230 & !3);
+            let q = BranchAddr(p.0 ^ (delta << 2));
+            assert!(proven_colliding(table, p, q), "Δ={delta:#x}");
+            for history in [0u64, 0x5a5, 0xfff] {
+                assert_eq!(
+                    table.evaluate(p.word_index(), history),
+                    table.evaluate(q.word_index(), history),
+                    "Δ={delta:#x} history={history:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_dead_history_bit_is_detected() {
+        // Two history bits feeding a 2-bit index, but bit 1's column is
+        // zero: it provably never reaches the table.
+        let spec = IndexSpec {
+            history_bits: 2,
+            tables: vec![TableSpec {
+                bank: 0,
+                index_bits: 2,
+                constant: 0,
+                pc_columns: vec![0; MODELED_PC_BITS as usize],
+                hist_columns: vec![0b01, 0b00],
+            }],
+        };
+        let facts = analyze(&spec);
+        assert_eq!(facts.dead_history_bits(), 0b10);
+        assert_eq!(facts.tables[0].hist_rank, 1);
+        assert_eq!(facts.tables[0].joint_rank, 1, "rank-deficient: 2-bit table");
+    }
+
+    #[test]
+    fn pc_image_equality_is_exactly_the_collision_condition() {
+        let spec = Gshare::new(64).index_spec().unwrap(); // 8 index bits
+        let table = &spec.tables[0];
+        // Congruent pair: word indices differ by 1 << 8.
+        let p = BranchAddr(0x40);
+        let q = BranchAddr(0x40 + (1 << 10));
+        assert!(proven_colliding(table, p, q));
+        // Non-congruent pair differs at some history (here: all of them).
+        let r = BranchAddr(0x44);
+        assert!(!proven_colliding(table, p, r));
+        assert_ne!(
+            table.evaluate(p.word_index(), 0),
+            table.evaluate(r.word_index(), 0)
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! GF(2) linear algebra over u64-word bit vectors.
+//!
+//! Vectors are `u64` bit masks (component `i` in bit `i`), matrices are row
+//! lists of such masks over at most 64 columns. This is all the machinery
+//! the exact index analysis needs: rank, null-space bases, and canonical
+//! coset representatives under a subspace.
+
+/// An echelonized basis of a GF(2) subspace, supporting incremental
+/// insertion and canonical coset reduction.
+///
+/// Rows are kept sorted by descending leading (highest set) bit, with all
+/// leading bits distinct, so [`Basis::reduce`] zeroes every pivot position
+/// greedily and two vectors reduce to the same representative exactly when
+/// they differ by a basis element.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_index_analysis::Basis;
+///
+/// let mut b = Basis::new();
+/// assert!(b.insert(0b101));
+/// assert!(b.insert(0b011));
+/// assert!(!b.insert(0b110), "dependent: 101 ^ 011");
+/// assert_eq!(b.rank(), 2);
+/// assert_eq!(b.reduce(0b101), 0);
+/// assert_eq!(b.reduce(0b100), b.reduce(0b001), "same coset");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Basis {
+    rows: Vec<u64>,
+}
+
+/// The mask of the highest set bit of a nonzero vector.
+fn leading(v: u64) -> u64 {
+    debug_assert!(v != 0);
+    1u64 << (63 - v.leading_zeros())
+}
+
+impl Basis {
+    /// An empty basis (rank 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subspace dimension.
+    pub fn rank(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// The canonical representative of `v`'s coset: `v` with every pivot
+    /// position zeroed. `reduce(u) == reduce(v)` iff `u ⊕ v` lies in the
+    /// spanned subspace, and `reduce(v) == 0` iff `v` itself does.
+    pub fn reduce(&self, mut v: u64) -> u64 {
+        for &row in &self.rows {
+            if v & leading(row) != 0 {
+                v ^= row;
+            }
+        }
+        v
+    }
+
+    /// Whether `v` lies in the spanned subspace.
+    pub fn contains(&self, v: u64) -> bool {
+        self.reduce(v) == 0
+    }
+
+    /// Inserts `v`, returning `true` when it was independent (rank grew).
+    pub fn insert(&mut self, v: u64) -> bool {
+        let v = self.reduce(v);
+        if v == 0 {
+            return false;
+        }
+        let lead = leading(v);
+        let position = self
+            .rows
+            .iter()
+            .position(|&row| leading(row) < lead)
+            .unwrap_or(self.rows.len());
+        self.rows.insert(position, v);
+        true
+    }
+
+    /// The echelon rows, sorted by descending leading bit.
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+}
+
+/// A GF(2) matrix with up to 64 columns, stored as row bit masks.
+///
+/// Rows typically come from [`XorClause`] masks: one row per output index
+/// bit, columns over the input (PC or history) bits.
+///
+/// # Examples
+///
+/// ```
+/// use sdbp_index_analysis::BitMatrix;
+///
+/// // x0 ^ x1 = 0 and x1 ^ x2 = 0 over 3 columns: kernel spanned by 111.
+/// let mut m = BitMatrix::new(3);
+/// m.push_row(0b011);
+/// m.push_row(0b110);
+/// assert_eq!(m.rank(), 2);
+/// assert_eq!(m.kernel_basis(), vec![0b111]);
+/// ```
+///
+/// [`XorClause`]: sdbp_predictors::XorClause
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<u64>,
+    columns: u32,
+}
+
+impl BitMatrix {
+    /// An empty matrix over `columns` columns (1 ≤ `columns` ≤ 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero or exceeds 64.
+    pub fn new(columns: u32) -> Self {
+        assert!(
+            (1..=64).contains(&columns),
+            "column count {columns} out of range"
+        );
+        Self {
+            rows: Vec::new(),
+            columns,
+        }
+    }
+
+    /// The column count.
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has bits at or beyond the column count.
+    pub fn push_row(&mut self, row: u64) {
+        if self.columns < 64 {
+            assert!(
+                row < (1u64 << self.columns),
+                "row {row:#x} outside {} columns",
+                self.columns
+            );
+        }
+        self.rows.push(row);
+    }
+
+    /// Reduced row echelon form: `(reduced_rows, pivot_columns)`, pivots
+    /// chosen from the lowest column up, each pivot column cleared from
+    /// every other row.
+    fn rref(&self) -> (Vec<u64>, Vec<u32>) {
+        let mut pending = self.rows.clone();
+        let mut reduced: Vec<u64> = Vec::new();
+        let mut pivots: Vec<u32> = Vec::new();
+        for column in 0..self.columns {
+            let bit = 1u64 << column;
+            let Some(position) = pending.iter().position(|&r| r & bit != 0) else {
+                continue;
+            };
+            let pivot_row = pending.swap_remove(position);
+            for row in pending.iter_mut().chain(reduced.iter_mut()) {
+                if *row & bit != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            reduced.push(pivot_row);
+            pivots.push(column);
+        }
+        (reduced, pivots)
+    }
+
+    /// The matrix rank.
+    pub fn rank(&self) -> u32 {
+        self.rref().1.len() as u32
+    }
+
+    /// A basis of the null space `{x : parity(row & x) = 0 for every row}`,
+    /// one vector per free column. `rank() + kernel_basis().len()` always
+    /// equals the column count (rank–nullity).
+    pub fn kernel_basis(&self) -> Vec<u64> {
+        let (reduced, pivots) = self.rref();
+        let mut kernel = Vec::with_capacity(self.columns as usize - pivots.len());
+        for column in 0..self.columns {
+            if pivots.contains(&column) {
+                continue;
+            }
+            let mut vector = 1u64 << column;
+            for (row, &pivot) in reduced.iter().zip(&pivots) {
+                if row & (1u64 << column) != 0 {
+                    vector |= 1u64 << pivot;
+                }
+            }
+            kernel.push(vector);
+        }
+        kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basis_reduction_is_canonical_on_cosets() {
+        let mut b = Basis::new();
+        b.insert(0b1100);
+        b.insert(0b0110);
+        // 1100 ^ 0110 = 1010 is in the span; 0001 is not.
+        assert!(b.contains(0b1010));
+        assert!(!b.contains(0b0001));
+        assert_eq!(b.reduce(0b1101), b.reduce(0b0001));
+        assert_ne!(b.reduce(0b1101), b.reduce(0b0011));
+        assert_eq!(b.rank(), 2);
+    }
+
+    #[test]
+    fn full_rank_matrix_has_trivial_kernel() {
+        let mut m = BitMatrix::new(4);
+        for column in 0..4 {
+            m.push_row(1u64 << column);
+        }
+        assert_eq!(m.rank(), 4);
+        assert!(m.kernel_basis().is_empty());
+    }
+
+    #[test]
+    fn zero_matrix_kernel_is_everything() {
+        let m = BitMatrix::new(5);
+        assert_eq!(m.rank(), 0);
+        let kernel = m.kernel_basis();
+        assert_eq!(kernel, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_rows_rejected() {
+        let mut m = BitMatrix::new(3);
+        m.push_row(0b1000);
+    }
+
+    fn arb_matrix() -> impl Strategy<Value = BitMatrix> {
+        (1u32..17, proptest::collection::vec(any::<u64>(), 0..12)).prop_map(|(columns, rows)| {
+            let mask = if columns >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << columns) - 1
+            };
+            let mut m = BitMatrix::new(columns);
+            for row in rows {
+                m.push_row(row & mask);
+            }
+            m
+        })
+    }
+
+    proptest! {
+        /// Rank–nullity, and every kernel vector annihilates every row.
+        #[test]
+        fn kernel_satisfies_rank_nullity(m in arb_matrix()) {
+            let kernel = m.kernel_basis();
+            prop_assert_eq!(m.rank() + kernel.len() as u32, m.columns());
+            for &v in &kernel {
+                for &row in &m.rows {
+                    prop_assert_eq!((row & v).count_ones() % 2, 0, "row {:#x} · {:#x}", row, v);
+                }
+            }
+            // Kernel vectors are independent: each has a private free column.
+            let mut basis = Basis::new();
+            for &v in &kernel {
+                prop_assert!(basis.insert(v));
+            }
+        }
+
+        /// Basis membership matches reduction-difference equality.
+        #[test]
+        fn coset_representatives_are_consistent(
+            vectors in proptest::collection::vec(any::<u64>(), 1..10),
+            u in any::<u64>(),
+            v in any::<u64>(),
+        ) {
+            let mut b = Basis::new();
+            let mut inserted = 0;
+            for &w in &vectors {
+                if b.insert(w) {
+                    inserted += 1;
+                }
+                prop_assert!(b.contains(w));
+            }
+            prop_assert_eq!(b.rank(), inserted);
+            prop_assert_eq!(b.reduce(u) == b.reduce(v), b.contains(u ^ v));
+            prop_assert_eq!(b.reduce(b.reduce(u)), b.reduce(u), "reduction is idempotent");
+        }
+    }
+}

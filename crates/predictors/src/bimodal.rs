@@ -1,5 +1,6 @@
 //! The bimodal (Smith) predictor.
 
+use crate::index_spec::IndexSpec;
 use crate::table::PredictionTable;
 use crate::traits::{DynamicPredictor, Latched, Prediction};
 use sdbp_trace::BranchAddr;
@@ -89,6 +90,13 @@ impl DynamicPredictor for Bimodal {
     fn probe_indices(&self, pc: BranchAddr, _history: u64, out: &mut Vec<(u32, u64)>) -> bool {
         out.push((0, self.index(pc)));
         true
+    }
+
+    fn index_spec(&self) -> Option<IndexSpec> {
+        Some(IndexSpec::from_linear_probe(
+            self,
+            &[self.table.index_bits()],
+        ))
     }
 }
 

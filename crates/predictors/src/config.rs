@@ -8,6 +8,7 @@ use crate::{
     Agree, AnyPredictor, BiMode, Bimodal, DynamicPredictor, EGskew, Ghist, Gselect, Gshare, Local,
     Perceptron, TageLite, Tournament, TwoBcGskew, Yags,
 };
+use sdbp_trace::BranchAddr;
 use std::fmt;
 use std::str::FromStr;
 
@@ -125,6 +126,54 @@ impl FromStr for PredictorKind {
     }
 }
 
+/// How far static aliasing analysis can see into a predictor's index
+/// functions — the one capability source consulted by `sdbp check`, the
+/// profiles crate and the CLI (see
+/// [`PredictorConfig::index_capability`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexCapability {
+    /// Every index bit is an XOR of PC/history bits plus a constant
+    /// ([`DynamicPredictor::index_spec`] is `Some`): exact GF(2) analysis
+    /// applies — collision classes can be *proven*, not sampled.
+    Linear,
+    /// Indices are pure functions of `(pc, history)` exposed through
+    /// [`DynamicPredictor::probe_indices`] but hashed non-linearly
+    /// (perceptron segment hashing, TAGE tag folding): only the sampled
+    /// analysis applies.
+    SampledOnly,
+    /// No index function exposed at all — chooser-based hybrids and
+    /// schemes indexed by mutable per-branch state.
+    Opaque,
+}
+
+impl IndexCapability {
+    /// Whether *any* static index analysis (exact or sampled) applies.
+    pub fn is_analyzable(self) -> bool {
+        !matches!(self, IndexCapability::Opaque)
+    }
+
+    /// Whether the exact GF(2) analysis applies.
+    pub fn is_linear(self) -> bool {
+        matches!(self, IndexCapability::Linear)
+    }
+
+    /// The capability name used in diagnostics (`linear`, `sampled-only`,
+    /// `opaque`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexCapability::Linear => "linear",
+            IndexCapability::SampledOnly => "sampled-only",
+            IndexCapability::Opaque => "opaque",
+        }
+    }
+}
+
+impl fmt::Display for IndexCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors from predictor configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -239,6 +288,24 @@ impl PredictorConfig {
     /// The byte budget.
     pub fn size_bytes(&self) -> usize {
         self.size_bytes
+    }
+
+    /// Classifies how much of this configuration's index structure static
+    /// analysis can see, by building the predictor and interrogating
+    /// [`DynamicPredictor::index_spec`] / [`DynamicPredictor::probe_indices`]
+    /// — so the classification can never drift from what the simulators
+    /// actually expose.
+    pub fn index_capability(&self) -> IndexCapability {
+        let predictor = self.build_any();
+        if predictor.index_spec().is_some() {
+            return IndexCapability::Linear;
+        }
+        let mut scratch = Vec::new();
+        if predictor.probe_indices(BranchAddr(0), 0, &mut scratch) {
+            IndexCapability::SampledOnly
+        } else {
+            IndexCapability::Opaque
+        }
     }
 
     /// Instantiates the predictor simulator.
@@ -377,6 +444,37 @@ mod tests {
         assert!(PredictorConfig::new(PredictorKind::TwoBcGskew, 8).is_err());
         assert!(PredictorConfig::new(PredictorKind::Gshare, 0).is_err());
         assert!(PredictorConfig::new(PredictorKind::BiMode, 16).is_ok());
+    }
+
+    #[test]
+    fn index_capability_classification() {
+        // Linear: every index bit an XOR clause. Sampled-only: pure
+        // (pc, history) functions with non-linear hashing. Opaque:
+        // chooser-based hybrids and per-branch mutable state.
+        for (kind, capability) in [
+            (PredictorKind::Bimodal, IndexCapability::Linear),
+            (PredictorKind::Ghist, IndexCapability::Linear),
+            (PredictorKind::Gshare, IndexCapability::Linear),
+            (PredictorKind::Gselect, IndexCapability::Linear),
+            (PredictorKind::EGskew, IndexCapability::Linear),
+            (PredictorKind::Perceptron, IndexCapability::SampledOnly),
+            (PredictorKind::TageLite, IndexCapability::SampledOnly),
+            (PredictorKind::BiMode, IndexCapability::Opaque),
+            (PredictorKind::TwoBcGskew, IndexCapability::Opaque),
+            (PredictorKind::Agree, IndexCapability::Opaque),
+            (PredictorKind::Yags, IndexCapability::Opaque),
+            (PredictorKind::Tournament, IndexCapability::Opaque),
+            (PredictorKind::Local, IndexCapability::Opaque),
+        ] {
+            let config = PredictorConfig::new(kind, 4096).unwrap();
+            assert_eq!(config.index_capability(), capability, "{kind}");
+        }
+        assert!(IndexCapability::Linear.is_analyzable());
+        assert!(IndexCapability::SampledOnly.is_analyzable());
+        assert!(!IndexCapability::Opaque.is_analyzable());
+        assert!(IndexCapability::Linear.is_linear());
+        assert!(!IndexCapability::SampledOnly.is_linear());
+        assert_eq!(IndexCapability::SampledOnly.to_string(), "sampled-only");
     }
 
     #[test]

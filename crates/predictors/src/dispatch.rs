@@ -8,6 +8,7 @@
 //! keep working through the [`AnyPredictor::Custom`] escape hatch, which
 //! preserves the boxed-trait path for exactly that variant.
 
+use crate::index_spec::IndexSpec;
 use crate::traits::{DynamicPredictor, Prediction};
 use crate::{
     Agree, BiMode, Bimodal, EGskew, Ghist, Gselect, Gshare, Local, Perceptron, TageLite,
@@ -151,6 +152,10 @@ impl DynamicPredictor for AnyPredictor {
     fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
         dispatch!(self, p => p.probe_indices(pc, history, out))
     }
+
+    fn index_spec(&self) -> Option<IndexSpec> {
+        dispatch!(self, p => p.index_spec())
+    }
 }
 
 impl std::fmt::Debug for AnyPredictor {
@@ -276,6 +281,39 @@ mod tests {
                 }
             }
             assert_eq!(batched.total_collisions(), per_event.total_collisions());
+        }
+    }
+
+    /// The `probe_indices` out-vector contract, for every kind through the
+    /// dispatch layer: append-only (a prior occupant survives), identical
+    /// probes on repeat calls, contiguous bank ids from 0 — and the
+    /// supported/unsupported answer consistent with the capability source
+    /// and with `index_spec` availability.
+    #[test]
+    fn probe_indices_append_contract_holds_for_every_kind() {
+        for kind in PredictorKind::ALL {
+            let config = PredictorConfig::new(kind, 4096).unwrap();
+            let p = config.build_any();
+            let capability = config.index_capability();
+            let pc = BranchAddr(0x1b3c);
+            let history = 0x2d5;
+            let sentinel = (u32::MAX, u64::MAX);
+            let mut out = vec![sentinel];
+            let supported = p.probe_indices(pc, history, &mut out);
+            assert_eq!(supported, capability.is_analyzable(), "{kind}");
+            assert_eq!(p.index_spec().is_some(), capability.is_linear(), "{kind}");
+            assert_eq!(out[0], sentinel, "{kind}: probe must not clear the buffer");
+            if !supported {
+                assert_eq!(out.len(), 1, "{kind}: unsupported probes append nothing");
+                continue;
+            }
+            assert!(out.len() > 1, "{kind}: supported probes append");
+            for (position, &(bank, _)) in out[1..].iter().enumerate() {
+                assert_eq!(bank, position as u32, "{kind}: contiguous bank ids");
+            }
+            let mut again = Vec::new();
+            assert!(p.probe_indices(pc, history, &mut again));
+            assert_eq!(&out[1..], &again[..], "{kind}: probing is pure");
         }
     }
 

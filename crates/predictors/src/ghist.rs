@@ -1,6 +1,7 @@
 //! The ghist (GAg) global-history predictor.
 
 use crate::history::HistoryRegister;
+use crate::index_spec::IndexSpec;
 use crate::table::PredictionTable;
 use crate::traits::{DynamicPredictor, Latched, Prediction};
 use sdbp_trace::BranchAddr;
@@ -105,6 +106,13 @@ impl DynamicPredictor for Ghist {
     fn probe_indices(&self, _pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
         out.push((0, history & self.table.index_mask()));
         true
+    }
+
+    fn index_spec(&self) -> Option<IndexSpec> {
+        Some(IndexSpec::from_linear_probe(
+            self,
+            &[self.table.index_bits()],
+        ))
     }
 }
 

@@ -1,6 +1,7 @@
 //! The gshare predictor.
 
 use crate::history::HistoryRegister;
+use crate::index_spec::IndexSpec;
 use crate::table::{fold_tag, PredictionTable, COUNTER_MASK, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
 use sdbp_trace::{BranchAddr, BranchEvent};
@@ -196,6 +197,13 @@ impl DynamicPredictor for Gshare {
     fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
         out.push((0, self.index_for(pc, history)));
         true
+    }
+
+    fn index_spec(&self) -> Option<IndexSpec> {
+        Some(IndexSpec::from_linear_probe(
+            self,
+            &[self.table.index_bits()],
+        ))
     }
 }
 

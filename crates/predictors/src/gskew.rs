@@ -1,6 +1,7 @@
 //! The e-gskew majority-vote predictor.
 
-use crate::history::HistoryRegister;
+use crate::history::{fold_bits, HistoryRegister};
+use crate::index_spec::IndexSpec;
 use crate::skew::skew;
 use crate::table::PredictionTable;
 use crate::traits::{DynamicPredictor, Latched, Prediction};
@@ -80,12 +81,21 @@ impl EGskew {
     }
 
     fn indices(&self, pc: BranchAddr) -> (u64, u64, u64) {
+        self.indices_for(pc, self.history.value())
+    }
+
+    /// The three bank indices for `pc` under a raw history value — the pure
+    /// form of the index functions, shared by the predict path and
+    /// [`DynamicPredictor::probe_indices`]. Every ingredient (bit selects,
+    /// XOR folds, the [`crate::skew`] hashes) is GF(2)-linear, so the whole
+    /// triple is too.
+    fn indices_for(&self, pc: BranchAddr, history: u64) -> (u64, u64, u64) {
         let n = self.g0.index_bits();
         let w = pc.word_index();
         let lo = w & self.g0.index_mask();
         let hi = (w >> n) & self.g0.index_mask();
-        let f0 = self.history.folded(self.h0_len, n);
-        let f1 = self.history.folded(self.h1_len, n);
+        let f0 = fold_bits(history, self.h0_len, n);
+        let f1 = fold_bits(history, self.h1_len, n);
         let bim_index = w & self.bim.index_mask();
         let g0_index = skew(1, lo ^ f0, hi, f0, n);
         let g1_index = skew(2, lo ^ f1, hi, f1, n);
@@ -147,6 +157,29 @@ impl DynamicPredictor for EGskew {
 
     fn total_collisions(&self) -> u64 {
         self.bim.collisions() + self.g0.collisions() + self.g1.collisions()
+    }
+
+    fn history_bits(&self) -> u32 {
+        self.h1_len
+    }
+
+    fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
+        let (bim_index, g0_index, g1_index) = self.indices_for(pc, history);
+        out.push((0, bim_index));
+        out.push((1, g0_index));
+        out.push((2, g1_index));
+        true
+    }
+
+    fn index_spec(&self) -> Option<IndexSpec> {
+        Some(IndexSpec::from_linear_probe(
+            self,
+            &[
+                self.bim.index_bits(),
+                self.g0.index_bits(),
+                self.g1.index_bits(),
+            ],
+        ))
     }
 }
 
@@ -238,6 +271,20 @@ mod tests {
         assert!(p.bim.counter(bi).value() > 0);
         assert!(p.g0.counter(g0i).value() > 0);
         assert!(p.g1.counter(g1i).value() > 0);
+    }
+
+    #[test]
+    fn probe_indices_match_the_live_index_functions() {
+        let mut p = EGskew::new(3 * 256);
+        for bit in [true, true, false, true, false, false, true] {
+            p.shift_history(bit);
+        }
+        let pc = BranchAddr(0x1f3c);
+        let (bi, g0i, g1i) = p.indices(pc);
+        let mut probes = Vec::new();
+        assert!(p.probe_indices(pc, p.history.value(), &mut probes));
+        assert_eq!(probes, vec![(0, bi), (1, g0i), (2, g1i)]);
+        assert_eq!(DynamicPredictor::history_bits(&p), p.h1_len);
     }
 
     #[test]

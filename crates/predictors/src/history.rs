@@ -97,21 +97,7 @@ impl HistoryRegister {
     ///
     /// Panics if `into` is zero or `take` exceeds the register length.
     pub fn folded(&self, take: u32, into: u32) -> u64 {
-        assert!(into > 0, "cannot fold into zero bits");
-        let mut remaining = self.bits(take);
-        let mask = if into >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << into) - 1
-        };
-        let mut acc = 0u64;
-        let mut consumed = 0;
-        while consumed < take {
-            acc ^= remaining & mask;
-            remaining >>= into.min(63);
-            consumed += into;
-        }
-        acc & mask
+        fold_bits(self.bits(take), take, into)
     }
 
     /// Clears the register to all zeros.
@@ -132,9 +118,49 @@ impl HistoryRegister {
     }
 }
 
+/// XOR-folds the newest `take` bits of a raw history value down to `into`
+/// bits — the pure form of [`HistoryRegister::folded`], shared with static
+/// analyzers that probe index functions under arbitrary history values.
+/// Bits of `history` at or beyond `take` are ignored.
+///
+/// # Panics
+///
+/// Panics if `into` is zero.
+pub fn fold_bits(history: u64, take: u32, into: u32) -> u64 {
+    assert!(into > 0, "cannot fold into zero bits");
+    let mut remaining = if take == 0 {
+        0
+    } else if take >= 64 {
+        history
+    } else {
+        history & ((1u64 << take) - 1)
+    };
+    let mask = if into >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << into) - 1
+    };
+    let mut acc = 0u64;
+    let mut consumed = 0;
+    while consumed < take {
+        acc ^= remaining & mask;
+        remaining >>= into.min(63);
+        consumed += into;
+    }
+    acc & mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fold_bits_masks_beyond_take() {
+        // Bits above `take` must not leak into the fold.
+        assert_eq!(fold_bits(0xff0f, 8, 4), fold_bits(0x0f, 8, 4));
+        assert_eq!(fold_bits(0b1010_0110, 8, 4), 0b1100);
+        assert_eq!(fold_bits(0xdead, 0, 4), 0);
+    }
 
     #[test]
     fn push_order_is_newest_in_lsb() {

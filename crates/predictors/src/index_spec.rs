@@ -1,0 +1,298 @@
+//! Symbolic GF(2) descriptions of predictor index functions.
+//!
+//! Every classic two-level predictor in this crate forms its table indices
+//! from XORs, shifts and bit selections of the branch address and the
+//! global history — functions that are *affine over GF(2)*: each output
+//! index bit is the XOR of a fixed set of PC bits, a fixed set of history
+//! bits, and a constant. [`IndexSpec`] captures that structure explicitly,
+//! emitted by [`DynamicPredictor::index_spec`], so static analyzers
+//! (the `sdbp-index-analysis` crate) can *prove* collision structure with
+//! exact linear algebra — rank, null space, cosets — instead of sampling
+//! [`DynamicPredictor::probe_indices`] over histories.
+//!
+//! The model covers the low [`MODELED_PC_BITS`] bits of the branch *word
+//! index* (`pc >> 2`); every table in this crate indexes with far fewer
+//! bits, so higher PC bits provably never reach an index.
+
+use crate::traits::DynamicPredictor;
+use sdbp_trace::BranchAddr;
+
+/// How many low bits of the branch word index (`pc >> 2`) the symbolic
+/// model tracks. All tables in this crate index with at most ~22 bits, so
+/// 32 covers every configuration with room to spare.
+pub const MODELED_PC_BITS: u32 = 32;
+
+/// One output index bit as an XOR clause: `bit = parity(pc & pc_mask) ^
+/// parity(history & hist_mask) ^ constant`, with `pc_mask` over word-index
+/// bits (bit `j` is address bit `j + 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorClause {
+    /// Participating branch word-index bits.
+    pub pc_mask: u64,
+    /// Participating global-history bits (newest outcome in bit 0).
+    pub hist_mask: u64,
+    /// The affine constant term.
+    pub constant: bool,
+}
+
+/// The affine index function of one predictor table (bank), stored
+/// column-major: `index(pc, h) = constant ⊕ A·pc ⊕ B·h` where column `j`
+/// of `A` ([`TableSpec::pc_columns`]) is the index-bit mask toggled by PC
+/// word-index bit `j`, and likewise for history columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSpec {
+    /// The bank id this table reports through `probe_indices`.
+    pub bank: u32,
+    /// The index width: produced indices lie in `0..2^index_bits`.
+    pub index_bits: u32,
+    /// The constant term `c` — the index of `(pc = 0, history = 0)`.
+    pub constant: u64,
+    /// Column `j`: the index bits toggled by PC word-index bit `j`.
+    /// Always [`MODELED_PC_BITS`] entries.
+    pub pc_columns: Vec<u64>,
+    /// Column `k`: the index bits toggled by history bit `k`. One entry
+    /// per history bit the predictor consumes.
+    pub hist_columns: Vec<u64>,
+}
+
+impl TableSpec {
+    /// `A·pc`: the linear PC contribution for a branch word index. Word
+    /// bits at or above [`MODELED_PC_BITS`] are outside the model and
+    /// ignored.
+    pub fn pc_image(&self, word_index: u64) -> u64 {
+        let mut acc = 0u64;
+        for (j, &column) in self.pc_columns.iter().enumerate() {
+            if (word_index >> j) & 1 == 1 {
+                acc ^= column;
+            }
+        }
+        acc
+    }
+
+    /// `B·h`: the linear history contribution for a raw history value
+    /// (newest outcome in bit 0).
+    pub fn hist_image(&self, history: u64) -> u64 {
+        let mut acc = 0u64;
+        for (k, &column) in self.hist_columns.iter().enumerate() {
+            if (history >> k) & 1 == 1 {
+                acc ^= column;
+            }
+        }
+        acc
+    }
+
+    /// The full index `constant ⊕ A·pc ⊕ B·h` for a branch word index and
+    /// raw history value.
+    pub fn evaluate(&self, word_index: u64, history: u64) -> u64 {
+        self.constant ^ self.pc_image(word_index) ^ self.hist_image(history)
+    }
+
+    /// The row view of output index bit `bit` as an [`XorClause`] — the
+    /// transpose of the stored columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below [`TableSpec::index_bits`].
+    pub fn clause(&self, bit: u32) -> XorClause {
+        assert!(
+            bit < self.index_bits,
+            "bit {bit} outside {}",
+            self.index_bits
+        );
+        let mut pc_mask = 0u64;
+        for (j, &column) in self.pc_columns.iter().enumerate() {
+            pc_mask |= ((column >> bit) & 1) << j;
+        }
+        let mut hist_mask = 0u64;
+        for (k, &column) in self.hist_columns.iter().enumerate() {
+            hist_mask |= ((column >> bit) & 1) << k;
+        }
+        XorClause {
+            pc_mask,
+            hist_mask,
+            constant: (self.constant >> bit) & 1 == 1,
+        }
+    }
+}
+
+/// The symbolic index function of a whole predictor: one [`TableSpec`] per
+/// probed bank, in `probe_indices` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// The predictor's consumed history length
+    /// ([`DynamicPredictor::history_bits`]).
+    pub history_bits: u32,
+    /// One affine table description per probed bank.
+    pub tables: Vec<TableSpec>,
+}
+
+impl IndexSpec {
+    /// Evaluates the symbolic model, appending one `(bank, index)` pair per
+    /// table exactly like [`DynamicPredictor::probe_indices`] (the proptest
+    /// suite pins the two equal over arbitrary inputs).
+    pub fn evaluate(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) {
+        let word_index = pc.word_index();
+        for table in &self.tables {
+            out.push((table.bank, table.evaluate(word_index, history)));
+        }
+    }
+
+    /// Derives the symbolic model of an affine predictor by basis probing:
+    /// the constant is the probe of `(pc = 0, history = 0)` and each matrix
+    /// column is the XOR of a one-hot probe against it. `index_widths`
+    /// gives the index width of each probed bank, in bank order.
+    ///
+    /// Only sound for predictors whose index functions *are* affine in the
+    /// PC/history bits — which the caller (each `index_spec` override)
+    /// guarantees and the crate's property tests verify at random points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor does not support `probe_indices`, probes a
+    /// different number of banks than `index_widths` describes, numbers its
+    /// banks non-contiguously, or produces an index outside a declared
+    /// width.
+    pub fn from_linear_probe(predictor: &dyn DynamicPredictor, index_widths: &[u32]) -> Self {
+        let base = probe_one(predictor, BranchAddr(0), 0, index_widths.len());
+        let mut tables: Vec<TableSpec> = index_widths
+            .iter()
+            .zip(&base)
+            .enumerate()
+            .map(|(bank, (&index_bits, &constant))| TableSpec {
+                bank: bank as u32,
+                index_bits,
+                constant,
+                pc_columns: Vec::with_capacity(MODELED_PC_BITS as usize),
+                hist_columns: Vec::new(),
+            })
+            .collect();
+        for j in 0..MODELED_PC_BITS {
+            let probed = probe_one(predictor, BranchAddr(1u64 << (j + 2)), 0, tables.len());
+            for (table, (&index, &constant)) in tables.iter_mut().zip(probed.iter().zip(&base)) {
+                table.pc_columns.push(index ^ constant);
+            }
+        }
+        let history_bits = predictor.history_bits();
+        for k in 0..history_bits {
+            let probed = probe_one(predictor, BranchAddr(0), 1u64 << k, tables.len());
+            for (table, (&index, &constant)) in tables.iter_mut().zip(probed.iter().zip(&base)) {
+                table.hist_columns.push(index ^ constant);
+            }
+        }
+        for table in &tables {
+            let mask = if table.index_bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << table.index_bits) - 1
+            };
+            assert!(
+                table.constant & !mask == 0
+                    && table.pc_columns.iter().all(|c| c & !mask == 0)
+                    && table.hist_columns.iter().all(|c| c & !mask == 0),
+                "bank {} probes outside its declared {}-bit width",
+                table.bank,
+                table.index_bits
+            );
+        }
+        Self {
+            history_bits,
+            tables,
+        }
+    }
+}
+
+/// One probe returning just the indices, after checking the bank layout:
+/// `expected` banks, numbered contiguously from 0.
+fn probe_one(
+    predictor: &dyn DynamicPredictor,
+    pc: BranchAddr,
+    history: u64,
+    expected: usize,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(expected);
+    assert!(
+        predictor.probe_indices(pc, history, &mut out),
+        "{}: index_spec requires probe_indices support",
+        predictor.name()
+    );
+    assert_eq!(
+        out.len(),
+        expected,
+        "{}: probed {} banks, expected {expected}",
+        predictor.name(),
+        out.len()
+    );
+    for (position, &(bank, _)) in out.iter().enumerate() {
+        assert_eq!(
+            bank,
+            position as u32,
+            "{}: bank ids must be contiguous from 0",
+            predictor.name()
+        );
+    }
+    out.into_iter().map(|(_, index)| index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gselect, Gshare};
+
+    #[test]
+    fn gshare_spec_matches_probes_pointwise() {
+        let p = Gshare::new(1024); // 12 index bits, 12-bit history
+        let spec = p.index_spec().unwrap();
+        assert_eq!(spec.history_bits, 12);
+        assert_eq!(spec.tables.len(), 1);
+        for (pc, history) in [(0u64, 0u64), (0x1234 & !3, 0xabc), (0xfffc, 0xfff)] {
+            let mut probed = Vec::new();
+            assert!(p.probe_indices(BranchAddr(pc), history, &mut probed));
+            let mut symbolic = Vec::new();
+            spec.evaluate(BranchAddr(pc), history, &mut symbolic);
+            assert_eq!(probed, symbolic, "pc={pc:#x} history={history:#x}");
+        }
+    }
+
+    #[test]
+    fn gselect_clauses_transpose_the_concatenation() {
+        // 256 counters: index = 4 PC word bits ∥ 4 history bits, so bit 0
+        // is history bit 0 alone and bit 4 is PC word bit 0 alone.
+        let spec = Gselect::new(64).index_spec().unwrap();
+        let table = &spec.tables[0];
+        assert_eq!(
+            table.clause(0),
+            XorClause {
+                pc_mask: 0,
+                hist_mask: 1,
+                constant: false
+            }
+        );
+        assert_eq!(
+            table.clause(4),
+            XorClause {
+                pc_mask: 1,
+                hist_mask: 0,
+                constant: false
+            }
+        );
+    }
+
+    #[test]
+    fn bimodal_spec_is_history_free() {
+        let spec = Bimodal::new(64).index_spec().unwrap();
+        assert_eq!(spec.history_bits, 0);
+        assert!(spec.tables[0].hist_columns.is_empty());
+        // The low 8 word bits each map to their own index bit; the rest die.
+        for (j, &column) in spec.tables[0].pc_columns.iter().enumerate() {
+            let expected = if j < 8 { 1u64 << j } else { 0 };
+            assert_eq!(column, expected, "word bit {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn clause_rejects_out_of_range_bits() {
+        let spec = Bimodal::new(64).index_spec().unwrap();
+        let _ = spec.tables[0].clause(8);
+    }
+}

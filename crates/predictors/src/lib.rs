@@ -51,6 +51,7 @@ pub mod gselect;
 pub mod gshare;
 pub mod gskew;
 pub mod history;
+pub mod index_spec;
 pub mod local;
 pub mod perceptron;
 pub mod skew;
@@ -64,14 +65,15 @@ pub mod yags;
 pub use agree::Agree;
 pub use bimodal::Bimodal;
 pub use bimode::BiMode;
-pub use config::{parse_size_bytes, ConfigError, PredictorConfig, PredictorKind};
+pub use config::{parse_size_bytes, ConfigError, IndexCapability, PredictorConfig, PredictorKind};
 pub use counter::SaturatingCounter;
 pub use dispatch::AnyPredictor;
 pub use ghist::Ghist;
 pub use gselect::Gselect;
 pub use gshare::Gshare;
 pub use gskew::EGskew;
-pub use history::HistoryRegister;
+pub use history::{fold_bits, HistoryRegister};
+pub use index_spec::{IndexSpec, TableSpec, XorClause, MODELED_PC_BITS};
 pub use local::Local;
 pub use perceptron::Perceptron;
 pub use table::{PredictionTable, ReferenceTable};

@@ -213,6 +213,39 @@ proptest! {
         }
     }
 
+    /// The soundness anchor of the exact GF(2) analyzer: for every linear
+    /// predictor, symbolic [`crate::IndexSpec`] evaluation equals the live
+    /// `probe_indices` over arbitrary `(pc, history)` pairs — so whatever
+    /// the linear algebra proves about the spec holds for the simulator.
+    /// PCs range past every table's modeled span to exercise dead high
+    /// bits; histories are raw 64-bit values the predictors must mask.
+    #[test]
+    fn index_spec_evaluation_matches_probe_indices(
+        kind_idx in 0usize..PredictorKind::ALL.len(),
+        size_shift in 5u32..16,
+        pc_word in 0u64..(1u64 << 32),
+        history in any::<u64>(),
+    ) {
+        let kind = PredictorKind::ALL[kind_idx];
+        let config = PredictorConfig::new(kind, 1usize << size_shift).expect("valid");
+        let p = config.build();
+        match p.index_spec() {
+            None => prop_assert!(!config.index_capability().is_linear(), "{}", kind),
+            Some(spec) => {
+                prop_assert_eq!(spec.history_bits, p.history_bits());
+                let pc = BranchAddr(pc_word * 4);
+                let mut probed = Vec::new();
+                prop_assert!(p.probe_indices(pc, history, &mut probed));
+                let mut symbolic = Vec::new();
+                spec.evaluate(pc, history, &mut symbolic);
+                prop_assert_eq!(
+                    probed, symbolic,
+                    "{} pc={:#x} history={:#x}", kind, pc_word * 4, history
+                );
+            }
+        }
+    }
+
     /// `shift_history` between predictions must never corrupt the
     /// predict/update protocol (e.g. static branches interleaved anywhere).
     #[test]

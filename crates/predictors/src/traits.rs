@@ -1,5 +1,6 @@
 //! The common interface of all dynamic predictor simulators.
 
+use crate::index_spec::IndexSpec;
 use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// The result of one predictor lookup.
@@ -122,9 +123,34 @@ pub trait DynamicPredictor {
     /// the default returns `false`, marking the scheme opaque to static
     /// aliasing analysis (e.g. schemes whose index depends on mutable
     /// per-branch state rather than `(pc, history)` alone).
+    ///
+    /// # Out-vector contract
+    ///
+    /// Implementations **append** and must never clear, truncate or
+    /// otherwise disturb what `out` already holds — the buffer belongs to
+    /// the caller, who reuses one scratch vector across many probes and
+    /// clears it between them. Bank ids must be numbered contiguously from
+    /// 0 in a fixed per-scheme order. A dispatch-level test pins this
+    /// contract for every predictor in the crate.
     fn probe_indices(&self, pc: BranchAddr, history: u64, out: &mut Vec<(u32, u64)>) -> bool {
         let _ = (pc, history, out);
         false
+    }
+
+    /// The symbolic GF(2) description of this predictor's index functions,
+    /// when every probed index bit is an XOR of fixed PC bits, fixed
+    /// history bits and a constant (see [`IndexSpec`]).
+    ///
+    /// The default returns `None`, which keeps the sampling path: schemes
+    /// that hash non-linearly (the perceptron's segmented hash, TAGE's
+    /// tag/useful logic) or expose no index function at all stay analyzable
+    /// only through [`DynamicPredictor::probe_indices`] — or not at all.
+    ///
+    /// When `Some`, the spec's [`IndexSpec::evaluate`] must agree with
+    /// `probe_indices` on every `(pc, history)` pair; the crate's property
+    /// tests enforce that equivalence for all linear schemes.
+    fn index_spec(&self) -> Option<IndexSpec> {
+        None
     }
 }
 

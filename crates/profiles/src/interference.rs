@@ -16,9 +16,17 @@
 //! hints — the paper's §5 future-work idea of selecting by *interference*
 //! rather than by bias or accuracy, closed into a real scheme.
 //!
+//! For *linear* predictors — those emitting a symbolic
+//! [`DynamicPredictor::index_spec`] — the sampling is bypassed entirely:
+//! `sdbp_index_analysis::exact_interference` computes the same ranking in
+//! closed form from the index function's GF(2) coset structure, bitwise
+//! identical on exhaustively enumerable histories (a pinned test) and
+//! exact (rather than 256-sample approximate) beyond them.
+//!
 //! [`SelectionScheme::Collide`]: crate::SelectionScheme::Collide
 
 use crate::bias::BiasProfile;
+use sdbp_index_analysis::exact_interference;
 use sdbp_predictors::{DynamicPredictor, PredictorConfig};
 use sdbp_trace::BranchAddr;
 use std::collections::HashMap;
@@ -115,11 +123,12 @@ pub fn history_samples(bits: u32, options: &InterferenceOptions) -> Vec<u64> {
 
 /// Whether `config`'s scheme exposes its index function to static analysis
 /// — i.e. whether [`rank_interference`] can return a ranking for it. The
-/// chooser-based hybrids (bi-mode, 2bcgskew, yags, agree, tournament) do
-/// not; everything indexed by pure `(pc, history)` functions does.
+/// chooser-based hybrids (bi-mode, 2bcgskew, yags, agree, tournament) and
+/// the per-branch-history local predictor do not; everything indexed by
+/// pure `(pc, history)` functions does. A thin convenience over the one
+/// capability source, [`PredictorConfig::index_capability`].
 pub fn exposes_indices(config: PredictorConfig) -> bool {
-    let mut scratch = Vec::new();
-    config.build().probe_indices(BranchAddr(0), 0, &mut scratch)
+    config.index_capability().is_analyzable()
 }
 
 /// Statically ranks destructive interference of `config` on the branches in
@@ -156,7 +165,6 @@ pub fn rank_interference(
     options: &InterferenceOptions,
 ) -> Option<InterferenceRanking> {
     let predictor = config.build();
-    let mut scratch = Vec::new();
     // Deterministic order: HashMap iteration must not leak into float sums.
     let mut branches: Vec<(BranchAddr, u64, u64)> = profile
         .iter()
@@ -173,17 +181,51 @@ pub fn rank_interference(
         });
     }
 
+    // Exact fast path: linear predictors prove the ranking from the index
+    // function's coset structure — no history enumeration, no probing.
+    // Bitwise identical to the sampled path on exhaustive histories (the
+    // `exact_path_is_bitwise_identical_to_sampling` test); exact where
+    // sampling would approximate beyond them.
+    if let Some(spec) = predictor.index_spec() {
+        let exact = exact_interference(&branches, &spec, options.exhaustive_bits);
+        return Some(InterferenceRanking {
+            hotspots: exact
+                .hotspots
+                .into_iter()
+                .map(|h| InterferenceHotspot {
+                    pc: h.pc,
+                    score: h.score,
+                    executed: h.executed,
+                })
+                .collect(),
+            total_score: exact.total_score,
+            cells_touched: exact.cells_touched,
+            branches: exact.branches,
+        });
+    }
+
+    rank_sampled(&*predictor, &branches, options)
+}
+
+/// The sampling fallback for non-linear (but probeable) predictors:
+/// evaluates `probe_indices` over the deterministic history sample.
+fn rank_sampled(
+    predictor: &dyn DynamicPredictor,
+    branches: &[(BranchAddr, u64, u64)],
+    options: &InterferenceOptions,
+) -> Option<InterferenceRanking> {
+    let mut scratch = Vec::new();
     // Probe support check on the first branch.
     scratch.clear();
     if !predictor.probe_indices(branches[0].0, 0, &mut scratch) {
         return None;
     }
-    let histories = history_samples(DynamicPredictor::history_bits(&*predictor), options);
+    let histories = history_samples(DynamicPredictor::history_bits(predictor), options);
     let per_history = 1.0 / histories.len() as f64;
 
     // Pass 1: accumulate (taken, not-taken) mass per cell.
     let mut cells: HashMap<(u32, u64), [f64; 2]> = HashMap::new();
-    for &(pc, executed, taken) in &branches {
+    for &(pc, executed, taken) in branches {
         let taken_mass = taken as f64 * per_history;
         let nt_mass = (executed - taken) as f64 * per_history;
         for &history in &histories {
@@ -200,7 +242,7 @@ pub fn rank_interference(
     // Pass 2: per-branch destructive mass against the other branches.
     let mut hotspots = Vec::with_capacity(branches.len());
     let mut total_score = 0.0;
-    for &(pc, executed, taken) in &branches {
+    for &(pc, executed, taken) in branches {
         let own = [
             taken as f64 * per_history,
             (executed - taken) as f64 * per_history,
@@ -277,10 +319,14 @@ mod tests {
         for (kind, transparent) in [
             (PredictorKind::Bimodal, true),
             (PredictorKind::Gshare, true),
+            (PredictorKind::Gselect, true),
+            (PredictorKind::EGskew, true),
             (PredictorKind::Perceptron, true),
             (PredictorKind::TageLite, true),
             (PredictorKind::BiMode, false),
             (PredictorKind::TwoBcGskew, false),
+            (PredictorKind::Agree, false),
+            (PredictorKind::Local, false),
         ] {
             assert_eq!(exposes_indices(config(kind, 4096)), transparent, "{kind}");
         }
@@ -298,6 +344,55 @@ mod tests {
         .unwrap();
         assert!((ranking.score_of(BranchAddr(0x1000)) - 500.0).abs() < 1e-6);
         assert_eq!(ranking.score_of(BranchAddr(0x9999)), 0.0);
+    }
+
+    #[test]
+    fn exact_path_is_bitwise_identical_to_sampling() {
+        // Every linear predictor with an exhaustively enumerable history
+        // (history_bits ≤ exhaustive_bits) must produce the *same floats*
+        // through the exact GF(2) path as through live probing — not
+        // approximately equal: bit for bit.
+        let profile = profile_of(&[
+            (0x1000, 1000, 1000),
+            (0x1000 + 256 * 4, 1000, 0), // congruent with the first (64B tables)
+            (0x1000 + 64 * 4, 750, 400), // mixed bias, nearby
+            (0x2004, 333, 100),
+            (0x2004 + 1024 * 4, 512, 512), // congruent at 256-entry tables
+            (0x9e3c, 1, 1),
+        ]);
+        let options = InterferenceOptions::default();
+        for (kind, size) in [
+            (PredictorKind::Bimodal, 64),
+            (PredictorKind::Ghist, 64),
+            (PredictorKind::Gshare, 64),
+            (PredictorKind::Gselect, 256),
+            (PredictorKind::EGskew, 256),
+        ] {
+            let cfg = config(kind, size);
+            let predictor = cfg.build();
+            assert!(
+                DynamicPredictor::history_bits(&*predictor) <= options.exhaustive_bits,
+                "{kind}: test requires exhaustive enumeration"
+            );
+            let mut branches: Vec<(BranchAddr, u64, u64)> = profile
+                .iter()
+                .map(|(pc, stats)| (pc, stats.executed, stats.taken))
+                .collect();
+            branches.sort_unstable_by_key(|(pc, _, _)| *pc);
+            let exact = rank_interference(&profile, cfg, &options).unwrap();
+            let sampled = rank_sampled(&*predictor, &branches, &options).unwrap();
+            assert!(!exact.hotspots.is_empty(), "{kind}: profile must interfere");
+            assert_eq!(exact.hotspots, sampled.hotspots, "{kind}");
+            assert_eq!(
+                exact.total_score.to_bits(),
+                sampled.total_score.to_bits(),
+                "{kind}: total {} vs {}",
+                exact.total_score,
+                sampled.total_score
+            );
+            assert_eq!(exact.cells_touched, sampled.cells_touched, "{kind}");
+            assert_eq!(exact.branches, sampled.branches, "{kind}");
+        }
     }
 
     #[test]
