@@ -232,7 +232,9 @@ fn cell_of(spec: &ExperimentSpec, report: &Report) -> FrontierCell {
 }
 
 /// Runs the frontier grid over `benchmarks` at `instructions` per phase,
-/// with `progress` invoked as each cell's report lands.
+/// with `progress` invoked as each cell's report lands. The sweep's
+/// default lockstep grouping rides all of a benchmark's cells on one
+/// measurement traversal; results are bit-identical to sequential runs.
 pub fn run_with(
     benchmarks: &[Benchmark],
     instructions: u64,

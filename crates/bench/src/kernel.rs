@@ -117,7 +117,7 @@ impl KernelReport {
     /// Renders the report as the `BENCH_simkernel.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"sdbp-bench-kernel/v1\",\n");
+        out.push_str("  \"schema\": \"sdbp-bench-kernel/v2\",\n");
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!(
             "  \"workload\": {{\"benchmarks\": {}, \"input\": \"ref\", \"seed\": {}, \"instructions_per_benchmark\": {}, \"events\": {}}},\n",
@@ -441,7 +441,15 @@ pub fn run(quick: bool, mut progress: impl FnMut(&KernelMeasurement)) -> KernelR
         kernels.push(m);
     }
     let comparison_kinds = if quick {
-        vec![PredictorKind::Bimodal, PredictorKind::TwoBcGskew]
+        // The cheap bimodal floor, the dearest SWAR-batched skewed
+        // predictor, and both frontier designs, so CI smoke exercises
+        // every kernel dispatch family.
+        vec![
+            PredictorKind::Bimodal,
+            PredictorKind::TwoBcGskew,
+            PredictorKind::Perceptron,
+            PredictorKind::TageLite,
+        ]
     } else {
         PredictorKind::ALL
             .iter()
@@ -509,8 +517,11 @@ mod tests {
     fn report_json_is_well_formed_enough() {
         let report = run(true, |_| {});
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"sdbp-bench-kernel/v1\""));
+        assert!(json.contains("\"schema\": \"sdbp-bench-kernel/v2\""));
         assert!(json.contains("\"baseline\""));
+        // The quick comparison set covers the frontier designs too.
+        assert!(json.contains("\"predictor\": \"perceptron\""));
+        assert!(json.contains("\"predictor\": \"tage-lite\""));
         assert!(json.contains("\"gshare_speedup_over_baseline\""));
         assert!(json.contains("\"trace_hits\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -320,6 +320,7 @@ pub fn sweep(args: &Args) -> CmdResult {
     let result = Sweep::new(specs)
         .with_threads(threads)
         .with_verbose(true)
+        .with_lockstep(!args.has_flag("no-lockstep"))
         .run();
     let summary = result.summary();
     let mut t = TableWriter::with_columns(&["size", "MISPs/KI", "accuracy", "collisions", "hints"]);
@@ -392,7 +393,8 @@ pub fn grid(args: &Args) -> CmdResult {
     let mut sweep = Sweep::new(specs)
         .with_threads(threads)
         .with_verbose(true)
-        .with_fusion(!args.has_flag("no-fuse"));
+        .with_fusion(!args.has_flag("no-fuse"))
+        .with_lockstep(!args.has_flag("no-lockstep"));
     if let Some(dir) = args.get("store") {
         sweep = sweep
             .with_store(dir)

@@ -145,6 +145,10 @@ common options:
                                                    multi-pass profiling (one
                                                    traversal per profile
                                                    artifact, for A/B checks)
+  --no-lockstep                                    sweep/grid: disable lockstep
+                                                   multi-config measurement
+                                                   (one traversal per cell,
+                                                   for A/B checks)
 
 parallelism:
   sweep and grid run their cells across worker threads sharing one artifact
@@ -153,8 +157,12 @@ parallelism:
   stderr summary line reports threads, wall time, speedup, and cache
   hit/miss counters, plus the profile traversals saved by pass fusion
   (each benchmark's bias and accuracy profiles are collected in one fused
-  trace traversal unless --no-fuse). SDBP_THREADS=N overrides the default
-  thread count process-wide (the --threads flag wins when both are given).
+  trace traversal unless --no-fuse) and the measurement traversals saved
+  by lockstep execution (cells sharing a branch stream ride one traversal
+  together unless --no-lockstep; results stay bit-identical either way).
+  The summary also reports per-cell throughput as min/median/max Mbr/s.
+  SDBP_THREADS=N overrides the default thread count process-wide (the
+  --threads flag wins when both are given).
 
 diagnostics:
   check lints without simulating: spec problems (unknown names, bad sizes,

@@ -75,6 +75,11 @@ pub struct CacheStats {
     /// computed `m` artifacts in one traversal saves `m - 1` traversals
     /// over the sequential one-artifact-per-traversal protocol.
     pub fused_traversals_saved: u64,
+    /// Whole-trace traversals avoided by lockstep multi-config execution: a
+    /// lockstep group that measured `m` predictor configurations over one
+    /// shared traversal saves `m - 1` traversals over the sequential
+    /// one-cell-per-traversal protocol.
+    pub lockstep_traversals_saved: u64,
 }
 
 impl CacheStats {
@@ -113,6 +118,8 @@ impl CacheStats {
             disk_hits: self.disk_hits - earlier.disk_hits,
             disk_misses: self.disk_misses - earlier.disk_misses,
             fused_traversals_saved: self.fused_traversals_saved - earlier.fused_traversals_saved,
+            lockstep_traversals_saved: self.lockstep_traversals_saved
+                - earlier.lockstep_traversals_saved,
         }
     }
 }
@@ -143,6 +150,13 @@ impl fmt::Display for CacheStats {
                 f,
                 ", {} traversals saved by fusion",
                 self.fused_traversals_saved
+            )?;
+        }
+        if self.lockstep_traversals_saved > 0 {
+            write!(
+                f,
+                ", {} traversals saved by lockstep",
+                self.lockstep_traversals_saved
             )?;
         }
         Ok(())
@@ -183,6 +197,7 @@ pub struct ArtifactCache {
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
     fused_traversals_saved: AtomicU64,
+    lockstep_traversals_saved: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -219,6 +234,7 @@ impl ArtifactCache {
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
             fused_traversals_saved: AtomicU64::new(0),
+            lockstep_traversals_saved: AtomicU64::new(0),
         }
     }
 
@@ -249,6 +265,18 @@ impl ArtifactCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_misses: self.disk_misses.load(Ordering::Relaxed),
             fused_traversals_saved: self.fused_traversals_saved.load(Ordering::Relaxed),
+            lockstep_traversals_saved: self.lockstep_traversals_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records `n` whole-trace traversals avoided by lockstep multi-config
+    /// execution (a group of `m` measurement cells sharing one traversal
+    /// records `m - 1`). Observable as
+    /// [`CacheStats::lockstep_traversals_saved`].
+    pub fn note_lockstep_saved(&self, n: u64) {
+        if n > 0 {
+            self.lockstep_traversals_saved
+                .fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -997,6 +1025,22 @@ mod tests {
         );
         assert_eq!(healed.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn lockstep_savings_are_recorded_and_displayed() {
+        let c = cache();
+        assert_eq!(c.stats().lockstep_traversals_saved, 0);
+        c.note_lockstep_saved(0); // no-op
+        assert_eq!(c.stats().lockstep_traversals_saved, 0);
+        let before = c.stats();
+        assert!(!format!("{before}").contains("lockstep"));
+        c.note_lockstep_saved(3);
+        c.note_lockstep_saved(2);
+        let s = c.stats();
+        assert_eq!(s.lockstep_traversals_saved, 5);
+        assert_eq!(s.since(&before).lockstep_traversals_saved, 5);
+        assert!(format!("{s}").contains("5 traversals saved by lockstep"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::combined::{CombinedPredictor, ShiftPolicy};
 use crate::report::Report;
 use crate::simulator::MeasurePass;
 use sdbp_artifacts::{CodecError, StoreError};
+use sdbp_passes::Pass;
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{
     rank_interference, AccuracyProfile, BiasProfile, HintDatabase, InterferenceOptions,
@@ -677,8 +678,12 @@ impl Lab {
             .select_with_interference(&bias, accuracy.as_deref(), ranking.as_ref())?)
     }
 
-    /// Runs one experiment end to end (phase one + phase two).
-    pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+    /// Phase one for one spec: pre-flight, hint selection, and the combined
+    /// predictor ready for measurement (plus the hint count for the report).
+    fn phase_one(
+        &self,
+        spec: &ExperimentSpec,
+    ) -> Result<(CombinedPredictor, usize), ExperimentError> {
         if let Some(preflight) = &self.preflight {
             preflight(spec).map_err(|reason| ExperimentError::Rejected { reason })?;
         }
@@ -686,7 +691,13 @@ impl Lab {
         let hints_len = hints.len();
         // build_any: the measurement loop dispatches on the enum, not a
         // vtable — this is the system's hottest path.
-        let mut combined = CombinedPredictor::new(spec.predictor.build_any(), hints, spec.shift);
+        let combined = CombinedPredictor::new(spec.predictor.build_any(), hints, spec.shift);
+        Ok((combined, hints_len))
+    }
+
+    /// Runs one experiment end to end (phase one + phase two).
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<Report, ExperimentError> {
+        let (mut combined, hints_len) = self.phase_one(spec)?;
         let measure_budget = spec.budget(spec.measure_input, spec.measure_instructions);
         // The measurement phase rides the cache-aware pass runner: cached
         // streams replay zero-copy, and budgets too large for the trace
@@ -709,6 +720,93 @@ impl Lab {
             hints: hints_len,
             stats,
         })
+    }
+
+    /// Runs a group of experiments whose measurement runs share one event
+    /// stream — same benchmark, measurement input, seed and measurement
+    /// budget — in **lockstep**: phase one runs per member as usual (and is
+    /// memoized by the cache), then every member's measurement pass rides a
+    /// single traversal of the shared stream instead of one traversal per
+    /// member. Results come back in `specs` order and are bit-identical to
+    /// [`Lab::run`] on each member — measurement passes are independent
+    /// chunk-invariant consumers, which is exactly the pass framework's
+    /// lockstep guarantee (see `sdbp_passes::LockstepRunner`).
+    ///
+    /// Members whose pre-flight or selection fails report their error and
+    /// simply do not join the traversal; the remaining members still share
+    /// one. The traversals avoided are recorded in
+    /// [`CacheStats`](crate::CacheStats)`::lockstep_traversals_saved`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs disagree on the measurement-stream key
+    /// `(benchmark, measure_input, seed, measure_budget)` — callers group
+    /// cells by that key (as [`Sweep`](crate::Sweep) does) before calling.
+    pub fn run_lockstep(&self, specs: &[&ExperimentSpec]) -> Vec<Result<Report, ExperimentError>> {
+        let Some(first) = specs.first() else {
+            return Vec::new();
+        };
+        let measure_budget = first.measure_budget();
+        for spec in &specs[1..] {
+            assert!(
+                spec.benchmark == first.benchmark
+                    && spec.measure_input == first.measure_input
+                    && spec.seed == first.seed
+                    && spec.measure_budget() == measure_budget,
+                "lockstep members must share the measurement stream key"
+            );
+        }
+        let mut slots: Vec<Option<Result<Report, ExperimentError>>> =
+            Vec::with_capacity(specs.len());
+        let mut metas: Vec<(usize, usize)> = Vec::new();
+        let mut combineds: Vec<CombinedPredictor> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            match self.phase_one(spec) {
+                Ok((combined, hints_len)) => {
+                    slots.push(None);
+                    metas.push((i, hints_len));
+                    combineds.push(combined);
+                }
+                Err(e) => slots.push(Some(Err(e))),
+            }
+        }
+        if !combineds.is_empty() {
+            let mut measures: Vec<MeasurePass<'_>> = combineds
+                .iter_mut()
+                .zip(&metas)
+                .map(|(combined, &(i, _))| {
+                    MeasurePass::new(combined).with_warmup(specs[i].warmup_instructions)
+                })
+                .collect();
+            {
+                let mut passes: Vec<&mut dyn Pass> =
+                    measures.iter_mut().map(|m| m as &mut dyn Pass).collect();
+                self.cache.run_passes(
+                    first.benchmark,
+                    first.measure_input,
+                    first.seed,
+                    measure_budget,
+                    &mut passes,
+                );
+            }
+            self.cache.note_lockstep_saved(measures.len() as u64 - 1);
+            for (measure, &(i, hints_len)) in measures.into_iter().zip(&metas) {
+                let spec = specs[i];
+                slots[i] = Some(Ok(Report {
+                    benchmark: spec.benchmark,
+                    predictor: spec.predictor,
+                    scheme_label: spec.scheme.label(),
+                    shift: spec.shift,
+                    measure_input: spec.measure_input,
+                    hints: hints_len,
+                    stats: measure.into_stats(),
+                }));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every member settled"))
+            .collect()
     }
 }
 
@@ -820,6 +918,86 @@ mod tests {
         let unfused = Lab::new().with_fusion(false);
         let _ = unfused.run(&spec(SelectionScheme::static_acc())).unwrap();
         assert_eq!(unfused.cache().stats().fused_traversals_saved, 0);
+    }
+
+    #[test]
+    fn lockstep_group_matches_sequential_runs_bit_for_bit() {
+        let specs = [
+            spec(SelectionScheme::None),
+            spec(SelectionScheme::static_95()),
+            spec(SelectionScheme::static_acc()).with_shift(ShiftPolicy::Shift),
+            {
+                let mut s = spec(SelectionScheme::None).with_warmup(100_000);
+                s.predictor = PredictorConfig::new(PredictorKind::TwoBcGskew, 2048).unwrap();
+                s
+            },
+        ];
+        let sequential: Vec<Report> = specs.iter().map(|s| Lab::new().run(s).unwrap()).collect();
+        let lab = Lab::new();
+        let refs: Vec<&ExperimentSpec> = specs.iter().collect();
+        let lockstep = lab.run_lockstep(&refs);
+        assert_eq!(lockstep.len(), specs.len());
+        for (got, want) in lockstep.iter().zip(&sequential) {
+            assert_eq!(got.as_ref().unwrap(), want);
+        }
+        let stats = lab.cache().stats();
+        assert_eq!(
+            stats.lockstep_traversals_saved, 3,
+            "four members on one traversal save three: {stats}"
+        );
+    }
+
+    #[test]
+    fn lockstep_failed_members_report_without_blocking_the_group() {
+        let lab = Lab::new();
+        let good = spec(SelectionScheme::static_95());
+        let mut bad = spec(SelectionScheme::static_collide());
+        // Opaque predictor: selection fails with a missing-ranking error.
+        bad.predictor = PredictorConfig::new(PredictorKind::BiMode, 1024).unwrap();
+        let results = lab.run_lockstep(&[&good, &bad, &good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ExperimentError::Select(
+                SelectError::MissingInterferenceRanking
+            ))
+        ));
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            results[2].as_ref().unwrap(),
+            "identical members agree"
+        );
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &Lab::new().run(&good).unwrap()
+        );
+        assert_eq!(lab.cache().stats().lockstep_traversals_saved, 1);
+    }
+
+    #[test]
+    fn lockstep_degenerate_groups() {
+        let lab = Lab::new();
+        assert!(lab.run_lockstep(&[]).is_empty());
+        let single = spec(SelectionScheme::None);
+        let results = lab.run_lockstep(&[&single]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &Lab::new().run(&single).unwrap()
+        );
+        assert_eq!(
+            lab.cache().stats().lockstep_traversals_saved,
+            0,
+            "a single member saves nothing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement stream key")]
+    fn lockstep_rejects_mismatched_measurement_keys() {
+        let a = spec(SelectionScheme::None);
+        let b = spec(SelectionScheme::None).with_seed(7);
+        let _ = Lab::new().run_lockstep(&[&a, &b]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::{CombinedPredictor, MeasurePass, Simulator};
 use proptest::prelude::*;
-use sdbp_passes::PassRunner;
+use sdbp_passes::{LockstepRunner, Pass, PassRunner};
 use sdbp_predictors::{Gshare, PredictorConfig, PredictorKind};
 use sdbp_profiles::{AccuracyPass, AccuracyProfile, BiasPass, BiasProfile, HintDatabase};
 use sdbp_trace::{BranchAddr, BranchEvent, SliceSource};
@@ -72,6 +72,82 @@ proptest! {
         prop_assert_eq!(bias_pass.into_profile(), seq_bias);
         prop_assert_eq!(acc_pass.into_profile(), seq_accuracy);
         prop_assert_eq!(measure_pass.into_stats(), seq_stats);
+    }
+
+    /// Lockstep multi-config execution — arbitrary sets of predictor
+    /// configurations with arbitrary per-member warm-up boundaries riding
+    /// one arbitrarily chunked traversal — is bit-identical to measuring
+    /// each configuration on its own dedicated traversal. This is the
+    /// equivalence the sweep's lockstep grouping (and the CLI's
+    /// `--no-lockstep` escape hatch) relies on.
+    #[test]
+    fn lockstep_measurement_is_bit_identical_to_sequential_runs(
+        events in arb_events(),
+        chunk in 1usize..70,
+        members in proptest::collection::vec(
+            (0usize..PredictorKind::ALL.len(), 5u32..10, 0usize..40),
+            1..6,
+        ),
+    ) {
+        let configs: Vec<(PredictorConfig, u64)> = members
+            .iter()
+            .map(|&(kind_idx, size_shift, warmup_events)| {
+                let config = PredictorConfig::new(
+                    PredictorKind::ALL[kind_idx],
+                    1usize << size_shift,
+                )
+                .expect("valid");
+                // A warm-up boundary on an arbitrary event, per member.
+                let warmup = events
+                    .iter()
+                    .take(warmup_events)
+                    .map(|e| e.instructions())
+                    .sum();
+                (config, warmup)
+            })
+            .collect();
+
+        // Sequential reference: one dedicated traversal per member.
+        let sequential: Vec<crate::SimStats> = configs
+            .iter()
+            .map(|&(config, warmup)| {
+                let mut combined = CombinedPredictor::new(
+                    config.build_any(),
+                    HintDatabase::new(),
+                    Default::default(),
+                );
+                let mut pass = MeasurePass::new(&mut combined).with_warmup(warmup);
+                PassRunner::new()
+                    .with_chunk(chunk)
+                    .run(SliceSource::new(&events), &mut [&mut pass]);
+                pass.into_stats()
+            })
+            .collect();
+
+        // Lockstep: every member rides the same traversal.
+        let mut combineds: Vec<CombinedPredictor> = configs
+            .iter()
+            .map(|&(config, _)| {
+                CombinedPredictor::new(config.build_any(), HintDatabase::new(), Default::default())
+            })
+            .collect();
+        let mut measures: Vec<MeasurePass> = combineds
+            .iter_mut()
+            .zip(&configs)
+            .map(|(combined, &(_, warmup))| MeasurePass::new(combined).with_warmup(warmup))
+            .collect();
+        let outcome = {
+            let mut passes: Vec<&mut dyn Pass> =
+                measures.iter_mut().map(|m| m as &mut dyn Pass).collect();
+            LockstepRunner::new()
+                .with_chunk(chunk)
+                .run(SliceSource::new(&events), &mut passes)
+        };
+        prop_assert_eq!(outcome.traversals_saved, configs.len() as u64 - 1);
+        prop_assert_eq!(outcome.stats.events, events.len() as u64);
+        for (measure, want) in measures.into_iter().zip(sequential) {
+            prop_assert_eq!(measure.into_stats(), want);
+        }
     }
 
     /// The chunk size never leaks into any consumer: two fused runs at

@@ -85,6 +85,7 @@ pub struct Sweep {
     resume: bool,
     cell_cap: Option<usize>,
     fuse: bool,
+    lockstep: bool,
 }
 
 impl Sweep {
@@ -102,7 +103,25 @@ impl Sweep {
             resume: false,
             cell_cap: None,
             fuse: true,
+            lockstep: true,
         }
+    }
+
+    /// Enables or disables lockstep multi-config execution (on by default).
+    ///
+    /// A lockstep sweep groups runnable cells that share a measurement
+    /// stream — the same `(benchmark, measure_input, seed, measure_budget)`
+    /// — and drives each group's measurement passes over **one** traversal
+    /// of that stream ([`Lab::run_lockstep`]) instead of one traversal per
+    /// cell: an 18-cell grid over one benchmark costs one trace decode, not
+    /// 18. Results are bit-identical either way (measurement passes are
+    /// independent chunk-invariant consumers); traversals avoided show up
+    /// in the summary's `lockstep_traversals_saved` counter. The escape
+    /// hatch exists for benchmarking the win and for isolating the lockstep
+    /// layer when debugging.
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
+        self
     }
 
     /// Enables or disables pass fusion (on by default; see
@@ -259,6 +278,7 @@ impl Sweep {
             resume,
             cell_cap,
             fuse,
+            lockstep,
             ..
         } = self;
         let started = Instant::now();
@@ -334,6 +354,33 @@ impl Sweep {
             });
         }
 
+        // The unit of work a worker pulls: with lockstep on, every runnable
+        // cell sharing a measurement stream — the same
+        // `(benchmark, measure_input, seed, measure_budget)` — forms one
+        // group whose members ride a single traversal; with lockstep off (or
+        // for cells whose stream is unique) groups are singletons and each
+        // cell takes its own traversal, exactly the classic protocol.
+        let groups: Vec<Vec<usize>> = if lockstep {
+            type MeasureKey = (Benchmark, InputSet, u64, u64);
+            let mut grouped: Vec<(MeasureKey, Vec<usize>)> = Vec::new();
+            for &i in &work {
+                let spec = &specs[i];
+                let key = (
+                    spec.benchmark,
+                    spec.measure_input,
+                    spec.seed,
+                    spec.measure_budget(),
+                );
+                match grouped.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(i),
+                    None => grouped.push((key, vec![i])),
+                }
+            }
+            grouped.into_iter().map(|(_, members)| members).collect()
+        } else {
+            work.iter().map(|&i| vec![i]).collect()
+        };
+
         let total = specs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -345,33 +392,59 @@ impl Sweep {
                     let lab = Lab::with_cache(Arc::clone(&cache)).with_fusion(fuse);
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = work.get(slot) else {
+                        let Some(group) = groups.get(slot) else {
                             break;
                         };
-                        let cell_started = Instant::now();
-                        let mut report = match &rejections[i] {
-                            Some(rejection) => Err(rejection.clone()),
-                            None => lab.run(&specs[i]),
-                        };
-                        let elapsed = cell_started.elapsed();
-                        if let Some(rs) = &run_store {
-                            let entry = entry_for(i, &specs[i], &report, elapsed);
-                            if let Err(e) = rs.append(&entry) {
-                                report = Err(e);
-                            }
-                        }
-                        if verbose {
-                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                            match &report {
-                                Ok(r) => {
-                                    eprintln!("  [{finished:>3}/{total}] {r}  ({elapsed:.1?})")
-                                }
-                                Err(e) => {
-                                    eprintln!("  [{finished:>3}/{total}] cell {i} failed: {e}")
+                        let group_started = Instant::now();
+                        // Rejected members report without running; the rest
+                        // share one traversal (a singleton group degenerates
+                        // to the classic one-cell-one-traversal run).
+                        let mut outcomes: Vec<Option<Result<Report, ExperimentError>>> =
+                            vec![None; group.len()];
+                        let mut member_pos: Vec<usize> = Vec::new();
+                        let mut member_specs: Vec<&ExperimentSpec> = Vec::new();
+                        for (pos, &i) in group.iter().enumerate() {
+                            match &rejections[i] {
+                                Some(rejection) => outcomes[pos] = Some(Err(rejection.clone())),
+                                None => {
+                                    member_pos.push(pos);
+                                    member_specs.push(&specs[i]);
                                 }
                             }
                         }
-                        *slots[i].lock().expect("sweep slot lock") = Some((report, elapsed));
+                        if member_specs.len() == 1 {
+                            outcomes[member_pos[0]] = Some(lab.run(member_specs[0]));
+                        } else if !member_specs.is_empty() {
+                            for (pos, outcome) in
+                                member_pos.iter().zip(lab.run_lockstep(&member_specs))
+                            {
+                                outcomes[*pos] = Some(outcome);
+                            }
+                        }
+                        // The traversal is shared, so wall time is attributed
+                        // evenly across the group's cells.
+                        let elapsed = group_started.elapsed() / group.len().max(1) as u32;
+                        for (&i, outcome) in group.iter().zip(outcomes) {
+                            let mut report = outcome.expect("every group member settled");
+                            if let Some(rs) = &run_store {
+                                let entry = entry_for(i, &specs[i], &report, elapsed);
+                                if let Err(e) = rs.append(&entry) {
+                                    report = Err(e);
+                                }
+                            }
+                            if verbose {
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                match &report {
+                                    Ok(r) => {
+                                        eprintln!("  [{finished:>3}/{total}] {r}  ({elapsed:.1?})")
+                                    }
+                                    Err(e) => {
+                                        eprintln!("  [{finished:>3}/{total}] cell {i} failed: {e}")
+                                    }
+                                }
+                            }
+                            *slots[i].lock().expect("sweep slot lock") = Some((report, elapsed));
+                        }
                     }
                 });
             }
@@ -520,8 +593,37 @@ impl SweepResult {
         }
     }
 
+    /// Per-cell simulation throughput in Mbr/s — `(min, median, max)` over
+    /// the successful cells that actually executed (replayed and skipped
+    /// cells have no measured time and are excluded). `None` when nothing
+    /// executed. The spread is the grid's per-kernel dynamic range: slow
+    /// multi-bank cells sit at the min, cheap bimodal cells at the max.
+    pub fn cell_throughput_mbrs(&self) -> Option<(f64, f64, f64)> {
+        let mut rates: Vec<f64> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let report = c.report.as_ref().ok()?;
+                let secs = c.elapsed.as_secs_f64();
+                (secs > 0.0 && secs.is_finite()).then(|| report.stats.branches as f64 / secs / 1e6)
+            })
+            .collect();
+        if rates.is_empty() {
+            return None;
+        }
+        rates.sort_by(f64::total_cmp);
+        let median = if rates.len() % 2 == 1 {
+            rates[rates.len() / 2]
+        } else {
+            (rates[rates.len() / 2 - 1] + rates[rates.len() / 2]) / 2.0
+        };
+        Some((rates[0], median, rates[rates.len() - 1]))
+    }
+
     /// A one-line summary: cell count, threads, wall time, speedup,
-    /// aggregate branch throughput, and cache hit/miss counters.
+    /// aggregate branch throughput, per-cell throughput spread, and cache
+    /// hit/miss counters (including traversals saved by fusion and
+    /// lockstep).
     pub fn summary(&self) -> String {
         let mut summary = format!(
             "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x, {:.1} Mbr/s); {}",
@@ -533,6 +635,11 @@ impl SweepResult {
             self.branches_per_sec() / 1e6,
             self.cache_stats,
         );
+        if let Some((min, median, max)) = self.cell_throughput_mbrs() {
+            summary.push_str(&format!(
+                "; cell Mbr/s min/med/max {min:.1}/{median:.1}/{max:.1}"
+            ));
+        }
         if self.resumed > 0 {
             summary.push_str(&format!("; {} replayed from manifest", self.resumed));
         }
@@ -614,6 +721,46 @@ mod tests {
             unfused.into_reports().unwrap(),
             "fusion must not change a single bit of the results"
         );
+    }
+
+    #[test]
+    fn lockstep_off_matches_lockstep_results_bit_for_bit() {
+        let locked = Sweep::new(grid()).with_threads(2).run();
+        let sequential = Sweep::new(grid())
+            .with_threads(2)
+            .with_lockstep(false)
+            .run();
+        // grid(): two measurement streams (one per benchmark), four cells
+        // each — lockstep saves three traversals per stream.
+        assert_eq!(
+            locked.cache_stats.lockstep_traversals_saved, 6,
+            "{}",
+            locked.cache_stats
+        );
+        assert_eq!(sequential.cache_stats.lockstep_traversals_saved, 0);
+        assert_eq!(
+            locked.into_reports().unwrap(),
+            sequential.into_reports().unwrap(),
+            "lockstep must not change a single bit of the results"
+        );
+    }
+
+    #[test]
+    fn lockstep_groups_survive_rejected_members() {
+        let mut specs = grid();
+        specs[0].measure_instructions = Some(0); // strict-mode rejection
+        let result = Sweep::new(specs.clone()).with_threads(2).run();
+        assert!(matches!(
+            result.cells[0].report,
+            Err(ExperimentError::Rejected { .. })
+        ));
+        let baseline = Sweep::new(specs).with_threads(2).with_lockstep(false).run();
+        for (locked, sequential) in result.cells.iter().zip(&baseline.cells).skip(1) {
+            assert_eq!(
+                locked.report.as_ref().unwrap(),
+                sequential.report.as_ref().unwrap()
+            );
+        }
     }
 
     #[test]
@@ -829,7 +976,14 @@ mod tests {
         assert!(summary.contains("8 cells on 2 threads"), "{summary}");
         assert!(summary.contains("cache"), "{summary}");
         assert!(summary.contains("Mbr/s"), "{summary}");
+        assert!(summary.contains("cell Mbr/s min/med/max"), "{summary}");
+        assert!(
+            summary.contains("traversals saved by lockstep"),
+            "{summary}"
+        );
         assert!(result.total_branches() > 0);
         assert!(result.branches_per_sec() > 0.0, "{summary}");
+        let (min, median, max) = result.cell_throughput_mbrs().unwrap();
+        assert!(min > 0.0 && min <= median && median <= max, "{summary}");
     }
 }

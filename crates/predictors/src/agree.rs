@@ -1,9 +1,9 @@
 //! The agree predictor (related-work ablation).
 
 use crate::history::HistoryRegister;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, pack_entry, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// Sprangle et al.'s *agree mechanism*, cited by the paper as an alternative
 /// alias-reduction technique.
@@ -127,6 +127,69 @@ impl DynamicPredictor for Agree {
         self.history.push(taken);
     }
 
+    /// The batched hot path: one fused read-modify-write of the counter
+    /// entry per event with the history register and statistics hoisted into
+    /// locals, threading the bias table's first-outcome latching
+    /// sequentially through the batch. Pinned by
+    /// `batch_matches_scalar_protocol` below and the crate's
+    /// batch-equivalence property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let index_mask = self.counters.index_mask();
+        let bias_mask = self.bias.len() as u64 - 1;
+        // The register is sized to exactly the counter index width.
+        let hist_len = self.history.len();
+        let hist_mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut collisions = 0u64;
+        {
+            let (slots, max) = self.counters.batch_parts();
+            let bias = &mut self.bias;
+            let half = max / 2;
+            out.extend(events.iter().map(|e| {
+                let w = e.pc.word_index();
+                let i = ((w ^ history) & index_mask) as usize;
+                let bi = (w & bias_mask) as usize;
+                let tag = fold_tag(e.pc);
+                let entry = slots[i];
+                let c = entry as u8;
+                let collided = (c & VALID != 0) & ((entry >> TAG_SHIFT) as u32 != tag);
+                collisions += u64::from(collided);
+                let v = c & COUNTER_MASK;
+                let agree_pred = v > half;
+                let predicted = if agree_pred {
+                    bias[bi].unwrap_or(true)
+                } else {
+                    !bias[bi].unwrap_or(true)
+                };
+                let taken = e.taken;
+                // First-execution bias capture, then train agreement.
+                let bias_bit = match bias[bi] {
+                    Some(b) => b,
+                    None => {
+                        bias[bi] = Some(taken);
+                        taken
+                    }
+                };
+                let agree = taken == bias_bit;
+                let up = u8::from(agree) & u8::from(v < max);
+                let down = u8::from(!agree) & u8::from(v > 0);
+                slots[i] = pack_entry(VALID | (v + up - down), tag);
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: predicted,
+                    collision: collided,
+                }
+            }));
+        }
+        self.counters
+            .add_batch_stats(events.len() as u64, collisions);
+        self.history.set_bits(history);
+    }
+
     fn shift_history(&mut self, taken: bool) {
         self.history.push(taken);
     }
@@ -200,6 +263,46 @@ mod tests {
         assert_eq!(p.bias[p.bias_index(pc)], Some(false));
         assert!(p.predict(pc).taken, "disagree-with-bias yields taken");
         p.update(pc, true);
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        let mut state = 0xa62e_e0a6_2ee0_a62eu64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = Agree::new(64);
+        let mut scalar = Agree::new(64);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+            assert_eq!(batched.bias, scalar.bias);
+        }
+        assert_eq!(batched.counters.lookups(), scalar.counters.lookups());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The bi-mode hybrid predictor.
 
 use crate::history::HistoryRegister;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, pack_entry, swar, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// The bi-mode predictor (Lee, Chen & Mudge).
 ///
@@ -140,6 +140,83 @@ impl DynamicPredictor for BiMode {
         self.history.push(taken);
     }
 
+    /// The batched hot path: per event, the choice byte and the *selected*
+    /// direction byte are gathered into two SWAR lanes, thresholded and
+    /// saturated in one pass, and scattered back. The unselected bank stays
+    /// completely untouched (counters, tags and statistics), exactly as in
+    /// the scalar protocol. Pinned by `batch_matches_scalar_protocol` below
+    /// and the crate's batch-equivalence property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let choice_mask = self.choice.index_mask();
+        let dir_mask = self.taken_bank.index_mask();
+        // The register is sized to exactly the direction index width, so its
+        // raw value is the full history ingredient.
+        let hist_len = self.history.len();
+        let hist_mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut choice_collisions = 0u64;
+        // Direction-bank statistics, indexed by the selection bit
+        // (`[not-taken, taken]`): only the selected bank's lookup counts.
+        let mut dir_lookups = [0u64; 2];
+        let mut dir_collisions = [0u64; 2];
+        {
+            let (choice_s, max) = self.choice.batch_parts();
+            let (tk_s, _) = self.taken_bank.batch_parts();
+            let (nt_s, _) = self.not_taken_bank.batch_parts();
+            let half = max / 2;
+            let max_splat = swar::splat(max);
+            out.extend(events.iter().map(|e| {
+                let w = e.pc.word_index();
+                let ci = (w & choice_mask) as usize;
+                let di = ((w ^ history) & dir_mask) as usize;
+                let tag = fold_tag(e.pc);
+                let ce = choice_s[ci];
+                let cc = ce as u8;
+                let choice_collided = (cc & VALID != 0) & ((ce >> TAG_SHIFT) as u32 != tag);
+                choice_collisions += u64::from(choice_collided);
+                let choice_taken = cc & COUNTER_MASK > half;
+                let sel = usize::from(choice_taken);
+                let bank_s = if choice_taken { &mut *tk_s } else { &mut *nt_s };
+                let de = bank_s[di];
+                let dc = de as u8;
+                let dir_collided = (dc & VALID != 0) & ((de >> TAG_SHIFT) as u32 != tag);
+                dir_collisions[sel] += u64::from(dir_collided);
+                dir_lookups[sel] += 1;
+                let dir_taken = dc & COUNTER_MASK > half;
+                let taken = e.taken;
+                // Choice trains except when it opposed the outcome but the
+                // selected bank still got it right; the direction lane
+                // always trains.
+                let final_correct = dir_taken == taken;
+                let choice_opposed = choice_taken != taken;
+                let train_choice = !(choice_opposed & final_correct);
+                // SWAR lanes: [0] = choice, [1] = selected direction bank.
+                let v = u64::from(cc & COUNTER_MASK) | u64::from(dc & COUNTER_MASK) << 8;
+                let taken_lanes = u64::from(taken) * 0x0101;
+                let enable = u64::from(train_choice) | 0x0100;
+                let stepped = swar::step(v, taken_lanes, enable, max_splat);
+                choice_s[ci] = pack_entry(VALID | (stepped as u8), tag);
+                bank_s[di] = pack_entry(VALID | ((stepped >> 8) as u8), tag);
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: dir_taken,
+                    collision: choice_collided | dir_collided,
+                }
+            }));
+        }
+        self.choice
+            .add_batch_stats(events.len() as u64, choice_collisions);
+        self.taken_bank
+            .add_batch_stats(dir_lookups[1], dir_collisions[1]);
+        self.not_taken_bank
+            .add_batch_stats(dir_lookups[0], dir_collisions[0]);
+        self.history.set_bits(history);
+    }
+
     fn shift_history(&mut self, taken: bool) {
         self.history.push(taken);
     }
@@ -254,6 +331,55 @@ mod tests {
         // The choice was pushed down at most a couple of steps while the
         // direction bank was still wrong, then held.
         assert!(after >= 1, "choice collapsed from {strong} to {after}");
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        // The SWAR batch loop against the predict/update protocol, event for
+        // event, across batch sizes covering empty, single-event and
+        // multi-event calls.
+        let mut state = 0xfeed_face_cafe_beefu64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = BiMode::new(256);
+        let mut scalar = BiMode::new(256);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+        }
+        for (b, s) in [
+            (&batched.choice, &scalar.choice),
+            (&batched.taken_bank, &scalar.taken_bank),
+            (&batched.not_taken_bank, &scalar.not_taken_bank),
+        ] {
+            assert_eq!(b.lookups(), s.lookups());
+            assert_eq!(b.collisions(), s.collisions());
+        }
     }
 
     #[test]

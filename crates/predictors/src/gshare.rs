@@ -2,7 +2,7 @@
 
 use crate::history::HistoryRegister;
 use crate::index_spec::IndexSpec;
-use crate::table::{fold_tag, PredictionTable, COUNTER_MASK, VALID};
+use crate::table::{fold_tag, pack_entry, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
 use sdbp_trace::{BranchAddr, BranchEvent};
 
@@ -139,8 +139,8 @@ impl DynamicPredictor for Gshare {
     }
 
     /// The batched hot path: the whole `lookup_train` body inlined over the
-    /// table's raw arrays, with the history register, masks and statistics
-    /// in locals for the batch. Observable behavior is pinned to the scalar
+    /// table's interleaved slots, with the history register, masks and
+    /// statistics in locals for the batch. Observable behavior is pinned to the scalar
     /// protocol by `batch_matches_scalar_protocol` below and the lockstep
     /// property tests.
     fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
@@ -155,22 +155,22 @@ impl DynamicPredictor for Gshare {
         let mut history = self.history.value();
         let mut collisions = 0u64;
         {
-            let (counters, tags, max) = self.table.batch_parts();
+            let (slots, max) = self.table.batch_parts();
             let half = max / 2;
             // `extend` over a `TrustedLen` iterator: one reservation for the
             // whole batch, no per-event capacity check.
             out.extend(events.iter().map(|e| {
                 let i = ((e.pc.word_index() ^ history) & index_mask) as usize;
                 let tag = fold_tag(e.pc);
-                let c = counters[i];
-                let collided = (c & VALID != 0) & (tags[i] != tag);
+                let entry = slots[i];
+                let c = entry as u8;
+                let collided = (c & VALID != 0) & ((entry >> TAG_SHIFT) as u32 != tag);
                 collisions += u64::from(collided);
                 let v = c & COUNTER_MASK;
                 let taken = e.taken;
                 let up = u8::from(taken) & u8::from(v < max);
                 let down = u8::from(!taken) & u8::from(v > 0);
-                counters[i] = VALID | (v + up - down);
-                tags[i] = tag;
+                slots[i] = pack_entry(VALID | (v + up - down), tag);
                 history = ((history << 1) | u64::from(taken)) & hist_mask;
                 Prediction {
                     taken: v > half,

@@ -1,11 +1,12 @@
 //! The e-gskew majority-vote predictor.
 
 use crate::history::{fold_bits, HistoryRegister};
+use crate::index_lut::PackedIndexLut;
 use crate::index_spec::IndexSpec;
 use crate::skew::skew;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, pack_entry, swar, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// The enhanced skewed predictor (Michaud, Seznec & Uhlig).
 ///
@@ -38,6 +39,9 @@ pub struct EGskew {
     history: HistoryRegister,
     h0_len: u32,
     h1_len: u32,
+    /// Byte-sliced GF(2) factorization of the three bank indices, packed
+    /// 16 bits per bank; `None` only when a bank outgrows the 16-bit lanes.
+    lut: Option<PackedIndexLut>,
     latched: Option<Latched<Ctx>>,
 }
 
@@ -69,15 +73,25 @@ impl EGskew {
         // hash function *and* history reach.
         let h0_len = (n / 2).max(1);
         let h1_len = n;
-        Self {
+        let mut p = Self {
             history: HistoryRegister::new(h1_len.max(1)),
             bim,
             g0,
             g1,
             h0_len,
             h1_len,
+            lut: None,
             latched: None,
+        };
+        // The packed LUT gives each bank a 16-bit lane; every realistic
+        // configuration fits (16 index bits = 256 Ki-counter banks).
+        if n <= 16 && p.bim.index_bits() <= 16 {
+            p.lut = Some(PackedIndexLut::build(2 * n, p.history.len(), |w, h| {
+                let (ib, i0, i1) = p.indices_raw(w, h);
+                ib | i0 << 16 | i1 << 32
+            }));
         }
+        p
     }
 
     fn indices(&self, pc: BranchAddr) -> (u64, u64, u64) {
@@ -90,8 +104,11 @@ impl EGskew {
     /// XOR folds, the [`crate::skew`] hashes) is GF(2)-linear, so the whole
     /// triple is too.
     fn indices_for(&self, pc: BranchAddr, history: u64) -> (u64, u64, u64) {
+        self.indices_raw(pc.word_index(), history)
+    }
+
+    fn indices_raw(&self, w: u64, history: u64) -> (u64, u64, u64) {
         let n = self.g0.index_bits();
-        let w = pc.word_index();
         let lo = w & self.g0.index_mask();
         let hi = (w >> n) & self.g0.index_mask();
         let f0 = fold_bits(history, self.h0_len, n);
@@ -149,6 +166,103 @@ impl DynamicPredictor for EGskew {
             }
         }
         self.history.push(taken);
+    }
+
+    /// The batched hot path: the three bank bytes are gathered into SWAR
+    /// lanes, voted and saturated in one lane-parallel pass per event, and
+    /// scattered back. Index formation factors through the packed GF(2)
+    /// byte tables built in [`EGskew::new`] from `indices_for` (which stays
+    /// the single source of truth for `probe_indices`/`index_spec`), so the
+    /// per-event folds and skew hashes become a few L1 loads. Pinned by
+    /// `batch_matches_scalar_protocol` below and the crate's
+    /// batch-equivalence property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let n = self.g0.index_bits();
+        let bim_mask = self.bim.index_mask();
+        let g_mask = self.g0.index_mask();
+        let (h0_len, h1_len) = (self.h0_len, self.h1_len);
+        let hist_len = self.history.len();
+        let hist_mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut collisions = [0u64; 3];
+        {
+            let lut = &self.lut;
+            let (bim_s, max) = self.bim.batch_parts();
+            let (g0_s, _) = self.g0.batch_parts();
+            let (g1_s, _) = self.g1.batch_parts();
+            // Masks derived from the slice lengths (powers of two), so the
+            // compiler can prove every access in-bounds and skip the checks.
+            let bm = bim_s.len() - 1;
+            let gm = g0_s.len() - 1;
+            let half = max / 2;
+            let max_splat = swar::splat(max);
+            let gt_bias = swar::splat(0x7f - half);
+            out.extend(events.iter().map(|e| {
+                let w = e.pc.word_index();
+                let (ib, i0, i1) = match lut {
+                    Some(lut) => {
+                        let packed = lut.packed(w, history);
+                        (
+                            (packed & 0xffff) as usize & bm,
+                            ((packed >> 16) & 0xffff) as usize & gm,
+                            ((packed >> 32) & 0xffff) as usize & gm,
+                        )
+                    }
+                    None => {
+                        let lo = w & g_mask;
+                        let hi = (w >> n) & g_mask;
+                        let f0 = fold_bits(history, h0_len, n);
+                        let f1 = fold_bits(history, h1_len, n);
+                        (
+                            (w & bim_mask) as usize & bm,
+                            skew(1, lo ^ f0, hi, f0, n) as usize & gm,
+                            skew(2, lo ^ f1, hi, f1, n) as usize & gm,
+                        )
+                    }
+                };
+                let tag = fold_tag(e.pc);
+                let (eb, e0, e1) = (bim_s[ib], g0_s[i0], g1_s[i1]);
+                let (cb, c0, c1) = (eb as u8, e0 as u8, e1 as u8);
+                let collided = [
+                    (cb & VALID != 0) & ((eb >> TAG_SHIFT) as u32 != tag),
+                    (c0 & VALID != 0) & ((e0 >> TAG_SHIFT) as u32 != tag),
+                    (c1 & VALID != 0) & ((e1 >> TAG_SHIFT) as u32 != tag),
+                ];
+                collisions[0] += u64::from(collided[0]);
+                collisions[1] += u64::from(collided[1]);
+                collisions[2] += u64::from(collided[2]);
+                // SWAR lanes: [0] = BIM, [1] = G0, [2] = G1.
+                let v = u64::from(cb & COUNTER_MASK)
+                    | u64::from(c0 & COUNTER_MASK) << 8
+                    | u64::from(c1 & COUNTER_MASK) << 16;
+                let votes = swar::lanes_gt(v, gt_bias);
+                let taken_pred = (votes & 0x01_0101).count_ones() >= 2;
+                let taken = e.taken;
+                let mispredicted = taken_pred != taken;
+                let taken_lanes = u64::from(taken) * 0x01_0101;
+                // Partial update: every bank on a misprediction, otherwise
+                // only the banks whose vote matched the outcome.
+                let agreeing = (votes ^ taken_lanes) ^ 0x01_0101;
+                let enable = if mispredicted { 0x01_0101 } else { agreeing };
+                let stepped = swar::step(v, taken_lanes, enable, max_splat);
+                bim_s[ib] = pack_entry(VALID | (stepped as u8), tag);
+                g0_s[i0] = pack_entry(VALID | ((stepped >> 8) as u8), tag);
+                g1_s[i1] = pack_entry(VALID | ((stepped >> 16) as u8), tag);
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: taken_pred,
+                    collision: collided[0] | collided[1] | collided[2],
+                }
+            }));
+        }
+        self.bim.add_batch_stats(events.len() as u64, collisions[0]);
+        self.g0.add_batch_stats(events.len() as u64, collisions[1]);
+        self.g1.add_batch_stats(events.len() as u64, collisions[2]);
+        self.history.set_bits(history);
     }
 
     fn shift_history(&mut self, taken: bool) {
@@ -285,6 +399,52 @@ mod tests {
         assert!(p.probe_indices(pc, p.history.value(), &mut probes));
         assert_eq!(probes, vec![(0, bi), (1, g0i), (2, g1i)]);
         assert_eq!(DynamicPredictor::history_bits(&p), p.h1_len);
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        let mut state = 0x0dd5_eed5_1234_5678u64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = EGskew::new(3 * 128);
+        let mut scalar = EGskew::new(3 * 128);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+        }
+        for (b, s) in [
+            (&batched.bim, &scalar.bim),
+            (&batched.g0, &scalar.g0),
+            (&batched.g1, &scalar.g1),
+        ] {
+            assert_eq!(b.lookups(), s.lookups());
+            assert_eq!(b.collisions(), s.collisions());
+        }
     }
 
     #[test]

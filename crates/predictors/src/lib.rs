@@ -51,6 +51,7 @@ pub mod gselect;
 pub mod gshare;
 pub mod gskew;
 pub mod history;
+mod index_lut;
 pub mod index_spec;
 pub mod local;
 pub mod perceptron;

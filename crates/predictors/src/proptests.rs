@@ -246,6 +246,41 @@ proptest! {
         }
     }
 
+    /// The batched `predict_update_batch` path — including every SWAR
+    /// bank-parallel override — matches the scalar predict/update protocol
+    /// event for event on arbitrary streams, arbitrary chunk partitions and
+    /// arbitrary sizes, with identical collision totals afterwards. This is
+    /// the equivalence oracle the scalar path is retained for.
+    #[test]
+    fn batched_path_matches_scalar_protocol_for_every_kind(
+        stream in arb_stream(),
+        kind_idx in 0usize..PredictorKind::ALL.len(),
+        size_shift in 5u32..10,
+        chunk in 1usize..64,
+    ) {
+        let kind = PredictorKind::ALL[kind_idx];
+        let size = 1usize << size_shift;
+        let config = PredictorConfig::new(kind, size).expect("valid");
+        let mut batched = config.build();
+        let mut scalar = config.build();
+        let events: Vec<sdbp_trace::BranchEvent> = stream
+            .iter()
+            .map(|&(pc, taken)| sdbp_trace::BranchEvent::new(BranchAddr(pc), taken, 0))
+            .collect();
+        let mut out = Vec::new();
+        for slice in events.chunks(chunk) {
+            out.clear();
+            batched.predict_update_batch(slice, &mut out);
+            prop_assert_eq!(out.len(), slice.len());
+            for (e, got) in slice.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                prop_assert_eq!(*got, want, "{} @{}", kind, e);
+            }
+        }
+        prop_assert_eq!(batched.total_collisions(), scalar.total_collisions());
+    }
+
     /// `shift_history` between predictions must never corrupt the
     /// predict/update protocol (e.g. static branches interleaved anywhere).
     #[test]

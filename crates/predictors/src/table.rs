@@ -1,12 +1,14 @@
 //! Tagged counter tables with collision instrumentation.
 //!
 //! [`PredictionTable`] is the hot-path storage cell of every table-based
-//! predictor: a packed byte of counter-plus-validity per entry next to a
-//! compact 32-bit tag fold, five bytes per entry against the naive
-//! layout's eighteen (16-byte `Option<BranchAddr>` tag plus an unpacked
-//! counter). [`ReferenceTable`] keeps that original naive representation
-//! as an oracle for lockstep property tests and as the baseline the kernel
-//! benchmark measures against.
+//! predictor: one `u64` per entry interleaving a packed byte of
+//! counter-plus-validity with a compact 32-bit tag fold, eight bytes per
+//! entry against the naive layout's eighteen (16-byte `Option<BranchAddr>`
+//! tag plus an unpacked counter) — and, crucially, **one** cache line
+//! touched per access against the naive layout's two. [`ReferenceTable`]
+//! keeps that original naive representation as an oracle for lockstep
+//! property tests and as the baseline the kernel benchmark measures
+//! against.
 
 use crate::counter::SaturatingCounter;
 use sdbp_trace::BranchAddr;
@@ -34,12 +36,14 @@ pub(crate) fn fold_tag(pc: BranchAddr) -> u32 {
 ///
 /// # Storage layout
 ///
-/// Two parallel arrays: one byte per entry packing `[valid:1 | counter:7]`,
-/// and one `u32` per entry holding the tag fold. Splitting them matters on
-/// the hot path: the prediction and the saturating train touch only the
-/// byte array — 16 KB for the paper's 4 KB gshare, so it stays L1-resident
-/// under random indexing — while the (4x larger) tag side-band is only
-/// loaded and stored for collision accounting. The valid bit replaces the
+/// One `u64` per entry: the low byte packs `[valid:1 | counter:7]` and the
+/// high 32 bits hold the tag fold. Interleaving them matters on the hot
+/// path: every access needs both halves (the lookup reads the counter and
+/// compares-then-rewrites the tag), and under the random indexing a
+/// predictor produces, split counter/tag arrays cost two cache-line
+/// touches per access where the interleaved entry costs one. For the
+/// multi-bank batch kernels — four tables probed per event — that halves
+/// the per-event memory traffic outright. The valid bit replaces the
 /// `None` state of the reference layout's `Option<BranchAddr>` tags,
 /// keeping first-touch ("no collision") semantics exact, and the 32-bit
 /// tag fold is exact for any address below 2^32 (see `fold_tag`).
@@ -71,11 +75,10 @@ pub(crate) fn fold_tag(pc: BranchAddr) -> u32 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PredictionTable {
-    /// One packed `[valid:1 | counter:7]` byte per entry.
-    counters: Vec<u8>,
-    /// One 32-bit tag fold per entry (meaningful only when the entry's
-    /// valid bit is set).
-    tags: Vec<u32>,
+    /// One interleaved entry per slot: `[valid:1 | counter:7]` in the low
+    /// byte, the 32-bit tag fold in the high word (meaningful only when the
+    /// entry's valid bit is set).
+    slots: Vec<u64>,
     entries: usize,
     counter_bits: u8,
     /// Largest counter value (counters hold at most 7 bits).
@@ -88,6 +91,73 @@ pub struct PredictionTable {
 pub(crate) const COUNTER_MASK: u8 = 0x7f;
 /// In-byte flag: the entry has been looked up at least once.
 pub(crate) const VALID: u8 = 0x80;
+/// Bit position of the tag fold inside an interleaved table entry.
+pub(crate) const TAG_SHIFT: u32 = 32;
+
+/// Assembles an interleaved table entry from its counter byte and tag fold.
+#[inline]
+pub(crate) fn pack_entry(counter_byte: u8, tag: u32) -> u64 {
+    u64::from(counter_byte) | u64::from(tag) << TAG_SHIFT
+}
+
+/// Branchless SWAR helpers over packed `[valid:1 | counter:7]` byte lanes.
+///
+/// The multi-bank predictors gather one counter byte per bank into the low
+/// lanes of a `u64`, threshold and saturate every lane in one arithmetic
+/// pass, and scatter the stepped bytes back — replacing a chain of per-bank
+/// dependent read-modify-writes with lane-parallel bit tricks. Every helper
+/// relies on lane values fitting in 7 bits (`<= COUNTER_MASK`), which the
+/// packed table layout guarantees: with the lane MSB free, no per-lane add
+/// or subtract can carry or borrow across a lane boundary.
+pub(crate) mod swar {
+    /// `0x01` in every byte lane.
+    pub(crate) const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+    /// `0x80` in every byte lane (the free MSB of each packed counter).
+    pub(crate) const LANE_MSB: u64 = 0x8080_8080_8080_8080;
+
+    /// Broadcasts `b` into every byte lane.
+    #[inline]
+    pub(crate) fn splat(b: u8) -> u64 {
+        u64::from(b) * LANE_LSB
+    }
+
+    /// Per-lane `v < max`: `0x01` in every lane where it holds.
+    ///
+    /// `(v | 0x80) - max` clears its lane MSB exactly when `v < max`, and
+    /// forcing the minuend's MSB keeps every lane's subtraction from
+    /// borrowing into its neighbor.
+    #[inline]
+    pub(crate) fn lanes_lt(v: u64, max_splat: u64) -> u64 {
+        (!((v | LANE_MSB) - max_splat) & LANE_MSB) >> 7
+    }
+
+    /// Per-lane `v > 0`: `0x01` in every lane where it holds.
+    #[inline]
+    pub(crate) fn lanes_gt_zero(v: u64) -> u64 {
+        ((v + splat(0x7f)) & LANE_MSB) >> 7
+    }
+
+    /// Per-lane `v > half` — the packed predict threshold. `gt_bias` must
+    /// be `splat(0x7f - half)`, hoisted by the caller.
+    #[inline]
+    pub(crate) fn lanes_gt(v: u64, gt_bias: u64) -> u64 {
+        ((v + gt_bias) & LANE_MSB) >> 7
+    }
+
+    /// One saturating training step of every lane at once.
+    ///
+    /// `taken` and `enable` hold `0x00`/`0x01` per lane; enabled lanes move
+    /// one step toward their `taken` lane, disabled lanes come back
+    /// unchanged. Lane-wise this is exactly `PredictionTable::train`'s
+    /// branchless body: increments are gated by `v < max` and decrements by
+    /// `v > 0`, so no lane ever wraps.
+    #[inline]
+    pub(crate) fn step(v: u64, taken: u64, enable: u64, max_splat: u64) -> u64 {
+        let up = taken & lanes_lt(v, max_splat) & enable;
+        let down = (taken ^ LANE_LSB) & lanes_gt_zero(v) & enable;
+        v + up - down
+    }
+}
 
 impl PredictionTable {
     /// Creates a table of `entries` counters, each a copy of `template`.
@@ -105,8 +175,7 @@ impl PredictionTable {
             "counters wider than 7 bits do not fit the packed layout"
         );
         Self {
-            counters: vec![template.value(); entries],
-            tags: vec![0; entries],
+            slots: vec![u64::from(template.value()); entries],
             entries,
             counter_bits: template.max().count_ones() as u8,
             max: template.max(),
@@ -153,14 +222,14 @@ impl PredictionTable {
         let i = (index & self.index_mask()) as usize;
         self.lookups += 1;
         let tag = fold_tag(pc);
-        let c = self.counters[i];
+        let e = self.slots[i];
+        let c = e as u8;
         // Non-short-circuiting `&`: collisions are data-dependent (and near
         // random on aliasing workloads), so a conditional branch here would
         // mispredict constantly in the simulation inner loop.
-        let collided = (c & VALID != 0) & (self.tags[i] != tag);
+        let collided = (c & VALID != 0) & ((e >> TAG_SHIFT) as u32 != tag);
         self.collisions += collided as u64;
-        self.counters[i] = VALID | (c & COUNTER_MASK);
-        self.tags[i] = tag;
+        self.slots[i] = pack_entry(VALID | (c & COUNTER_MASK), tag);
         (c & COUNTER_MASK > self.max / 2, collided)
     }
 
@@ -177,16 +246,16 @@ impl PredictionTable {
         let i = (index & self.index_mask()) as usize;
         self.lookups += 1;
         let tag = fold_tag(pc);
-        let c = self.counters[i];
-        let collided = (c & VALID != 0) & (self.tags[i] != tag);
+        let e = self.slots[i];
+        let c = e as u8;
+        let collided = (c & VALID != 0) & ((e >> TAG_SHIFT) as u32 != tag);
         self.collisions += collided as u64;
         let v = c & COUNTER_MASK;
         // Branchless saturating step: `taken` is exactly the branch outcome
         // stream being simulated — the least predictable data in the loop.
         let up = u8::from(taken) & u8::from(v < self.max);
         let down = u8::from(!taken) & u8::from(v > 0);
-        self.counters[i] = VALID | (v + up - down);
-        self.tags[i] = tag;
+        self.slots[i] = pack_entry(VALID | (v + up - down), tag);
         (v > self.max / 2, collided)
     }
 
@@ -198,25 +267,26 @@ impl PredictionTable {
     #[inline]
     pub fn peek(&self, index: u64) -> bool {
         let i = (index & self.index_mask()) as usize;
-        self.counters[i] & COUNTER_MASK > self.max / 2
+        self.slots[i] as u8 & COUNTER_MASK > self.max / 2
     }
 
     /// The counter at `index` (masked internally), materialized by value.
     pub fn counter(&self, index: u64) -> SaturatingCounter {
         let i = (index & self.index_mask()) as usize;
-        SaturatingCounter::new(self.counter_bits, self.counters[i] & COUNTER_MASK)
+        SaturatingCounter::new(self.counter_bits, self.slots[i] as u8 & COUNTER_MASK)
     }
 
     /// Trains the counter at `index` (masked internally) toward `taken`.
     #[inline]
     pub fn train(&mut self, index: u64, taken: bool) {
         let i = (index & self.index_mask()) as usize;
-        let c = self.counters[i];
+        let e = self.slots[i];
+        let c = e as u8;
         let v = c & COUNTER_MASK;
         // Branchless saturating step — see `lookup_train`.
         let up = u8::from(taken) & u8::from(v < self.max);
         let down = u8::from(!taken) & u8::from(v > 0);
-        self.counters[i] = (c & VALID) | (v + up - down);
+        self.slots[i] = (e & !u64::from(COUNTER_MASK)) | u64::from(v + up - down);
     }
 
     /// Total lookups performed.
@@ -230,17 +300,19 @@ impl PredictionTable {
     }
 
     /// Decomposed mutable view for batched predictor loops:
-    /// `(counters, tags, max)`.
+    /// `(interleaved slots, max)`.
     ///
-    /// Batch loops (`DynamicPredictor::predict_update_batch` overrides) hoist
-    /// these into locals so the compiler keeps the loop-carried state in
-    /// registers — stores through the array pointers cannot be proven not to
+    /// Each slot is `[tag:32 | … | valid:1 | counter:7]` — split it with
+    /// [`TAG_SHIFT`] and reassemble with [`pack_entry`]. Batch loops
+    /// (`DynamicPredictor::predict_update_batch` overrides) hoist the slice
+    /// into a local so the compiler keeps the loop-carried state in
+    /// registers — stores through the array pointer cannot be proven not to
     /// alias `self`'s scalar fields, so a per-event `lookup_train` call
     /// reloads them every iteration. Pair with
     /// [`add_batch_stats`](PredictionTable::add_batch_stats) to settle the
     /// lookup/collision accounting afterwards.
-    pub(crate) fn batch_parts(&mut self) -> (&mut [u8], &mut [u32], u8) {
-        (&mut self.counters, &mut self.tags, self.max)
+    pub(crate) fn batch_parts(&mut self) -> (&mut [u64], u8) {
+        (&mut self.slots, self.max)
     }
 
     /// Folds locally accumulated batch statistics back into the table.
@@ -494,6 +566,68 @@ mod tests {
         assert_eq!(fused.collisions(), split.collisions());
         for i in 0..16u64 {
             assert_eq!(fused.counter(i).value(), split.counter(i).value());
+        }
+    }
+
+    #[test]
+    fn swar_lane_predicates_match_scalar_comparisons() {
+        for max in [1u8, 3, 7, 0x7f] {
+            let max_splat = swar::splat(max);
+            let half = max / 2;
+            let gt_bias = swar::splat(0x7f - half);
+            for v in 0..=max {
+                // Place `v` in each lane in turn, with a different in-range
+                // value in every other lane, and check no cross-lane leak.
+                for lane in 0..8 {
+                    let other = (v ^ max) & COUNTER_MASK & max;
+                    let mut word = swar::splat(other);
+                    word &= !(0xffu64 << (lane * 8));
+                    word |= u64::from(v) << (lane * 8);
+                    let lt = swar::lanes_lt(word, max_splat);
+                    let gz = swar::lanes_gt_zero(word);
+                    let gt = swar::lanes_gt(word, gt_bias);
+                    for k in 0..8 {
+                        let lane_v = ((word >> (k * 8)) & 0xff) as u8;
+                        assert_eq!((lt >> (k * 8)) & 0xff, u64::from(lane_v < max));
+                        assert_eq!((gz >> (k * 8)) & 0xff, u64::from(lane_v > 0));
+                        assert_eq!((gt >> (k * 8)) & 0xff, u64::from(lane_v > half));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_step_matches_scalar_train_per_lane() {
+        // Every (value, outcome, enable) combination across two lanes, with
+        // the remaining lanes carrying independent state that must come back
+        // untouched when disabled and correctly stepped when enabled.
+        for max in [3u8, 7] {
+            let max_splat = swar::splat(max);
+            for v0 in 0..=max {
+                for v1 in 0..=max {
+                    for (t0, t1) in [(false, false), (false, true), (true, false), (true, true)] {
+                        for (e0, e1) in [(false, false), (false, true), (true, false), (true, true)]
+                        {
+                            let word = u64::from(v0) | u64::from(v1) << 8;
+                            let taken = u64::from(t0) | u64::from(t1) << 8;
+                            let enable = u64::from(e0) | u64::from(e1) << 8;
+                            let stepped = swar::step(word, taken, enable, max_splat);
+                            let scalar = |v: u8, t: bool, e: bool| -> u8 {
+                                if !e {
+                                    return v;
+                                }
+                                let up = u8::from(t) & u8::from(v < max);
+                                let down = u8::from(!t) & u8::from(v > 0);
+                                v + up - down
+                            };
+                            assert_eq!((stepped & 0xff) as u8, scalar(v0, t0, e0));
+                            assert_eq!(((stepped >> 8) & 0xff) as u8, scalar(v1, t1, e1));
+                            assert_eq!(stepped >> 16, 0, "unpopulated lanes stay zero");
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -1,10 +1,11 @@
 //! The 2bcgskew hybrid predictor.
 
-use crate::history::HistoryRegister;
+use crate::history::{fold_bits, HistoryRegister};
+use crate::index_lut::PackedIndexLut;
 use crate::skew::skew;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, pack_entry, swar, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// Seznec & Michaud's 2bcgskew — the strongest dynamic predictor in the
 /// paper's evaluation.
@@ -54,6 +55,9 @@ pub struct TwoBcGskew {
     h_g0: u32,
     h_g1: u32,
     h_meta: u32,
+    /// Packed GF(2) byte tables collapsing all four bank indices into one
+    /// lookup for the batch path; `None` when an index exceeds 16 bits.
+    lut: Option<PackedIndexLut>,
     latched: Option<Latched<Ctx>>,
 }
 
@@ -103,7 +107,7 @@ impl TwoBcGskew {
         let meta = PredictionTable::two_bit(per_bank_bytes * 4);
         let max_h = h_g0.max(h_g1).max(h_meta);
         assert!((1..=64).contains(&max_h), "history length out of range");
-        Self {
+        let mut p = Self {
             history: HistoryRegister::new(max_h),
             bim,
             g0,
@@ -112,8 +116,17 @@ impl TwoBcGskew {
             h_g0,
             h_g1,
             h_meta,
+            lut: None,
             latched: None,
+        };
+        let n = p.g0.index_bits();
+        if n <= 16 && p.bim.index_bits() <= 16 {
+            p.lut = Some(PackedIndexLut::build(2 * n, max_h, |w, h| {
+                let (ib, i0, i1, im) = p.indices_raw(w, h);
+                ib | i0 << 16 | i1 << 32 | im << 48
+            }));
         }
+        p
     }
 
     /// The (G0, G1, META) history lengths.
@@ -122,13 +135,19 @@ impl TwoBcGskew {
     }
 
     fn indices(&self, pc: BranchAddr) -> (u64, u64, u64, u64) {
+        self.indices_raw(pc.word_index(), self.history.value())
+    }
+
+    /// The four bank indices as a pure GF(2)-linear function of the PC word
+    /// and a raw history value — the single source of truth that both the
+    /// scalar path and the packed lookup tables are built from.
+    fn indices_raw(&self, w: u64, history: u64) -> (u64, u64, u64, u64) {
         let n = self.g0.index_bits();
-        let w = pc.word_index();
         let lo = w & self.g0.index_mask();
         let hi = (w >> n) & self.g0.index_mask();
-        let f0 = self.history.folded(self.h_g0, n);
-        let f1 = self.history.folded(self.h_g1, n);
-        let fm = self.history.folded(self.h_meta, n);
+        let f0 = fold_bits(history, self.h_g0, n);
+        let f1 = fold_bits(history, self.h_g1, n);
+        let fm = fold_bits(history, self.h_meta, n);
         let bim_index = w & self.bim.index_mask();
         let g0_index = skew(1, lo ^ f0, hi, f0, n);
         let g1_index = skew(2, lo ^ f1, hi, f1, n);
@@ -203,6 +222,134 @@ impl DynamicPredictor for TwoBcGskew {
             self.meta.train(ctx.meta_index, ctx.vote_pred == taken);
         }
         self.history.push(taken);
+    }
+
+    /// The batched hot path: all four bank bytes (BIM, G0, G1, META) are
+    /// gathered into SWAR lanes and saturated in one lane-parallel pass per
+    /// event. Index formation factors through the packed GF(2) byte tables
+    /// built in [`TwoBcGskew::with_history_lens`] from `indices_raw`, so the
+    /// three history folds and two skew hashes per event become a few L1
+    /// loads. The paper's partial-update policy becomes a per-lane enable
+    /// mask, and the META lane trains toward its own direction (`vote ==
+    /// outcome`) rather than the branch outcome — which is why the step
+    /// helper takes per-lane rather than broadcast outcomes. Pinned by
+    /// `batch_matches_scalar_protocol` below and the crate's
+    /// batch-equivalence property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let n = self.g0.index_bits();
+        let bim_mask = self.bim.index_mask();
+        let g_mask = self.g0.index_mask();
+        let meta_mask = self.meta.index_mask();
+        let (h_g0, h_g1, h_meta) = (self.h_g0, self.h_g1, self.h_meta);
+        let hist_len = self.history.len();
+        let hist_mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut collisions = [0u64; 4];
+        {
+            let lut = &self.lut;
+            let (bim_s, max) = self.bim.batch_parts();
+            let (g0_s, _) = self.g0.batch_parts();
+            let (g1_s, _) = self.g1.batch_parts();
+            let (meta_s, _) = self.meta.batch_parts();
+            // Masks derived from the slice lengths (powers of two), so the
+            // compiler can prove every access in-bounds and skip the checks.
+            let bm = bim_s.len() - 1;
+            let gm = g0_s.len() - 1;
+            let mm = meta_s.len() - 1;
+            let half = max / 2;
+            let max_splat = swar::splat(max);
+            let gt_bias = swar::splat(0x7f - half);
+            out.extend(events.iter().map(|e| {
+                let w = e.pc.word_index();
+                let (ib, i0, i1, im) = match lut {
+                    Some(lut) => {
+                        let packed = lut.packed(w, history);
+                        (
+                            (packed & 0xffff) as usize & bm,
+                            ((packed >> 16) & 0xffff) as usize & gm,
+                            ((packed >> 32) & 0xffff) as usize & gm,
+                            ((packed >> 48) & 0xffff) as usize & mm,
+                        )
+                    }
+                    None => {
+                        let lo = w & g_mask;
+                        let hi = (w >> n) & g_mask;
+                        let f0 = fold_bits(history, h_g0, n);
+                        let f1 = fold_bits(history, h_g1, n);
+                        let fm = fold_bits(history, h_meta, n);
+                        (
+                            (w & bim_mask) as usize & bm,
+                            skew(1, lo ^ f0, hi, f0, n) as usize & gm,
+                            skew(2, lo ^ f1, hi, f1, n) as usize & gm,
+                            ((lo ^ fm) & meta_mask) as usize & mm,
+                        )
+                    }
+                };
+                let tag = fold_tag(e.pc);
+                let (eb, e0, e1, em) = (bim_s[ib], g0_s[i0], g1_s[i1], meta_s[im]);
+                let (cb, c0, c1, cm) = (eb as u8, e0 as u8, e1 as u8, em as u8);
+                let collided = [
+                    (cb & VALID != 0) & ((eb >> TAG_SHIFT) as u32 != tag),
+                    (c0 & VALID != 0) & ((e0 >> TAG_SHIFT) as u32 != tag),
+                    (c1 & VALID != 0) & ((e1 >> TAG_SHIFT) as u32 != tag),
+                    (cm & VALID != 0) & ((em >> TAG_SHIFT) as u32 != tag),
+                ];
+                collisions[0] += u64::from(collided[0]);
+                collisions[1] += u64::from(collided[1]);
+                collisions[2] += u64::from(collided[2]);
+                collisions[3] += u64::from(collided[3]);
+                // SWAR lanes: [0] = BIM, [1] = G0, [2] = G1, [3] = META.
+                let v = u64::from(cb & COUNTER_MASK)
+                    | u64::from(c0 & COUNTER_MASK) << 8
+                    | u64::from(c1 & COUNTER_MASK) << 16
+                    | u64::from(cm & COUNTER_MASK) << 24;
+                let preds = swar::lanes_gt(v, gt_bias);
+                let bim_pred = preds & 0x01 != 0;
+                let use_vote = preds & 0x0100_0000 != 0;
+                let vote_pred = (preds & 0x01_0101).count_ones() >= 2;
+                let final_pred = if use_vote { vote_pred } else { bim_pred };
+                let taken = e.taken;
+                let correct = final_pred == taken;
+                let taken_lanes3 = u64::from(taken) * 0x01_0101;
+                // The paper's partial update as a 3-lane enable mask: all
+                // c-gskew banks on a misprediction; only the agreeing voters
+                // on a correct vote-routed prediction; BIM alone otherwise.
+                let agreeing = ((preds & 0x01_0101) ^ taken_lanes3) ^ 0x01_0101;
+                let enable3 = if !correct {
+                    0x01_0101
+                } else if use_vote {
+                    agreeing
+                } else {
+                    0x01
+                };
+                // META trains only when the components disagree, toward
+                // "the vote was right".
+                let meta_trains = bim_pred != vote_pred;
+                let meta_dir = vote_pred == taken;
+                let enable = enable3 | u64::from(meta_trains) << 24;
+                let taken_lanes = taken_lanes3 | u64::from(meta_dir) << 24;
+                let stepped = swar::step(v, taken_lanes, enable, max_splat);
+                bim_s[ib] = pack_entry(VALID | (stepped as u8), tag);
+                g0_s[i0] = pack_entry(VALID | ((stepped >> 8) as u8), tag);
+                g1_s[i1] = pack_entry(VALID | ((stepped >> 16) as u8), tag);
+                meta_s[im] = pack_entry(VALID | ((stepped >> 24) as u8), tag);
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: final_pred,
+                    collision: collided[0] | collided[1] | collided[2] | collided[3],
+                }
+            }));
+        }
+        self.bim.add_batch_stats(events.len() as u64, collisions[0]);
+        self.g0.add_batch_stats(events.len() as u64, collisions[1]);
+        self.g1.add_batch_stats(events.len() as u64, collisions[2]);
+        self.meta
+            .add_batch_stats(events.len() as u64, collisions[3]);
+        self.history.set_bits(history);
     }
 
     fn shift_history(&mut self, taken: bool) {
@@ -299,6 +446,53 @@ mod tests {
             p.update(BranchAddr(0x4), true);
         }));
         assert!(result.is_err(), "double update must panic");
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        let mut state = 0x2bc6_5e00_0ff0_beefu64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = TwoBcGskew::new(512);
+        let mut scalar = TwoBcGskew::new(512);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+        }
+        for (b, s) in [
+            (&batched.bim, &scalar.bim),
+            (&batched.g0, &scalar.g0),
+            (&batched.g1, &scalar.g1),
+            (&batched.meta, &scalar.meta),
+        ] {
+            assert_eq!(b.lookups(), s.lookups());
+            assert_eq!(b.collisions(), s.collisions());
+        }
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::counter::SaturatingCounter;
 use crate::history::HistoryRegister;
-use crate::table::PredictionTable;
+use crate::table::{fold_tag, pack_entry, PredictionTable, COUNTER_MASK, TAG_SHIFT, VALID};
 use crate::traits::{DynamicPredictor, Latched, Prediction};
-use sdbp_trace::BranchAddr;
+use sdbp_trace::{BranchAddr, BranchEvent};
 
 /// Eden & Mudge's *Yet Another Global Scheme* — a tagged refinement of
 /// bi-mode used here as an extra alias-reduction baseline.
@@ -209,6 +209,74 @@ impl DynamicPredictor for Yags {
         self.history.push(taken);
     }
 
+    /// The batched hot path: the choice table's read-modify-write is fused
+    /// over its raw arrays with the history and statistics in locals; the
+    /// tagged exception caches, whose entries are not plain counter lanes,
+    /// keep their scalar probe/train/allocate calls inside the loop. Pinned
+    /// by `batch_matches_scalar_protocol` below and the crate's
+    /// batch-equivalence property tests.
+    fn predict_update_batch(&mut self, events: &[BranchEvent], out: &mut Vec<Prediction>) {
+        let choice_mask = self.choice.index_mask();
+        let cache_mask = self.taken_cache.index_mask();
+        // The register is sized to exactly the cache index width.
+        let hist_len = self.history.len();
+        let hist_mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
+        let mut history = self.history.value();
+        let mut collisions = 0u64;
+        {
+            let (choice_s, max) = self.choice.batch_parts();
+            let taken_cache = &mut self.taken_cache;
+            let not_taken_cache = &mut self.not_taken_cache;
+            let half = max / 2;
+            out.extend(events.iter().map(|e| {
+                let w = e.pc.word_index();
+                let ci = (w & choice_mask) as usize;
+                let cache_index = (w ^ history) & cache_mask;
+                let tag8 = (w & 0xff) as u8;
+                let tag = fold_tag(e.pc);
+                let entry = choice_s[ci];
+                let c = entry as u8;
+                let collided = (c & VALID != 0) & ((entry >> TAG_SHIFT) as u32 != tag);
+                collisions += u64::from(collided);
+                let v = c & COUNTER_MASK;
+                let choice_taken = v > half;
+                // Probe the cache of exceptions to the chosen direction.
+                let cache = if choice_taken {
+                    &mut *not_taken_cache
+                } else {
+                    &mut *taken_cache
+                };
+                let cache_hit = cache.probe(cache_index, tag8);
+                let final_pred = cache_hit.unwrap_or(choice_taken);
+                let taken = e.taken;
+                if cache_hit.is_some() {
+                    cache.train(cache_index, taken);
+                } else if taken != choice_taken {
+                    cache.allocate(cache_index, tag8, taken);
+                }
+                // Choice trains unless it opposed the outcome but the cache
+                // fixed the prediction.
+                let final_correct = final_pred == taken;
+                let choice_opposed = choice_taken != taken;
+                let train = u8::from(!(choice_opposed & final_correct));
+                let up = u8::from(taken) & u8::from(v < max) & train;
+                let down = u8::from(!taken) & u8::from(v > 0) & train;
+                choice_s[ci] = pack_entry(VALID | (v + up - down), tag);
+                history = ((history << 1) | u64::from(taken)) & hist_mask;
+                Prediction {
+                    taken: final_pred,
+                    collision: collided,
+                }
+            }));
+        }
+        self.choice.add_batch_stats(events.len() as u64, collisions);
+        self.history.set_bits(history);
+    }
+
     fn shift_history(&mut self, taken: bool) {
         self.history.push(taken);
     }
@@ -280,6 +348,47 @@ mod tests {
             allocated <= 1,
             "biased branch polluted the caches with {allocated} entries"
         );
+    }
+
+    #[test]
+    fn batch_matches_scalar_protocol() {
+        let mut state = 0x7a65_7a65_7a65_7a65u64;
+        let events: Vec<BranchEvent> = (0..3000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                BranchEvent::new(
+                    BranchAddr((state >> 17) % 701 * 4),
+                    state & (1 << 40) != 0,
+                    0,
+                )
+            })
+            .collect();
+        let mut batched = Yags::new(256);
+        let mut scalar = Yags::new(256);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (k, size) in [0usize, 1, 7, 256, 3000].iter().cycle().enumerate() {
+            if start >= events.len() {
+                break;
+            }
+            let chunk = &events[start..(start + size).min(events.len())];
+            start += size;
+            out.clear();
+            batched.predict_update_batch(chunk, &mut out);
+            assert_eq!(out.len(), chunk.len(), "chunk {k}");
+            for (e, got) in chunk.iter().zip(&out) {
+                let want = scalar.predict(e.pc);
+                scalar.update(e.pc, e.taken);
+                assert_eq!(*got, want);
+            }
+            assert_eq!(batched.total_collisions(), scalar.total_collisions());
+            assert_eq!(batched.history.value(), scalar.history.value());
+            assert_eq!(batched.taken_cache.tags, scalar.taken_cache.tags);
+            assert_eq!(batched.not_taken_cache.tags, scalar.not_taken_cache.tags);
+        }
+        assert_eq!(batched.choice.lookups(), scalar.choice.lookups());
     }
 
     #[test]
