@@ -164,6 +164,7 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod families;
 pub mod frontier;
 pub mod kernel;
 pub mod passes;

@@ -92,6 +92,19 @@ pub const PROVEN_ALIASING_PAIR: Code = Code(63);
 /// SDBP064: the exact GF(2) analysis does not apply to this scheme.
 pub const INDEX_ANALYSIS_UNAVAILABLE: Code = Code(64);
 
+/// SDBP070: an imported trace file cannot be read or its header is invalid.
+pub const TRACE_UNREADABLE: Code = Code(70);
+/// SDBP071: no importer recognizes the trace file's content.
+pub const TRACE_FORMAT_UNKNOWN: Code = Code(71);
+/// SDBP072: trace decoding stopped early (truncation or corruption).
+pub const TRACE_MALFORMED: Code = Code(72);
+/// SDBP073: the trace's conditional-branch density is implausible.
+pub const TRACE_IMPLAUSIBLE_DENSITY: Code = Code(73);
+/// SDBP074: the trace's outcomes carry no signal.
+pub const TRACE_DEGENERATE_OUTCOMES: Code = Code(74);
+/// SDBP075: the admission summary for an imported trace.
+pub const TRACE_SUMMARY: Code = Code(75);
+
 /// One registry entry.
 #[derive(Debug, Clone, Copy)]
 pub struct CodeInfo {
@@ -347,6 +360,42 @@ pub const REGISTRY: &[CodeInfo] = &[
         name: "index-analysis-unavailable",
         severity: Severity::Note,
         summary: "the scheme's index function is not affine, so the exact analysis does not apply",
+    },
+    CodeInfo {
+        code: TRACE_UNREADABLE,
+        name: "trace-unreadable",
+        severity: Severity::Error,
+        summary: "an imported trace file cannot be read or its header is invalid",
+    },
+    CodeInfo {
+        code: TRACE_FORMAT_UNKNOWN,
+        name: "trace-format-unknown",
+        severity: Severity::Error,
+        summary: "no importer recognizes the trace file's content",
+    },
+    CodeInfo {
+        code: TRACE_MALFORMED,
+        name: "trace-malformed",
+        severity: Severity::Error,
+        summary: "trace decoding stopped early: the file is truncated or corrupt",
+    },
+    CodeInfo {
+        code: TRACE_IMPLAUSIBLE_DENSITY,
+        name: "trace-implausible-density",
+        severity: Severity::Warning,
+        summary: "the trace's conditional-branch density is outside the plausible range",
+    },
+    CodeInfo {
+        code: TRACE_DEGENERATE_OUTCOMES,
+        name: "trace-degenerate-outcomes",
+        severity: Severity::Warning,
+        summary: "the trace's outcomes carry no signal (empty, single-site, or one-direction)",
+    },
+    CodeInfo {
+        code: TRACE_SUMMARY,
+        name: "trace-summary",
+        severity: Severity::Note,
+        summary: "the admission summary of an imported trace's scanned statistics",
     },
 ];
 

@@ -22,6 +22,8 @@
 //! * [`index_analysis`] — the exact GF(2) index-function analysis: proves
 //!   collision classes, dead history bits, rank deficiencies, and
 //!   all-history aliasing pairs for predictors with affine index functions.
+//! * [`trace`] — admission lints for imported branch traces, run by
+//!   `sdbp ingest` before an external file becomes a benchmark.
 //!
 //! # Pre-flight integration
 //!
@@ -59,6 +61,7 @@ pub mod index_analysis;
 pub mod manifest;
 pub mod profile;
 pub mod spec;
+pub mod trace;
 
 pub use aliasing::{analyze_aliasing, lint_aliasing, AliasingOptions, AliasingReport, Hotspot};
 pub use codes::{lookup, CodeInfo, REGISTRY};
@@ -70,6 +73,7 @@ pub use profile::{
     lint_profile_against_spec, lint_profile_database, parse_profile_text, ProfileMetadata,
 };
 pub use spec::{lint_spec, lint_spec_with_history, parse_spec_text, ParsedSpec, SPEC_KEYS};
+pub use trace::{lint_trace_path, lint_trace_scan};
 
 use sdbp_core::{ExperimentSpec, PreflightFn};
 use std::sync::Arc;

@@ -11,9 +11,10 @@ use sdbp_predictors::{PredictorConfig, PredictorKind};
 use sdbp_profiles::{BiasProfile, HintDatabase, SelectionScheme};
 use sdbp_trace::{read_binary, read_text, write_binary, write_text, BranchSource, Trace};
 use sdbp_util::table::{fixed, grouped, pct, TableWriter};
-use sdbp_workloads::{Benchmark, InputSet, Workload};
+use sdbp_workloads::{imports, open_source, Benchmark, InputSet, WorkloadFamily};
 use std::fs;
 use std::io::BufReader;
+use std::path::Path;
 
 type CmdResult = Result<(), CliError>;
 
@@ -42,9 +43,7 @@ fn run_options(args: &Args) -> Result<RunOptions, CliError> {
     let seed = args
         .get_parsed_or("seed", 2000u64)
         .map_err(CliError::Usage)?;
-    let default_budget = Workload::spec95(benchmark)
-        .spec()
-        .default_instructions(input);
+    let default_budget = benchmark.default_instructions(input);
     let instructions = args
         .get_parsed_or("instructions", default_budget)
         .map_err(CliError::Usage)?;
@@ -91,8 +90,7 @@ pub fn gen(args: &Args) -> CmdResult {
     let out = args
         .get("out")
         .ok_or("gen requires --out <path>".to_string())?;
-    let trace = Workload::spec95(opts.benchmark)
-        .generator(opts.input, opts.seed)
+    let trace = open_source(opts.benchmark, opts.input, opts.seed)
         .take_instructions(opts.instructions)
         .collect_trace();
     let mut buf = Vec::new();
@@ -119,9 +117,7 @@ pub fn stats(args: &Args) -> CmdResult {
     } else {
         let opts = run_options(args)?;
         sdbp_trace::TraceStats::from_source(
-            Workload::spec95(opts.benchmark)
-                .generator(opts.input, opts.seed)
-                .take_instructions(opts.instructions),
+            open_source(opts.benchmark, opts.input, opts.seed).take_instructions(opts.instructions),
         )
     };
     let mut t = TableWriter::with_columns(&["metric", "value"]);
@@ -149,9 +145,7 @@ pub fn profile(args: &Args) -> CmdResult {
         .get("out")
         .ok_or("profile requires --out <path>".to_string())?;
     let profile = BiasProfile::from_source(
-        Workload::spec95(opts.benchmark)
-            .generator(opts.input, opts.seed)
-            .take_instructions(opts.instructions),
+        open_source(opts.benchmark, opts.input, opts.seed).take_instructions(opts.instructions),
     );
     // Metadata header: `sdbp check` cross-checks these fields against the
     // spec the profile is later used with (SDBP030/031/032).
@@ -183,11 +177,8 @@ pub fn select(args: &Args) -> CmdResult {
         .get("out")
         .ok_or("select requires --out <path>".to_string())?;
     let opts = run_options(args)?;
-    let source = || {
-        Workload::spec95(opts.benchmark)
-            .generator(opts.input, opts.seed)
-            .take_instructions(opts.instructions)
-    };
+    let source =
+        || open_source(opts.benchmark, opts.input, opts.seed).take_instructions(opts.instructions);
     let (bias, accuracy) = match args.get("profile") {
         Some(path) => {
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -344,11 +335,53 @@ pub fn sweep(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `sdbp grid` — the Figure 7–12 experiment for one benchmark: every paper
-/// predictor at `--size` under the three static schemes, run in parallel
-/// with shared profile/trace artifacts.
+/// Resolves the benchmarks a `grid` run covers: an imported `--trace`
+/// file, every member of a `--family`, or the single `--benchmark`.
+fn grid_benchmarks(args: &Args) -> Result<Vec<Benchmark>, CliError> {
+    if let Some(path) = args.get("trace") {
+        let benchmark = imports::register(Path::new(path)).map_err(CliError::Failure)?;
+        return Ok(vec![benchmark]);
+    }
+    if let Some(name) = args.get("family") {
+        let family: WorkloadFamily = name.parse().map_err(CliError::Usage)?;
+        let members = Benchmark::family_members(family);
+        if members.is_empty() {
+            return Err(CliError::Failure(format!(
+                "family '{family}' has no benchmarks; ingest a trace first (`sdbp ingest`)"
+            )));
+        }
+        return Ok(members);
+    }
+    Ok(vec![run_options(args)?.benchmark])
+}
+
+/// `sdbp grid` — the Figure 7–12 experiment: every paper predictor at
+/// `--size` under the three static schemes, run in parallel with shared
+/// profile/trace artifacts. Covers one benchmark by default; `--family`
+/// sweeps every benchmark of a workload family in one sweep (the stderr
+/// summary then reports MISPs/KI per family), and `--trace` admits an
+/// external trace file and grids over it.
 pub fn grid(args: &Args) -> CmdResult {
-    let opts = run_options(args)?;
+    let benchmarks = grid_benchmarks(args)?;
+    let input = match args.get_or("input", "ref") {
+        "train" => InputSet::Train,
+        "ref" => InputSet::Ref,
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --input '{other}' (train|ref)"
+            )))
+        }
+    };
+    let seed = args
+        .get_parsed_or("seed", 2000u64)
+        .map_err(CliError::Usage)?;
+    let explicit_instructions = match args.get("instructions") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|e| CliError::Usage(format!("invalid --instructions '{v}': {e}")))?,
+        ),
+        None => None,
+    };
     let size = args
         .get_parsed_or("size", 8192usize)
         .map_err(CliError::Usage)?;
@@ -371,24 +404,30 @@ pub fn grid(args: &Args) -> CmdResult {
     // is opaque to it would fail at selection time; skip them up front and
     // render n/a — the same policy as `bench-frontier` and SDBP042.
     let mut specs = Vec::new();
-    let mut layout: Vec<Vec<Option<usize>>> = Vec::new();
-    for kind in PredictorKind::PAPER {
-        let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
-        let mut row = Vec::new();
-        for &scheme in &schemes {
-            if scheme.needs_interference_ranking() && !sdbp_profiles::exposes_indices(config) {
-                row.push(None);
-                continue;
+    let mut layout: Vec<Vec<Vec<Option<usize>>>> = Vec::new();
+    for &benchmark in &benchmarks {
+        let instructions =
+            explicit_instructions.unwrap_or_else(|| benchmark.default_instructions(input));
+        let mut rows = Vec::new();
+        for kind in PredictorKind::PAPER {
+            let config = PredictorConfig::new(kind, size).map_err(|e| e.to_string())?;
+            let mut row = Vec::new();
+            for &scheme in &schemes {
+                if scheme.needs_interference_ranking() && !sdbp_profiles::exposes_indices(config) {
+                    row.push(None);
+                    continue;
+                }
+                let mut spec = ExperimentSpec::self_trained(benchmark, config, scheme)
+                    .with_seed(seed)
+                    .with_measure_input(input);
+                spec.measure_instructions = Some(instructions);
+                spec.profile_instructions = Some(instructions);
+                specs.push(spec);
+                row.push(Some(specs.len() - 1));
             }
-            let mut spec = ExperimentSpec::self_trained(opts.benchmark, config, scheme)
-                .with_seed(opts.seed)
-                .with_measure_input(opts.input);
-            spec.measure_instructions = Some(opts.instructions);
-            spec.profile_instructions = Some(opts.instructions);
-            specs.push(spec);
-            row.push(Some(specs.len() - 1));
+            rows.push(row);
         }
-        layout.push(row);
+        layout.push(rows);
     }
     let mut sweep = Sweep::new(specs)
         .with_threads(threads)
@@ -421,35 +460,80 @@ pub fn grid(args: &Args) -> CmdResult {
             .map(|s| format!("Δ{}", s.label().trim_start_matches("static_"))),
     );
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
-    let mut t = TableWriter::with_columns(&column_refs);
-    t.numeric();
-    for (kind, row_layout) in PredictorKind::PAPER.iter().zip(&layout) {
-        let cells: Vec<Option<&sdbp_core::Report>> =
-            row_layout.iter().map(|i| i.map(|i| &reports[i])).collect();
-        let mut row = vec![kind.name().to_string()];
-        for cell in &cells {
-            row.push(match cell {
-                Some(r) => fixed(r.stats.misp_per_ki(), 3),
-                None => "n/a".to_string(),
-            });
-        }
-        for cell in &cells[1..] {
-            row.push(match (cells[0], cell) {
-                (Some(base), Some(r)) => {
-                    format!("{:+.1}%", r.improvement_over(base) * 100.0)
-                }
-                _ => "n/a".to_string(),
-            });
-        }
-        t.row(row);
-    }
     eprintln!("  {summary}");
+    for (benchmark, rows) in benchmarks.iter().zip(&layout) {
+        let mut t = TableWriter::with_columns(&column_refs);
+        t.numeric();
+        for (kind, row_layout) in PredictorKind::PAPER.iter().zip(rows) {
+            let cells: Vec<Option<&sdbp_core::Report>> =
+                row_layout.iter().map(|i| i.map(|i| &reports[i])).collect();
+            let mut row = vec![kind.name().to_string()];
+            for cell in &cells {
+                row.push(match cell {
+                    Some(r) => fixed(r.stats.misp_per_ki(), 3),
+                    None => "n/a".to_string(),
+                });
+            }
+            for cell in &cells[1..] {
+                row.push(match (cells[0], cell) {
+                    (Some(base), Some(r)) => {
+                        format!("{:+.1}%", r.improvement_over(base) * 100.0)
+                    }
+                    _ => "n/a".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        println!(
+            "MISPs/KI on {} ({}, {} bytes):\n\n{}",
+            benchmark.name(),
+            input,
+            size,
+            t.render()
+        );
+    }
+    Ok(())
+}
+
+/// `sdbp ingest` — lint an external branch trace with the SDBP070–075
+/// admission diagnostics and, when it passes, register it as an imported
+/// benchmark for this process (grids name it like any synthetic one).
+pub fn ingest(args: &Args) -> CmdResult {
+    let path = args
+        .get("trace")
+        .ok_or("ingest requires --trace <path>".to_string())?;
+    let deny_warnings = args.has_flag("deny-warnings");
+    let p = Path::new(path);
+    // One scan serves both the lints and the admission registration.
+    let scanned = sdbp_trace::scan_path(p);
+    let diags = match &scanned {
+        Ok(scan) => sdbp_check::lint_trace_scan(scan, path),
+        // Open failed: re-derive the failure as SDBP070/SDBP071.
+        Err(_) => sdbp_check::lint_trace_path(p),
+    };
+    match args.get_or("format", "text") {
+        "json" => println!("{}", diags.to_json()),
+        "text" => print!("{}", diags.render_text()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --format '{other}' (text|json)"
+            )))
+        }
+    }
+    if !diags.passes(deny_warnings) {
+        return Err(CliError::Failure(format!(
+            "ingest rejected {path}: {}",
+            diags.summary()
+        )));
+    }
+    let scan = scanned.expect("open failures carry SDBP070/071 errors and were rejected above");
+    let benchmark = imports::register_scanned(p, &scan).map_err(CliError::Failure)?;
     println!(
-        "MISPs/KI on {} ({}, {} bytes):\n\n{}",
-        opts.benchmark,
-        opts.input,
-        size,
-        t.render()
+        "admitted {path} as benchmark '{}' (family {}, {} events, {} instructions)",
+        benchmark.name(),
+        benchmark.family(),
+        grouped(scan.events),
+        grouped(scan.total_instructions)
     );
     Ok(())
 }
@@ -465,9 +549,7 @@ pub fn hotspots(args: &Args) -> CmdResult {
     let opts = run_options(args)?;
     let mut predictor = CombinedPredictor::pure_dynamic(config.build_any());
     let analysis = BranchAnalysis::run(
-        Workload::spec95(opts.benchmark)
-            .generator(opts.input, opts.seed)
-            .take_instructions(opts.instructions),
+        open_source(opts.benchmark, opts.input, opts.seed).take_instructions(opts.instructions),
         &mut predictor,
     );
     let mut t =
@@ -588,8 +670,7 @@ pub fn check(args: &Args) -> CmdResult {
                         .get_parsed_or("instructions", 500_000u64)
                         .map_err(CliError::Usage)?;
                     fresh = BiasProfile::from_source(
-                        Workload::spec95(spec.benchmark)
-                            .generator(InputSet::Train, spec.seed)
+                        open_source(spec.benchmark, InputSet::Train, spec.seed)
                             .take_instructions(budget),
                     );
                     &fresh
@@ -621,8 +702,7 @@ pub fn check(args: &Args) -> CmdResult {
                         .get_parsed_or("instructions", 500_000u64)
                         .map_err(CliError::Usage)?;
                     fresh = BiasProfile::from_source(
-                        Workload::spec95(spec.benchmark)
-                            .generator(InputSet::Train, spec.seed)
+                        open_source(spec.benchmark, InputSet::Train, spec.seed)
                             .take_instructions(budget),
                     );
                     &fresh
@@ -735,6 +815,40 @@ pub fn bench_frontier(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `sdbp bench-families` — run the per-family grid (every family's
+/// benchmarks × {gshare, agree, tage-lite} × {dynamic, static_95,
+/// static_acc}), verify imported-trace identity, and write the
+/// machine-readable `BENCH_families.json` report.
+pub fn bench_families(args: &Args) -> CmdResult {
+    let quick = args.has_flag("quick");
+    let out = args.get_or("out", "BENCH_families.json");
+    eprintln!(
+        "benchmarking workload families ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sdbp_bench::families::run(quick, |f| {
+        eprintln!(
+            "  {:<7} {} benchmarks, {} cells, {} branches/scheme",
+            f.family.name(),
+            f.benchmarks,
+            f.cells,
+            grouped(f.branches)
+        );
+    });
+    print!("{}", report.summary());
+    fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    if report.identity.passed() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(
+            "imported-trace identity check failed: replayed cells must be \
+             bit-identical to generator-backed cells"
+                .into(),
+        ))
+    }
+}
+
 /// Opens the `--store` directory an `artifact` action operates on.
 fn store_of(args: &Args) -> Result<Store, CliError> {
     let dir = args
@@ -825,11 +939,12 @@ pub fn artifact(action: &str, args: &Args) -> CmdResult {
 
 pub fn list() -> CmdResult {
     println!("benchmarks:");
-    for b in Benchmark::ALL {
+    for b in Benchmark::SYNTHETIC {
         let spec = b.spec();
         println!(
-            "  {:<9} {} static branches, ~{:.0} CBRs/KI",
+            "  {:<10} {:<7} {} static branches, ~{:.0} CBRs/KI",
             b.name(),
+            b.family(),
             spec.static_sites,
             spec.cbrs_per_ki_ref
         );
@@ -1051,6 +1166,91 @@ mod tests {
     #[test]
     fn check_suite_lints_the_harness_grids() {
         assert!(check(&args(&["check", "--suite", "--deny-warnings"])).is_ok());
+    }
+
+    #[test]
+    fn grid_benchmarks_expands_families() {
+        let server = grid_benchmarks(&args(&["grid", "--family", "server"])).unwrap();
+        assert_eq!(server.len(), 2);
+        assert!(server.iter().all(|b| b.family() == WorkloadFamily::Server));
+        let spec95 = grid_benchmarks(&args(&["grid", "--family", "spec95"])).unwrap();
+        assert_eq!(spec95.len(), 6);
+        let h2p = grid_benchmarks(&args(&["grid", "--family", "h2p"])).unwrap();
+        assert_eq!(h2p.len(), 2);
+        let err = grid_benchmarks(&args(&["grid", "--family", "desktop"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let default = grid_benchmarks(&args(&["grid"])).unwrap();
+        assert_eq!(default, vec![Benchmark::Gcc]);
+    }
+
+    #[test]
+    fn run_options_accepts_family_benchmarks() {
+        let o = run_options(&args(&["sim", "--benchmark", "h2p_churn"])).unwrap();
+        assert_eq!(o.benchmark.family(), WorkloadFamily::H2p);
+        assert!(o.instructions > 0);
+        let o = run_options(&args(&["stats", "--benchmark", "server_web"])).unwrap();
+        assert_eq!(o.benchmark.family(), WorkloadFamily::Server);
+    }
+
+    #[test]
+    fn ingest_admits_generated_traces_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("sdbp-cli-ingest-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("compress.sdbt");
+        let trace_str = trace_path.to_str().unwrap();
+        gen(&args(&[
+            "gen",
+            "--benchmark",
+            "compress",
+            "--instructions",
+            "50000",
+            "--out",
+            trace_str,
+        ]))
+        .unwrap();
+        ingest(&args(&["ingest", "--trace", trace_str])).unwrap();
+
+        let missing = ingest(&args(&["ingest", "--trace", "/nonexistent/x.sdbt"])).unwrap_err();
+        assert_eq!(missing.exit_code(), 1);
+        let garbage = dir.join("garbage.bin");
+        fs::write(&garbage, [0u8, 200, 1, 255, 7, 7, 7, 7]).unwrap();
+        let unknown = ingest(&args(&["ingest", "--trace", garbage.to_str().unwrap()]));
+        assert!(unknown.is_err());
+        assert!(ingest(&args(&["ingest"])).is_err(), "requires --trace");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_runs_an_imported_trace() {
+        let dir = std::env::temp_dir().join("sdbp-cli-grid-trace-test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("ijpeg.sdbt");
+        let trace_str = trace_path.to_str().unwrap();
+        gen(&args(&[
+            "gen",
+            "--benchmark",
+            "ijpeg",
+            "--instructions",
+            "60000",
+            "--out",
+            trace_str,
+        ]))
+        .unwrap();
+        grid(&args(&[
+            "grid",
+            "--trace",
+            trace_str,
+            "--size",
+            "1024",
+            "--instructions",
+            "60000",
+            "--schemes",
+            "none,static_95",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn main() {
     let result = match args.command() {
         "list" => commands::list(),
         "gen" => commands::gen(&args),
+        "ingest" => commands::ingest(&args),
         "stats" => commands::stats(&args),
         "profile" => commands::profile(&args),
         "select" => commands::select(&args),
@@ -51,6 +52,7 @@ fn main() {
         "bench-kernel" => commands::bench_kernel(&args),
         "bench-passes" => commands::bench_passes(&args),
         "bench-frontier" => commands::bench_frontier(&args),
+        "bench-families" => commands::bench_families(&args),
         "" | "help" | "-h" | "--help" => {
             print!("{USAGE}");
             Ok(())
@@ -73,13 +75,24 @@ usage: sdbp <command> [--option value] [--flag]
 commands:
   list                         benchmarks, predictors, schemes
   gen      --out t.sdbt        generate a branch trace file (--text for text)
+  ingest   --trace t.sdbt      lint an external trace (SDBP070-075 admission
+                               diagnostics: unreadable, unknown format,
+                               truncation, implausible density, degenerate
+                               outcomes) and admit it as a benchmark;
+                               accepts sdbt binary, sdbp text, and
+                               `perf script` output, autodetected
+                               (--format text|json, --deny-warnings)
   stats    [--trace t.sdbt]    characterize a trace or workload
   profile  --out p.prof        collect a per-branch bias profile
   select   --out h.hints       select static hints (--scheme, --profile)
   sim                          two-phase experiment (--trace for file mode)
   sweep                        parallel predictor size sweep (1KB..64KB)
   grid                         parallel Figure 7-style grid: paper predictors x
-                               static schemes at --size on one benchmark
+                               static schemes at --size on one benchmark;
+                               --family spec95|server|h2p|imported sweeps a
+                               whole workload family in one run (the stderr
+                               summary reports MISPs/KI per family), and
+                               --trace FILE grids over an imported trace
   hotspots                     top misprediction contributors (--top N)
   check                        static diagnostics: lint a spec file or the
                                inline options without running anything
@@ -107,9 +120,22 @@ commands:
                                static_collide — and write a machine-readable
                                report (--out BENCH_frontier.json, --quick
                                for the CI smoke budget)
+  bench-families               run the per-family grid — every family's
+                               benchmarks x {gshare, agree, tage-lite} x
+                               {none, static_95, static_acc} — report
+                               MISPs/KI deltas per family, verify that
+                               imported-trace cells replay bit-identically
+                               to generator-backed ones, and write a
+                               machine-readable report
+                               (--out BENCH_families.json, --quick for the
+                               CI smoke budget)
 
 common options:
-  --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc)
+  --benchmark go|gcc|perl|m88ksim|compress|ijpeg   (default gcc); also
+              server_web|server_db (context-switch interleaved, flat-bias
+              server family), h2p_rare|h2p_churn (hard-to-predict family),
+              and any name admitted by `sdbp ingest`
+  --family spec95|server|h2p|imported              grid: sweep a whole family
   --input train|ref                                (default ref)
   --seed N                                         (default 2000)
   --instructions N                                 (default per workload)
@@ -192,6 +218,11 @@ examples:
   sdbp grid --benchmark go --size 8192 --threads 4
   sdbp gen --benchmark compress --out compress.sdbt --instructions 1000000
   sdbp sim --trace compress.sdbt --predictor bimodal --size 2048
+  # sweep the whole server family in one run (per-family stderr summary):
+  sdbp grid --family server --size 8192
+  # admit an external trace (perf script output works too), then grid it:
+  sdbp ingest --trace capture.sdbt
+  sdbp grid --trace capture.sdbt --instructions 1000000
   # lint a spec file and forecast aliasing hotspots, machine-readable:
   sdbp check --spec run.spec --aliasing --format json
   # prove the index function's collision structure instead of sampling it:

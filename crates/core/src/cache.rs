@@ -28,7 +28,7 @@ use sdbp_passes::{Pass, PassRunner, TraversalStats};
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::{AccuracyPass, AccuracyProfile, BiasPass, BiasProfile};
 use sdbp_trace::{BranchEvent, BranchSource, SliceSource};
-use sdbp_workloads::{Benchmark, InputSet, Workload};
+use sdbp_workloads::{imports, open_source, Benchmark, InputSet};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -358,9 +358,7 @@ impl ArtifactCache {
         let capacity = self.traces.lock().expect("cache lock").capacity;
         if instructions > capacity {
             self.trace_bypassed.fetch_add(1, Ordering::Relaxed);
-            let source = Workload::spec95(benchmark)
-                .generator(input, seed)
-                .take_instructions(instructions);
+            let source = open_source(benchmark, input, seed).take_instructions(instructions);
             return PassRunner::new().run(source, passes);
         }
         let events = self.events(benchmark, input, seed, instructions);
@@ -651,6 +649,10 @@ impl ArtifactCache {
 
 /// The disk-tier key of a bias profile: a digest of the run coordinates
 /// `(benchmark, input, seed, instruction budget)`.
+///
+/// For imported benchmarks the content digest recorded at admission is also
+/// mixed in, so a re-registered file with *different* contents under the
+/// same display name can never replay stale persisted profiles.
 pub fn bias_profile_digest(
     benchmark: Benchmark,
     input: InputSet,
@@ -663,7 +665,20 @@ pub fn bias_profile_digest(
     h.write_str(input.name());
     h.write_u64(seed);
     h.write_u64(instructions);
+    mix_import_digest(&mut h, benchmark);
     h.finish()
+}
+
+/// Mixes an imported benchmark's admission-time content digest into a
+/// disk-tier key (no-op for synthetic benchmarks, keeping their keys — and
+/// every previously persisted profile — unchanged).
+fn mix_import_digest(h: &mut Hasher, benchmark: Benchmark) {
+    if let Benchmark::Imported(slot) = benchmark {
+        if let Some(info) = imports::info(slot) {
+            h.write_str("imported-content");
+            h.write_u64(info.digest);
+        }
+    }
 }
 
 /// The disk-tier key of an accuracy profile: the bias coordinates plus the
@@ -683,17 +698,19 @@ pub fn accuracy_profile_digest(
     h.write_u64(instructions);
     h.write_str(predictor.kind().name());
     h.write_u64(predictor.size_bytes() as u64);
+    mix_import_digest(&mut h, benchmark);
     h.finish()
 }
 
 /// Generates one run's event stream from scratch (the uncached path).
+///
+/// Dispatch over generator-backed, interleaved-server, and imported-trace
+/// benchmarks is [`open_source`]'s job; this path only caps and collects.
 fn generate_events(key: ArtifactKey) -> Vec<BranchEvent> {
     let (benchmark, input, seed, instructions) = key;
-    let mut source = Workload::spec95(benchmark)
-        .generator(input, seed)
-        .take_instructions(instructions);
+    let mut source = open_source(benchmark, input, seed).take_instructions(instructions);
     // Pre-size from the workload's branch density to avoid regrowth churn.
-    let expected = (instructions as f64 * key.0.spec().cbrs_per_ki(input) / 1000.0) as usize;
+    let expected = (instructions as f64 * benchmark.expected_cbrs_per_ki(input) / 1000.0) as usize;
     let mut events = Vec::with_capacity(expected.min(1 << 26));
     // Chunked pulls amortize the per-event source indirection; the generator
     // overrides `fill_events` with a straight batch loop.

@@ -17,7 +17,7 @@ use sdbp_profiles::{
     rank_interference, AccuracyProfile, BiasProfile, HintDatabase, InterferenceOptions,
     ProfileDatabase, SelectError, SelectionScheme,
 };
-use sdbp_workloads::{Benchmark, InputSet, Workload};
+use sdbp_workloads::{Benchmark, InputSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -156,11 +156,7 @@ impl ExperimentSpec {
     }
 
     fn budget(&self, input: InputSet, explicit: Option<u64>) -> u64 {
-        explicit.unwrap_or_else(|| {
-            Workload::spec95(self.benchmark)
-                .spec()
-                .default_instructions(input)
-        })
+        explicit.unwrap_or_else(|| self.benchmark.default_instructions(input))
     }
 
     /// The instruction budget of the measurement run, resolving the

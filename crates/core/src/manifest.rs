@@ -48,6 +48,11 @@ pub struct ManifestEntry {
 fn report_to_json(r: &Report) -> Json {
     Json::obj([
         ("benchmark", Json::str(r.benchmark.name())),
+        // Derived from the benchmark at render time (imported traces that
+        // mirror a synthetic run adopt its family, so their lines stay
+        // byte-identical to generator-backed ones); the parser rederives it
+        // and tolerates its absence in pre-family manifests.
+        ("family", Json::str(r.benchmark.family().name())),
         ("predictor", Json::str(r.predictor.kind().name())),
         ("size_bytes", Json::Int(r.predictor.size_bytes() as i64)),
         ("scheme", Json::str(&r.scheme_label)),

@@ -29,6 +29,12 @@ pub struct Report {
 }
 
 impl Report {
+    /// The workload family the report's cell belongs to (see
+    /// [`Benchmark::family`]), the grouping axis for per-family summaries.
+    pub fn family(&self) -> sdbp_workloads::WorkloadFamily {
+        self.benchmark.family()
+    }
+
     /// Relative MISPs/KI improvement of `self` over `baseline` — positive
     /// when `self` mispredicts less, matching the sign convention of the
     /// paper's Tables 3 and 4.

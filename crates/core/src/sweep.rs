@@ -42,7 +42,8 @@ use crate::manifest::{entry_for, RunStore};
 use crate::report::Report;
 use sdbp_predictors::PredictorConfig;
 use sdbp_profiles::SelectionScheme;
-use sdbp_workloads::{Benchmark, InputSet};
+use sdbp_workloads::{Benchmark, InputSet, WorkloadFamily};
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -519,6 +520,42 @@ pub struct SweepCell {
     pub elapsed: Duration,
 }
 
+/// Aggregate statistics of one workload family's cells within a sweep (see
+/// [`SweepResult::family_breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySummary {
+    /// The family the cells belong to.
+    pub family: WorkloadFamily,
+    /// Successful cells in this family.
+    pub cells: usize,
+    /// Total simulated branches across those cells.
+    pub branches: u64,
+    /// Aggregate misprediction density: total mispredictions per thousand
+    /// simulated instructions over every successful cell of the family.
+    pub misp_per_ki: f64,
+    /// Aggregate MISPs/KI of the family's baseline (`scheme == "none"`)
+    /// cells, when the grid contains any.
+    pub baseline_misp_per_ki: Option<f64>,
+    /// Relative MISPs/KI improvement of the family's static-scheme cells
+    /// over its baseline cells (positive = fewer mispredictions), when the
+    /// grid contains both.
+    pub delta_vs_none: Option<f64>,
+}
+
+impl fmt::Display for FamilySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "family {}: {} cells, {} branches, {:.3} MISPs/KI",
+            self.family, self.cells, self.branches, self.misp_per_ki
+        )?;
+        if let Some(delta) = self.delta_vs_none {
+            write!(f, ", {:+.1}% vs none", delta * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
 /// Everything a sweep produced: per-cell results in spec order plus timing
 /// and cache observability.
 #[derive(Debug)]
@@ -620,10 +657,72 @@ impl SweepResult {
         Some((rates[0], median, rates[rates.len() - 1]))
     }
 
+    /// Per-family aggregates over the successful cells, in
+    /// [`WorkloadFamily::ALL`] report order (families with no successful
+    /// cells are omitted).
+    ///
+    /// Families group *comparable* streams: aggregating branch counts or
+    /// MISPs/KI across SPEC95, server, and H2P cells would average
+    /// incommensurable workloads, so mixed-family grids report per family.
+    /// The per-family delta compares static-scheme cells against the
+    /// family's `"none"`-scheme baseline cells when the grid has both.
+    pub fn family_breakdown(&self) -> Vec<FamilySummary> {
+        WorkloadFamily::ALL
+            .iter()
+            .filter_map(|&family| {
+                let mut cells = 0usize;
+                let mut branches = 0u64;
+                let mut instructions = 0u64;
+                let mut mispredictions = 0u64;
+                // Baseline vs static-scheme split for the delta.
+                let (mut base_i, mut base_m) = (0u64, 0u64);
+                let (mut stat_i, mut stat_m) = (0u64, 0u64);
+                for report in self
+                    .cells
+                    .iter()
+                    .filter_map(|c| c.report.as_ref().ok())
+                    .filter(|r| r.family() == family)
+                {
+                    cells += 1;
+                    branches += report.stats.branches;
+                    instructions += report.stats.instructions;
+                    mispredictions += report.stats.mispredictions;
+                    if report.scheme_label == "none" {
+                        base_i += report.stats.instructions;
+                        base_m += report.stats.mispredictions;
+                    } else {
+                        stat_i += report.stats.instructions;
+                        stat_m += report.stats.mispredictions;
+                    }
+                }
+                if cells == 0 {
+                    return None;
+                }
+                let mpki = |m: u64, i: u64| m as f64 * 1000.0 / i as f64;
+                let baseline = (base_i > 0).then(|| mpki(base_m, base_i));
+                let delta = match (baseline, stat_i > 0) {
+                    (Some(base), true) if base > 0.0 => Some((base - mpki(stat_m, stat_i)) / base),
+                    _ => None,
+                };
+                Some(FamilySummary {
+                    family,
+                    cells,
+                    branches,
+                    misp_per_ki: mpki(mispredictions, instructions),
+                    baseline_misp_per_ki: baseline,
+                    delta_vs_none: delta,
+                })
+            })
+            .collect()
+    }
+
     /// A one-line summary: cell count, threads, wall time, speedup,
     /// aggregate branch throughput, per-cell throughput spread, and cache
     /// hit/miss counters (including traversals saved by fusion and
-    /// lockstep).
+    /// lockstep). Grids spanning **several** workload families append one
+    /// line per family (cells, branches, MISPs/KI, delta vs the `"none"`
+    /// baseline) instead of letting incomparable streams hide behind the
+    /// aggregate numbers; single-family summaries are unchanged.
     pub fn summary(&self) -> String {
         let mut summary = format!(
             "{} cells on {} threads in {:.2?} (cell time {:.2?}, {:.1}x, {:.1} Mbr/s); {}",
@@ -645,6 +744,12 @@ impl SweepResult {
         }
         if self.skipped > 0 {
             summary.push_str(&format!("; {} skipped at cell cap", self.skipped));
+        }
+        let families = self.family_breakdown();
+        if families.len() >= 2 {
+            for family in families {
+                summary.push_str(&format!("\n  {family}"));
+            }
         }
         summary
     }
@@ -967,6 +1072,51 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn single_family_summaries_stay_unlabeled() {
+        let result = Sweep::new(grid()).with_threads(2).run();
+        assert_eq!(result.family_breakdown().len(), 1);
+        assert!(
+            !result.summary().contains("family "),
+            "{}",
+            result.summary()
+        );
+    }
+
+    #[test]
+    fn mixed_family_grids_report_per_family() {
+        let mut specs = grid();
+        for scheme in [SelectionScheme::None, SelectionScheme::static_acc()] {
+            specs.push(
+                ExperimentSpec::self_trained(
+                    Benchmark::H2pChurn,
+                    PredictorConfig::new(PredictorKind::Gshare, 1024).unwrap(),
+                    scheme,
+                )
+                .with_instructions(120_000),
+            );
+        }
+        let result = Sweep::new(specs).with_threads(2).run();
+        let families = result.family_breakdown();
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].family, WorkloadFamily::Spec95);
+        assert_eq!(families[0].cells, 8);
+        assert_eq!(families[1].family, WorkloadFamily::H2p);
+        assert_eq!(families[1].cells, 2);
+        for f in &families {
+            assert!(f.misp_per_ki > 0.0, "{f}");
+            assert!(f.baseline_misp_per_ki.is_some(), "{f}");
+            assert!(f.delta_vs_none.is_some(), "{f}");
+        }
+        // The coin-flip family mispredicts far more densely than SPEC95 —
+        // exactly the incomparability the per-family split exists for.
+        assert!(families[1].misp_per_ki > families[0].misp_per_ki);
+        let summary = result.summary();
+        assert!(summary.contains("family spec95:"), "{summary}");
+        assert!(summary.contains("family h2p:"), "{summary}");
+        assert!(summary.contains("% vs none"), "{summary}");
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! PC deltas are zig-zag encoded because consecutive branches are usually
 //! close together in the address space, so deltas are small in magnitude but
 //! signed; packing `taken` into the gap word saves one byte per event.
+//!
+//! The decode path is split into [`read_header`] and [`EventDecoder`] so the
+//! streaming importer in [`crate::import`] can drive the same decoder one
+//! event at a time in bounded memory; [`read_binary`] is the materializing
+//! wrapper.
 
 use super::varint;
 use crate::error::TraceError;
@@ -23,7 +28,9 @@ use crate::event::{BranchAddr, BranchEvent};
 use crate::trace::{Trace, TraceMeta};
 use std::io::{Read, Write};
 
-const MAGIC: [u8; 4] = *b"SDBT";
+/// The 4-byte magic prefix of the binary format, shared with format
+/// autodetection in [`crate::import`].
+pub(crate) const MAGIC: [u8; 4] = *b"SDBT";
 const VERSION: u16 = 1;
 /// Sanity cap on the declared trace-name length, far above any real name.
 const MAX_NAME_LEN: u64 = 64 * 1024;
@@ -34,6 +41,102 @@ fn zigzag_encode(v: i64) -> u64 {
 
 fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The decoded fixed header of a binary trace.
+#[derive(Debug, Clone)]
+pub(crate) struct BinaryHeader {
+    /// The embedded trace name (may be empty).
+    pub name: String,
+    /// Number of events the payload promises.
+    pub events: u64,
+    /// Total retired instructions recorded at encode time.
+    pub total_instructions: u64,
+}
+
+/// Reads and validates the magic, version, and metadata fields, leaving the
+/// reader positioned at the first event record.
+pub(crate) fn read_header<R: Read>(r: &mut R) -> Result<BinaryHeader, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic { found: magic });
+    }
+    let mut version = [0u8; 2];
+    r.read_exact(&mut version)?;
+    let version = u16::from_le_bytes(version);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion { found: version });
+    }
+    let name_len = varint::read_u64(r)?;
+    // A corrupt length here would otherwise drive an arbitrarily large
+    // allocation before read_exact ever touches the payload.
+    if name_len > MAX_NAME_LEN {
+        return Err(TraceError::NameTooLong {
+            declared: name_len,
+            limit: MAX_NAME_LEN,
+        });
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8_lossy(&name_bytes).into_owned();
+    let events = varint::read_u64(r)?;
+    let total_instructions = varint::read_u64(r)?;
+    Ok(BinaryHeader {
+        name,
+        events,
+        total_instructions,
+    })
+}
+
+/// Incremental decoder for the per-event records following the header.
+///
+/// Holds the pc-delta chain state so events can be pulled one at a time in
+/// bounded memory.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct EventDecoder {
+    prev_pc: u64,
+    decoded: u64,
+}
+
+impl EventDecoder {
+    /// Events successfully decoded so far.
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Decodes the next event record, given the header's promised count.
+    ///
+    /// A varint cut off mid-event is reported as
+    /// [`TraceError::TruncatedEvents`] carrying how far the decode got.
+    pub fn next<R: Read>(&mut self, r: &mut R, expected: u64) -> Result<BranchEvent, TraceError> {
+        let delta = match varint::read_u64(r) {
+            Ok(v) => zigzag_decode(v),
+            Err(TraceError::TruncatedVarint) => {
+                return Err(TraceError::TruncatedEvents {
+                    expected,
+                    decoded: self.decoded,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let packed = match varint::read_u64(r) {
+            Ok(v) => v,
+            Err(TraceError::TruncatedVarint) => {
+                return Err(TraceError::TruncatedEvents {
+                    expected,
+                    decoded: self.decoded,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let pc = self.prev_pc.wrapping_add(delta as u64);
+        let taken = packed & 1 == 1;
+        let gap = (packed >> 1) as u32;
+        self.prev_pc = pc;
+        self.decoded += 1;
+        Ok(BranchEvent::new(BranchAddr(pc), taken, gap))
+    }
 }
 
 /// Writes `trace` in the binary format.
@@ -87,56 +190,16 @@ pub fn write_binary<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError
 ///   cut-off payloads,
 /// * [`TraceError::Io`] for underlying reader failures.
 pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(TraceError::BadMagic { found: magic });
-    }
-    let mut version = [0u8; 2];
-    r.read_exact(&mut version)?;
-    let version = u16::from_le_bytes(version);
-    if version != VERSION {
-        return Err(TraceError::UnsupportedVersion { found: version });
-    }
-    let name_len = varint::read_u64(r)?;
-    // A corrupt length here would otherwise drive an arbitrarily large
-    // allocation before read_exact ever touches the payload.
-    if name_len > MAX_NAME_LEN {
-        return Err(TraceError::NameTooLong {
-            declared: name_len,
-            limit: MAX_NAME_LEN,
-        });
-    }
-    let mut name_bytes = vec![0u8; name_len as usize];
-    r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8_lossy(&name_bytes).into_owned();
-    let count = varint::read_u64(r)?;
-    let total_instructions = varint::read_u64(r)?;
-
-    let mut events = Vec::with_capacity(count.min(1 << 24) as usize);
-    let mut prev_pc = 0u64;
-    for decoded in 0..count {
-        let delta = match varint::read_u64(r) {
-            Ok(v) => zigzag_decode(v),
-            Err(TraceError::TruncatedVarint) => {
-                return Err(TraceError::TruncatedEvents {
-                    expected: count,
-                    decoded,
-                })
-            }
-            Err(e) => return Err(e),
-        };
-        let packed = varint::read_u64(r)?;
-        let pc = prev_pc.wrapping_add(delta as u64);
-        let taken = packed & 1 == 1;
-        let gap = (packed >> 1) as u32;
-        events.push(BranchEvent::new(BranchAddr(pc), taken, gap));
-        prev_pc = pc;
+    let header = read_header(r)?;
+    let mut events = Vec::with_capacity(header.events.min(1 << 24) as usize);
+    let mut decoder = EventDecoder::default();
+    for _ in 0..header.events {
+        events.push(decoder.next(r, header.events)?);
     }
     Ok(Trace::from_parts(
         TraceMeta {
-            total_instructions,
-            name,
+            total_instructions: header.total_instructions,
+            name: header.name,
         },
         events,
     ))

@@ -10,8 +10,8 @@
 //!
 //! Both formats round-trip a [`crate::Trace`] exactly, including metadata.
 
-mod binary;
-mod text;
+pub(crate) mod binary;
+pub(crate) mod text;
 
 pub use binary::{read_binary, write_binary};
 pub use text::{read_text, write_text};

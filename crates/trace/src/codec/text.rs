@@ -11,10 +11,87 @@
 //! This is the interchange format for feeding externally collected branch
 //! traces (from Pin, DynamoRIO, QEMU plugins, …) into the simulator.
 
-use crate::error::TraceError;
+use crate::error::{RecordError, TraceError};
 use crate::event::{BranchAddr, BranchEvent};
 use crate::trace::{Trace, TraceBuilder};
 use std::io::{BufRead, BufReader, Read, Write};
+
+/// One meaningful line of a text-format trace.
+pub(crate) enum ParsedLine {
+    /// A branch record.
+    Event(BranchEvent),
+    /// A `!name` metadata directive.
+    Name(String),
+    /// A comment, blank line, or unknown directive.
+    Nothing,
+}
+
+/// Parses the direction token shared by the sdbp text and perf adapters.
+pub(crate) fn parse_direction(token: &str) -> Option<bool> {
+    match token {
+        "T" | "t" | "1" | "taken" => Some(true),
+        "N" | "n" | "0" | "not-taken" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parses `pc outcome [gap]` record fields from a token iterator.
+///
+/// Shared by the sdbp text codec (which feeds the whole line) and the perf
+/// adapter (which feeds the tokens after the perf prefix).
+pub(crate) fn parse_record_fields<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<BranchEvent, TraceError> {
+    let bad = |kind| TraceError::BadRecord { line: lineno, kind };
+    let pc_text = parts.next().ok_or_else(|| bad(RecordError::MissingPc))?;
+    let pc = u64::from_str_radix(pc_text.trim_start_matches("0x"), 16).map_err(|e| {
+        bad(RecordError::BadPc {
+            text: pc_text.to_string(),
+            source: e,
+        })
+    })?;
+    let outcome = parts
+        .next()
+        .ok_or_else(|| bad(RecordError::MissingOutcome))?;
+    let taken = parse_direction(outcome).ok_or_else(|| {
+        bad(RecordError::BadOutcome {
+            text: outcome.to_string(),
+        })
+    })?;
+    let gap = match parts.next() {
+        Some(g) => g.parse::<u32>().map_err(|e| {
+            bad(RecordError::BadGap {
+                text: g.to_string(),
+                source: e,
+            })
+        })?,
+        None => 0,
+    };
+    if let Some(extra) = parts.next() {
+        return Err(bad(RecordError::TrailingField {
+            text: extra.to_string(),
+        }));
+    }
+    Ok(BranchEvent::new(BranchAddr(pc), taken, gap))
+}
+
+/// Parses one line of the sdbp text format.
+///
+/// Unknown `!` directives are ignored so the format can grow.
+pub(crate) fn parse_text_line(line: &str, lineno: usize) -> Result<ParsedLine, TraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(ParsedLine::Nothing);
+    }
+    if let Some(directive) = line.strip_prefix('!') {
+        if let Some(n) = directive.strip_prefix("name ") {
+            return Ok(ParsedLine::Name(n.trim().to_string()));
+        }
+        return Ok(ParsedLine::Nothing);
+    }
+    parse_record_fields(line.split_whitespace(), lineno).map(ParsedLine::Event)
+}
 
 /// Writes `trace` in the text format.
 ///
@@ -44,8 +121,9 @@ pub fn write_text<W: Write>(w: &mut W, trace: &Trace) -> Result<(), TraceError> 
 ///
 /// # Errors
 ///
-/// [`TraceError::Parse`] (with a line number) for malformed lines and
-/// [`TraceError::Io`] for reader failures.
+/// [`TraceError::BadRecord`] (with a line number and a typed
+/// [`RecordError`]) for malformed lines and [`TraceError::Io`] for reader
+/// failures.
 ///
 /// # Examples
 ///
@@ -67,56 +145,13 @@ pub fn read_text<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
     let mut name = String::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
-        let lineno = idx + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some(directive) = line.strip_prefix('!') {
-            if let Some(n) = directive.strip_prefix("name ") {
-                name = n.trim().to_string();
+        match parse_text_line(&line, idx + 1)? {
+            ParsedLine::Event(e) => {
+                builder.push(e);
             }
-            continue;
+            ParsedLine::Name(n) => name = n,
+            ParsedLine::Nothing => {}
         }
-        let mut parts = line.split_whitespace();
-        let pc_text = parts.next().ok_or_else(|| TraceError::Parse {
-            line: lineno,
-            message: "missing pc field".into(),
-        })?;
-        let pc = u64::from_str_radix(pc_text.trim_start_matches("0x"), 16).map_err(|e| {
-            TraceError::Parse {
-                line: lineno,
-                message: format!("bad pc '{pc_text}': {e}"),
-            }
-        })?;
-        let outcome = parts.next().ok_or_else(|| TraceError::Parse {
-            line: lineno,
-            message: "missing outcome field".into(),
-        })?;
-        let taken = match outcome {
-            "T" | "t" | "1" => true,
-            "N" | "n" | "0" => false,
-            other => {
-                return Err(TraceError::Parse {
-                    line: lineno,
-                    message: format!("bad outcome '{other}', expected T or N"),
-                })
-            }
-        };
-        let gap = match parts.next() {
-            Some(g) => g.parse::<u32>().map_err(|e| TraceError::Parse {
-                line: lineno,
-                message: format!("bad gap '{g}': {e}"),
-            })?,
-            None => 0,
-        };
-        if let Some(extra) = parts.next() {
-            return Err(TraceError::Parse {
-                line: lineno,
-                message: format!("unexpected trailing field '{extra}'"),
-            });
-        }
-        builder.push(BranchEvent::new(BranchAddr(pc), taken, gap));
     }
     let mut trace = builder.finish();
     if !name.is_empty() {
@@ -175,8 +210,11 @@ mod tests {
     fn reports_line_numbers_on_errors() {
         let text = "10 T 1\nZZZ T 1\n";
         match read_text(&mut text.as_bytes()) {
-            Err(TraceError::Parse { line: 2, .. }) => {}
-            other => panic!("expected parse error at line 2, got {other:?}"),
+            Err(TraceError::BadRecord {
+                line: 2,
+                kind: RecordError::BadPc { .. },
+            }) => {}
+            other => panic!("expected a bad-pc error at line 2, got {other:?}"),
         }
     }
 
@@ -184,19 +222,31 @@ mod tests {
     fn rejects_bad_outcome_and_trailing_fields() {
         assert!(matches!(
             read_text(&mut "10 X 1\n".as_bytes()),
-            Err(TraceError::Parse { .. })
+            Err(TraceError::BadRecord {
+                line: 1,
+                kind: RecordError::BadOutcome { .. },
+            })
         ));
         assert!(matches!(
             read_text(&mut "10 T 1 junk\n".as_bytes()),
-            Err(TraceError::Parse { .. })
+            Err(TraceError::BadRecord {
+                kind: RecordError::TrailingField { .. },
+                ..
+            })
         ));
         assert!(matches!(
             read_text(&mut "10\n".as_bytes()),
-            Err(TraceError::Parse { .. })
+            Err(TraceError::BadRecord {
+                kind: RecordError::MissingOutcome,
+                ..
+            })
         ));
         assert!(matches!(
             read_text(&mut "10 T 4294967296\n".as_bytes()),
-            Err(TraceError::Parse { .. })
+            Err(TraceError::BadRecord {
+                kind: RecordError::BadGap { .. },
+                ..
+            })
         ));
     }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::num::ParseIntError;
 
 /// Errors produced while encoding or decoding traces.
 #[derive(Debug)]
@@ -35,13 +36,82 @@ pub enum TraceError {
         /// The decoder's cap in bytes.
         limit: u64,
     },
-    /// A text-format line could not be parsed.
-    Parse {
+    /// A line of a text-format trace is not a well-formed record.
+    BadRecord {
         /// 1-based line number.
         line: usize,
-        /// What was wrong with it.
-        message: String,
+        /// What exactly was malformed.
+        kind: RecordError,
     },
+    /// No importer recognized the input (see [`crate::import::autodetect`]).
+    UnknownFormat {
+        /// The first bytes of the input, for the error message.
+        prefix: Vec<u8>,
+    },
+}
+
+/// What was wrong with a single text-format record line.
+///
+/// Field-level variants carry the offending token, and numeric ones chain
+/// the underlying [`ParseIntError`] through
+/// [`source()`](std::error::Error::source) — the same taxonomy the
+/// artifacts-store errors follow.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The line has no pc field.
+    MissingPc,
+    /// The pc field is not valid hexadecimal.
+    BadPc {
+        /// The token as written.
+        text: String,
+        /// The integer-parse failure.
+        source: ParseIntError,
+    },
+    /// The line has a pc but no outcome field.
+    MissingOutcome,
+    /// The outcome field is not one of the accepted direction tokens.
+    BadOutcome {
+        /// The token as written.
+        text: String,
+    },
+    /// The gap field is not a decimal `u32`.
+    BadGap {
+        /// The token as written.
+        text: String,
+        /// The integer-parse failure.
+        source: ParseIntError,
+    },
+    /// The line has extra fields after the record.
+    TrailingField {
+        /// The first unexpected token.
+        text: String,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::MissingPc => f.write_str("missing pc field"),
+            RecordError::BadPc { text, source } => write!(f, "bad pc '{text}': {source}"),
+            RecordError::MissingOutcome => f.write_str("missing outcome field"),
+            RecordError::BadOutcome { text } => {
+                write!(f, "bad outcome '{text}', expected T or N")
+            }
+            RecordError::BadGap { text, source } => write!(f, "bad gap '{text}': {source}"),
+            RecordError::TrailingField { text } => {
+                write!(f, "unexpected trailing field '{text}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::BadPc { source, .. } | RecordError::BadGap { source, .. } => Some(source),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -63,8 +133,14 @@ impl fmt::Display for TraceError {
                 f,
                 "declared trace name length {declared} exceeds the {limit}-byte cap"
             ),
-            TraceError::Parse { line, message } => {
-                write!(f, "text trace parse error at line {line}: {message}")
+            TraceError::BadRecord { line, kind } => {
+                write!(f, "text trace parse error at line {line}: {kind}")
+            }
+            TraceError::UnknownFormat { prefix } => {
+                write!(
+                    f,
+                    "unrecognized trace format (input starts with {prefix:?})"
+                )
             }
         }
     }
@@ -74,6 +150,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
+            TraceError::BadRecord { kind, .. } => Some(kind),
             _ => None,
         }
     }
@@ -101,11 +178,16 @@ mod tests {
         };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('3'));
-        let e = TraceError::Parse {
+        let e = TraceError::BadRecord {
             line: 7,
-            message: "bad outcome".into(),
+            kind: RecordError::BadOutcome { text: "X".into() },
         };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("'X'"));
+        let e = TraceError::UnknownFormat {
+            prefix: b"\x7fELF".to_vec(),
+        };
+        assert!(e.to_string().contains("unrecognized"));
     }
 
     #[test]
@@ -115,5 +197,27 @@ mod tests {
         let e = TraceError::from(inner);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("eof"));
+    }
+
+    #[test]
+    fn record_errors_chain_the_parse_failure() {
+        use std::error::Error as _;
+        let parse_err = "zz".parse::<u32>().unwrap_err();
+        let e = TraceError::BadRecord {
+            line: 3,
+            kind: RecordError::BadGap {
+                text: "zz".into(),
+                source: parse_err,
+            },
+        };
+        // BadRecord -> RecordError -> ParseIntError, matching the artifacts
+        // error taxonomy where every wrapper exposes its cause.
+        let kind = e.source().expect("BadRecord chains its kind");
+        assert!(kind.source().is_some(), "kind chains the ParseIntError");
+        let e = TraceError::BadRecord {
+            line: 1,
+            kind: RecordError::MissingOutcome,
+        };
+        assert!(e.source().expect("kind").source().is_none());
     }
 }

@@ -12,6 +12,10 @@
 //!   workloads never have to be materialized,
 //! * [`codec`] — a compact varint binary format and a line-oriented text
 //!   format for interchange with external tools,
+//! * [`import`] — format autodetection and bounded-memory streaming
+//!   importers (native binary, sdbp text, `perf script` branch records), so
+//!   externally captured traces flow through the same [`BranchSource`]
+//!   front door as the synthetic generators,
 //! * [`stats`] — per-site and whole-trace statistics (bias, CBRs/KI, …) that
 //!   feed both the profile database and the paper's Table 1 / Table 5.
 //!
@@ -34,6 +38,7 @@
 
 pub mod codec;
 pub mod event;
+pub mod import;
 pub mod source;
 pub mod stats;
 pub mod trace;
@@ -41,10 +46,15 @@ pub mod trace;
 mod error;
 
 pub use codec::{read_binary, read_text, write_binary, write_text};
-pub use error::TraceError;
+pub use error::{RecordError, TraceError};
 pub use event::{BranchAddr, BranchEvent, Outcome};
+pub use import::{
+    autodetect, import_trace, open_path, scan_path, write_perf_text, ImportStream, TraceFormat,
+    TraceImporter, TraceScan,
+};
 pub use source::{
-    BranchSource, IterSource, SampleSource, SkipSource, SliceSource, TakeSource, TeeSource,
+    BranchSource, InterleaveSource, IterSource, SampleSource, SkipSource, SliceSource, TakeSource,
+    TeeSource,
 };
 pub use stats::{SiteStats, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceMeta};

@@ -388,6 +388,90 @@ impl<S: BranchSource> BranchSource for SampleSource<S> {
     }
 }
 
+/// Round-robin context-switch interleaving of several sources; the
+/// building block of the server workload family.
+///
+/// Each constituent source models one process; the interleave emits a
+/// `quantum`-instruction burst from each in turn, the way a scheduler
+/// timeslices processes onto one core — which is exactly what makes server
+/// workloads alias-hostile: predictor state trained in one quantum is
+/// clobbered during the next. Exhausted sources drop out of the rotation;
+/// the stream ends when all are exhausted.
+#[derive(Debug, Clone)]
+pub struct InterleaveSource<S> {
+    subs: Vec<S>,
+    quantum: u64,
+    current: usize,
+    used: u64,
+    label: String,
+}
+
+impl<S: BranchSource> InterleaveSource<S> {
+    /// Interleaves `subs` with a scheduling quantum of `quantum`
+    /// instructions (clamped to ≥ 1).
+    pub fn new(subs: Vec<S>, quantum: u64) -> Self {
+        let label = subs
+            .first()
+            .map(|s| s.label().to_string())
+            .unwrap_or_else(|| "<interleave>".to_string());
+        Self {
+            subs,
+            quantum: quantum.max(1),
+            current: 0,
+            used: 0,
+            label,
+        }
+    }
+
+    /// Overrides the report label (defaults to the first source's).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sources still in the rotation.
+    pub fn live_sources(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+impl<S: BranchSource> BranchSource for InterleaveSource<S> {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        loop {
+            if self.subs.is_empty() {
+                return None;
+            }
+            if self.current >= self.subs.len() {
+                self.current = 0;
+            }
+            match self.subs[self.current].next_event() {
+                Some(e) => {
+                    self.used += e.instructions();
+                    if self.used >= self.quantum {
+                        // Quantum expired: context-switch to the next
+                        // process after this event.
+                        self.used = 0;
+                        self.current += 1;
+                        if self.current >= self.subs.len() {
+                            self.current = 0;
+                        }
+                    }
+                    return Some(e);
+                }
+                None => {
+                    // Process exited; remove it and keep the rotation order.
+                    self.subs.remove(self.current);
+                    self.used = 0;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
 /// Adapts any iterator of events to [`BranchSource`].
 #[derive(Debug, Clone)]
 pub struct IterSource<I> {
@@ -676,6 +760,56 @@ mod tests {
         let mut buf = Vec::new();
         assert_eq!((&mut s).fill_events(&mut buf, 2), 2);
         assert_eq!(s.remaining(), 1, "the underlying source advanced");
+    }
+
+    #[test]
+    fn interleave_round_robins_by_quantum() {
+        // Two "processes" at distinct pcs, 1 instruction per event, quantum
+        // of 2: the schedule is a a | b b | a a | b b | ...
+        let a: Vec<BranchEvent> = (0..6).map(|i| ev(0x1000 + i * 4, 0)).collect();
+        let b: Vec<BranchEvent> = (0..6).map(|i| ev(0x2000 + i * 4, 0)).collect();
+        let mut s = InterleaveSource::new(vec![SliceSource::new(&a), SliceSource::new(&b)], 2);
+        let emitted: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+        assert_eq!(emitted.len(), 12, "nothing lost");
+        let schedule: Vec<u64> = emitted.iter().map(|e| e.pc.0 >> 12).collect();
+        assert_eq!(schedule, [1, 1, 2, 2, 1, 1, 2, 2, 1, 1, 2, 2]);
+        // Within each process, program order is preserved.
+        let from_a: Vec<BranchEvent> = emitted
+            .iter()
+            .filter(|e| e.pc.0 < 0x2000)
+            .copied()
+            .collect();
+        assert_eq!(from_a, a);
+    }
+
+    #[test]
+    fn interleave_drops_exhausted_sources() {
+        let a: Vec<BranchEvent> = (0..2).map(|i| ev(0x1000 + i * 4, 0)).collect();
+        let b: Vec<BranchEvent> = (0..6).map(|i| ev(0x2000 + i * 4, 0)).collect();
+        let mut s = InterleaveSource::new(vec![SliceSource::new(&a), SliceSource::new(&b)], 2);
+        let emitted: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+        assert_eq!(emitted.len(), 8);
+        // Once a is exhausted the rest is b alone, in order.
+        assert_eq!(emitted[4..].iter().filter(|e| e.pc.0 >= 0x2000).count(), 4);
+        assert_eq!(s.live_sources(), 0);
+        assert_eq!(s.next_event(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn interleave_labels_and_degenerate_cases() {
+        let a = [ev(0, 0)];
+        let s = InterleaveSource::new(vec![SliceSource::new(&a)], 0);
+        assert_eq!(s.label(), "<slice>", "inherits the first source's label");
+        let s = s.with_label("server_web.ref");
+        assert_eq!(s.label(), "server_web.ref");
+        let mut empty: InterleaveSource<SliceSource<'_>> = InterleaveSource::new(vec![], 8);
+        assert_eq!(empty.label(), "<interleave>");
+        assert_eq!(empty.next_event(), None);
+        // A single source with quantum 1 is the identity stream.
+        let events: Vec<BranchEvent> = (0..5).map(|i| ev(i * 4, 1)).collect();
+        let mut s = InterleaveSource::new(vec![SliceSource::new(&events)], 1);
+        let emitted: Vec<BranchEvent> = std::iter::from_fn(|| s.next_event()).collect();
+        assert_eq!(emitted, events);
     }
 
     #[test]

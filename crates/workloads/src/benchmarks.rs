@@ -10,11 +10,18 @@
 //! Run lengths are scaled down from the paper's 0.5–63 *billion* instructions
 //! to tens of millions (DESIGN.md §3, substitution 2).
 
-use crate::spec::{Mixture, Perturbation, WorkloadSpec};
+use crate::family::WorkloadFamily;
+use crate::imports;
+use crate::spec::{InputSet, Mixture, Perturbation, WorkloadSpec};
 use std::fmt;
 use std::str::FromStr;
 
-/// The SPECINT95 programs evaluated in the paper.
+/// The benchmark models the simulator can drive.
+///
+/// The first six are the paper's SPECINT95 programs; the server and H2P
+/// members extend the study to workload families the paper never saw
+/// (ROADMAP item 2), and [`Benchmark::Imported`] names an externally
+/// captured trace admitted through [`crate::imports`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// The Go-playing program: few biased branches, hardest to predict.
@@ -29,6 +36,23 @@ pub enum Benchmark {
     Compress,
     /// The JPEG codec: branch-sparse, little aliasing.
     Ijpeg,
+    /// Server front-end: request dispatch, flat biases, high CBR/KI,
+    /// context-switch interleaved.
+    ServerWeb,
+    /// Server storage backend: B-tree probes, even flatter biases, the
+    /// largest server static population, context-switch interleaved.
+    ServerDb,
+    /// H2P, rare class: a very flat execution profile over a large site
+    /// population — each hard branch executes rarely and trains slowly
+    /// (Lin & Tarsa's large-footprint H2Ps).
+    H2pRare,
+    /// H2P, churn class: a small set of hot, purely data-dependent coins —
+    /// history-resistant no matter how much they execute (Lin & Tarsa's
+    /// high-frequency H2Ps).
+    H2pChurn,
+    /// An externally captured trace in registry slot `n`; see
+    /// [`crate::imports::register`].
+    Imported(u8),
 }
 
 impl Benchmark {
@@ -42,7 +66,26 @@ impl Benchmark {
         Benchmark::Ijpeg,
     ];
 
-    /// The benchmark's SPEC name.
+    /// All synthetic benchmarks: the paper's six plus the server and H2P
+    /// family members.
+    pub const SYNTHETIC: [Benchmark; 10] = [
+        Benchmark::Go,
+        Benchmark::Gcc,
+        Benchmark::Perl,
+        Benchmark::M88ksim,
+        Benchmark::Compress,
+        Benchmark::Ijpeg,
+        Benchmark::ServerWeb,
+        Benchmark::ServerDb,
+        Benchmark::H2pRare,
+        Benchmark::H2pChurn,
+    ];
+
+    /// The benchmark's stable name.
+    ///
+    /// Imported benchmarks report the display name recorded at admission
+    /// (the trace's embedded name), falling back to `importN` for
+    /// unregistered slots.
     pub fn name(self) -> &'static str {
         match self {
             Benchmark::Go => "go",
@@ -51,6 +94,94 @@ impl Benchmark {
             Benchmark::M88ksim => "m88ksim",
             Benchmark::Compress => "compress",
             Benchmark::Ijpeg => "ijpeg",
+            Benchmark::ServerWeb => "server_web",
+            Benchmark::ServerDb => "server_db",
+            Benchmark::H2pRare => "h2p_rare",
+            Benchmark::H2pChurn => "h2p_churn",
+            Benchmark::Imported(slot) => imports::info(slot)
+                .map(|t| t.display_name)
+                .unwrap_or_else(|| {
+                    imports::SLOT_NAMES
+                        .get(slot as usize)
+                        .copied()
+                        .unwrap_or("import?")
+                }),
+        }
+    }
+
+    /// The workload family this benchmark reports under.
+    ///
+    /// An imported trace normally reports as [`WorkloadFamily::Imported`],
+    /// but a re-import of an exported synthetic run adopts the family of
+    /// the benchmark it mirrors (see [`crate::imports::ImportedTrace`]) so
+    /// its cells group with — and stay byte-identical to — the
+    /// generator-backed equivalents.
+    pub fn family(self) -> WorkloadFamily {
+        match self {
+            Benchmark::Go
+            | Benchmark::Gcc
+            | Benchmark::Perl
+            | Benchmark::M88ksim
+            | Benchmark::Compress
+            | Benchmark::Ijpeg => WorkloadFamily::Spec95,
+            Benchmark::ServerWeb | Benchmark::ServerDb => WorkloadFamily::Server,
+            Benchmark::H2pRare | Benchmark::H2pChurn => WorkloadFamily::H2p,
+            Benchmark::Imported(slot) => {
+                imports::info(slot).map_or(WorkloadFamily::Imported, |t| t.family)
+            }
+        }
+    }
+
+    /// The members of a family, in report order.
+    ///
+    /// For [`WorkloadFamily::Imported`] this is the traces registered so
+    /// far in this process.
+    pub fn family_members(family: WorkloadFamily) -> Vec<Benchmark> {
+        match family {
+            WorkloadFamily::Spec95 => Benchmark::ALL.to_vec(),
+            WorkloadFamily::Server => vec![Benchmark::ServerWeb, Benchmark::ServerDb],
+            WorkloadFamily::H2p => vec![Benchmark::H2pRare, Benchmark::H2pChurn],
+            WorkloadFamily::Imported => imports::registered(),
+        }
+    }
+
+    /// The default instruction budget for `input`.
+    ///
+    /// Synthetic benchmarks use their calibrated spec; imported traces use
+    /// the full instruction count recorded at admission (the file *is* the
+    /// run, whichever input set names it).
+    ///
+    /// # Panics
+    ///
+    /// For an imported benchmark whose slot was never registered — such
+    /// values cannot be parsed from user input, so reaching one is a bug.
+    pub fn default_instructions(self, input: InputSet) -> u64 {
+        match self {
+            Benchmark::Imported(slot) => {
+                imports::info(slot)
+                    .unwrap_or_else(|| {
+                        panic!("imported benchmark slot {slot} used before registration")
+                    })
+                    .total_instructions
+            }
+            _ => self.spec().default_instructions(input),
+        }
+    }
+
+    /// The expected conditional-branch density for `input`, used to
+    /// pre-size event buffers.
+    ///
+    /// # Panics
+    ///
+    /// Like [`Benchmark::default_instructions`], for unregistered imports.
+    pub fn expected_cbrs_per_ki(self, input: InputSet) -> f64 {
+        match self {
+            Benchmark::Imported(slot) => imports::info(slot)
+                .unwrap_or_else(|| {
+                    panic!("imported benchmark slot {slot} used before registration")
+                })
+                .cbrs_per_ki(),
+            _ => self.spec().cbrs_per_ki(input),
         }
     }
 
@@ -253,6 +384,146 @@ impl Benchmark {
                 train_instructions: 8_000_000,
                 ref_instructions: 16_000_000,
             },
+            // server_web: request-dispatch front end. High CBR/KI, a large
+            // static population executed flatly (low zipf), and flat biases —
+            // the moderate/weak mass dominates, so dynamic tables see
+            // constant destructive aliasing. The source layer additionally
+            // interleaves four of these processes at context-switch quanta.
+            Benchmark::ServerWeb => WorkloadSpec {
+                name: "server_web",
+                static_sites: 24618,
+                cbrs_per_ki_train: 178.0,
+                cbrs_per_ki_ref: 182.0,
+                mixture: Mixture {
+                    strong_biased: 0.30,
+                    moderate_biased: 0.34,
+                    weak_biased: 0.22,
+                    correlated: 0.08,
+                    pattern: 0.03,
+                    loop_sites: 0.03,
+                },
+                zipf_exponent: 0.55,
+                biased_stickiness: 0.85,
+                latch_noise: 0.25,
+                micro_chains: 0.35,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.55,
+                mean_iterations: 4.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.02,
+                    drift_sd: 0.02,
+                    ref_only_chains: 0.04,
+                    train_only_chains: 0.02,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // server_db: storage backend probing B-trees. The largest server
+            // static population, an even flatter execution profile, and more
+            // weakly biased comparison branches than the front end.
+            Benchmark::ServerDb => WorkloadSpec {
+                name: "server_db",
+                static_sites: 31247,
+                cbrs_per_ki_train: 168.0,
+                cbrs_per_ki_ref: 174.0,
+                mixture: Mixture {
+                    strong_biased: 0.26,
+                    moderate_biased: 0.30,
+                    weak_biased: 0.26,
+                    correlated: 0.10,
+                    pattern: 0.04,
+                    loop_sites: 0.04,
+                },
+                zipf_exponent: 0.50,
+                biased_stickiness: 0.85,
+                latch_noise: 0.25,
+                micro_chains: 0.35,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.55,
+                mean_iterations: 5.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.02,
+                    drift_sd: 0.02,
+                    ref_only_chains: 0.04,
+                    train_only_chains: 0.02,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // h2p_rare: Lin & Tarsa's large-footprint hard branches. A big
+            // site population executed almost uniformly (very low zipf), so
+            // each site trains slowly; the biased mass is thin and what bias
+            // exists barely sticks (stickiness 0.10, latch_noise 0.90 ≈
+            // per-execution Bernoulli draws that history cannot learn).
+            Benchmark::H2pRare => WorkloadSpec {
+                name: "h2p_rare",
+                static_sites: 21211,
+                cbrs_per_ki_train: 132.0,
+                cbrs_per_ki_ref: 137.0,
+                mixture: Mixture {
+                    strong_biased: 0.18,
+                    moderate_biased: 0.20,
+                    weak_biased: 0.46,
+                    correlated: 0.08,
+                    pattern: 0.04,
+                    loop_sites: 0.04,
+                },
+                zipf_exponent: 0.35,
+                biased_stickiness: 0.10,
+                latch_noise: 0.90,
+                micro_chains: 0.30,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.60,
+                mean_iterations: 4.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.02,
+                    drift_sd: 0.02,
+                    ref_only_chains: 0.03,
+                    train_only_chains: 0.02,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // h2p_churn: Lin & Tarsa's high-frequency hard branches. A small
+            // hot set (high zipf) of data-dependent coins: stickiness 0 and
+            // latch_noise 1 make every weak/moderate site a fresh Bernoulli
+            // draw per execution — unlimited training never helps.
+            Benchmark::H2pChurn => WorkloadSpec {
+                name: "h2p_churn",
+                static_sites: 6143,
+                cbrs_per_ki_train: 146.0,
+                cbrs_per_ki_ref: 150.0,
+                mixture: Mixture {
+                    strong_biased: 0.16,
+                    moderate_biased: 0.14,
+                    weak_biased: 0.58,
+                    correlated: 0.06,
+                    pattern: 0.03,
+                    loop_sites: 0.03,
+                },
+                zipf_exponent: 0.85,
+                biased_stickiness: 0.0,
+                latch_noise: 1.0,
+                micro_chains: 0.30,
+                straight_chains: 0.30,
+                fixed_iter_chains: 0.60,
+                mean_iterations: 5.0,
+                perturbation: Perturbation {
+                    flip_fraction: 0.015,
+                    drift_sd: 0.015,
+                    ref_only_chains: 0.02,
+                    train_only_chains: 0.01,
+                },
+                train_instructions: 8_000_000,
+                ref_instructions: 16_000_000,
+            },
+            // Imported traces have no generator spec: their stream comes off
+            // disk. All structural queries go through default_instructions /
+            // expected_cbrs_per_ki, which consult the import registry.
+            Benchmark::Imported(slot) => panic!(
+                "Benchmark::Imported({slot}) has no workload spec; imported traces replay from \
+                 disk (use default_instructions/expected_cbrs_per_ki or open_source instead)"
+            ),
         }
     }
 }
@@ -274,7 +545,11 @@ impl FromStr for Benchmark {
             "m88ksim" => Ok(Benchmark::M88ksim),
             "compress" => Ok(Benchmark::Compress),
             "ijpeg" | "jpeg" => Ok(Benchmark::Ijpeg),
-            other => Err(UnknownBenchmark(other.to_string())),
+            "server_web" => Ok(Benchmark::ServerWeb),
+            "server_db" => Ok(Benchmark::ServerDb),
+            "h2p_rare" => Ok(Benchmark::H2pRare),
+            "h2p_churn" => Ok(Benchmark::H2pChurn),
+            other => imports::lookup(other).ok_or_else(|| UnknownBenchmark(other.to_string())),
         }
     }
 }
@@ -316,13 +591,88 @@ mod tests {
 
     #[test]
     fn all_specs_are_valid() {
-        for b in Benchmark::ALL {
+        for b in Benchmark::SYNTHETIC {
             let s = b.spec();
             assert!(s.mixture.is_valid(), "{b}");
             assert!(s.zipf_exponent >= 0.0, "{b}");
             assert!(s.train_instructions > 0 && s.ref_instructions > 0, "{b}");
             assert!(s.perturbation.flip_fraction < 0.2, "{b}");
         }
+    }
+
+    #[test]
+    fn families_partition_the_synthetic_benchmarks() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.family(), WorkloadFamily::Spec95, "{b}");
+        }
+        assert_eq!(Benchmark::ServerWeb.family(), WorkloadFamily::Server);
+        assert_eq!(Benchmark::H2pChurn.family(), WorkloadFamily::H2p);
+        assert_eq!(Benchmark::Imported(0).family(), WorkloadFamily::Imported);
+        // family_members over the synthetic families covers SYNTHETIC exactly.
+        let mut members: Vec<Benchmark> = [
+            WorkloadFamily::Spec95,
+            WorkloadFamily::Server,
+            WorkloadFamily::H2p,
+        ]
+        .into_iter()
+        .flat_map(Benchmark::family_members)
+        .collect();
+        members.sort_by_key(|b| b.name());
+        let mut synthetic = Benchmark::SYNTHETIC.to_vec();
+        synthetic.sort_by_key(|b| b.name());
+        assert_eq!(members, synthetic);
+    }
+
+    #[test]
+    fn server_family_is_an_aliasing_stressor() {
+        // Denser and flatter than every SPEC95 member: more CBRs/KI and a
+        // lower zipf exponent (flatter site usage) than gcc, the SPEC95
+        // aliasing champion.
+        let gcc = Benchmark::Gcc.spec();
+        for b in [Benchmark::ServerWeb, Benchmark::ServerDb] {
+            let s = b.spec();
+            assert!(s.cbrs_per_ki_ref > gcc.cbrs_per_ki_ref, "{b}");
+            assert!(s.zipf_exponent < gcc.zipf_exponent, "{b}");
+            assert!(s.static_sites > 20_000, "{b}");
+        }
+    }
+
+    #[test]
+    fn h2p_family_is_history_resistant_by_construction() {
+        // The hard-branch families carry most dynamic mass in weakly biased
+        // sites whose outcomes re-randomize (high latch_noise, low
+        // stickiness): history predictors cannot latch onto them.
+        for b in [Benchmark::H2pRare, Benchmark::H2pChurn] {
+            let s = b.spec();
+            assert!(s.mixture.weak_biased >= 0.46, "{b}");
+            assert!(s.latch_noise >= 0.90, "{b}");
+            assert!(s.biased_stickiness <= 0.10, "{b}");
+        }
+        // Rare class is flat over a big footprint; churn class is hot.
+        assert!(Benchmark::H2pRare.spec().zipf_exponent < 0.5);
+        assert!(Benchmark::H2pChurn.spec().zipf_exponent > 0.7);
+    }
+
+    #[test]
+    fn default_budgets_come_from_specs_for_synthetic_benchmarks() {
+        assert_eq!(
+            Benchmark::ServerWeb.default_instructions(InputSet::Train),
+            8_000_000
+        );
+        assert_eq!(
+            Benchmark::H2pRare.default_instructions(InputSet::Ref),
+            16_000_000
+        );
+        assert_eq!(
+            Benchmark::Gcc.expected_cbrs_per_ki(InputSet::Ref),
+            Benchmark::Gcc.spec().cbrs_per_ki_ref
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "has no workload spec")]
+    fn imported_benchmarks_have_no_spec() {
+        let _ = Benchmark::Imported(7).spec();
     }
 
     #[test]
@@ -336,7 +686,7 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for b in Benchmark::ALL {
+        for b in Benchmark::SYNTHETIC {
             assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
         }
         assert!("fortran".parse::<Benchmark>().is_err());

@@ -1,0 +1,251 @@
+//! Registry of admitted external traces.
+//!
+//! Imported traces need a [`crate::Benchmark`] identity so they can ride the
+//! cache keys, sweep grouping, and manifests that everything downstream is
+//! built on. `Benchmark` is `Copy` and its names are `&'static str`, so the
+//! registry is a fixed array of process-wide slots: admitting a trace file
+//! (after a validating [`sdbp_trace::scan_path`] pass) claims the next free
+//! slot and yields `Benchmark::Imported(slot)`.
+//!
+//! Registration is per-process and append-only — the admission decision for
+//! a file is made once, and every later open of the slot replays the same
+//! path. The content digest recorded at admission is mixed into profile
+//! cache digests so a re-registered, *changed* file can never replay stale
+//! cached profiles.
+
+use crate::benchmarks::Benchmark;
+use crate::family::WorkloadFamily;
+use sdbp_trace::{scan_path, TraceFormat, TraceScan};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum number of imported traces per process.
+pub const MAX_IMPORT_SLOTS: usize = 8;
+
+/// Fallback display names, one per slot, used when a trace has no usable
+/// embedded name.
+pub(crate) const SLOT_NAMES: [&str; MAX_IMPORT_SLOTS] = [
+    "import0", "import1", "import2", "import3", "import4", "import5", "import6", "import7",
+];
+
+/// An admitted external trace.
+#[derive(Debug)]
+pub struct ImportedTrace {
+    /// The slot index backing `Benchmark::Imported(slot)`.
+    pub slot: u8,
+    /// Display name: the trace's embedded name (input suffix stripped), or
+    /// the slot fallback (`importN`).
+    pub display_name: &'static str,
+    /// The family the trace reports under. A re-import of an exported
+    /// synthetic run (display name matching a synthetic benchmark) *adopts*
+    /// that benchmark's family — it is the same stream, so its cells group
+    /// and compare with the generator-backed ones, byte-identically. A
+    /// foreign trace is [`WorkloadFamily::Imported`].
+    pub family: WorkloadFamily,
+    /// Where the trace file lives.
+    pub path: PathBuf,
+    /// The autodetected on-disk format.
+    pub format: TraceFormat,
+    /// Events counted by the admission scan.
+    pub events: u64,
+    /// Instructions accounted by the admission scan.
+    pub total_instructions: u64,
+    /// FNV-1a content digest of the decoded event stream.
+    pub digest: u64,
+}
+
+impl ImportedTrace {
+    /// Conditional branches per thousand instructions.
+    pub fn cbrs_per_ki(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1000.0 / self.total_instructions as f64
+        }
+    }
+}
+
+static SLOTS: [OnceLock<ImportedTrace>; MAX_IMPORT_SLOTS] =
+    [const { OnceLock::new() }; MAX_IMPORT_SLOTS];
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+/// Scans and admits the trace at `path`, returning its benchmark identity.
+///
+/// Admission is strict: a decode error anywhere in the file (truncation,
+/// corruption) rejects the trace — the `sdbp check` SDBP07x lints report
+/// the details.
+///
+/// # Errors
+///
+/// A rendered message when the file cannot be opened or scanned, the scan
+/// hits a decode error, the trace is empty, or all slots are taken.
+pub fn register(path: &Path) -> Result<Benchmark, String> {
+    let scan = scan_path(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    register_scanned(path, &scan)
+}
+
+/// Admits a trace already scanned by the caller (avoids a second pass when
+/// `sdbp ingest` has just scanned it).
+///
+/// # Errors
+///
+/// Same conditions as [`register`], minus the scan itself.
+pub fn register_scanned(path: &Path, scan: &TraceScan) -> Result<Benchmark, String> {
+    if let Some(err) = &scan.error {
+        return Err(format!("{}: {err}", path.display()));
+    }
+    if scan.events == 0 {
+        return Err(format!(
+            "{}: trace contains no branch events",
+            path.display()
+        ));
+    }
+    let slot = NEXT_SLOT.fetch_add(1, Ordering::SeqCst);
+    if slot >= MAX_IMPORT_SLOTS {
+        return Err(format!(
+            "all {MAX_IMPORT_SLOTS} import slots are in use; restart the process to re-register"
+        ));
+    }
+    let display_name = display_name_for(&scan.name, slot);
+    let family = Benchmark::SYNTHETIC
+        .iter()
+        .find(|b| b.name() == display_name)
+        .map_or(WorkloadFamily::Imported, |b| b.family());
+    let entry = ImportedTrace {
+        slot: slot as u8,
+        display_name,
+        family,
+        path: path.to_path_buf(),
+        format: scan.format,
+        events: scan.events,
+        total_instructions: scan.total_instructions,
+        digest: scan.digest,
+    };
+    SLOTS[slot]
+        .set(entry)
+        .expect("slot indices are handed out exactly once");
+    Ok(Benchmark::Imported(slot as u8))
+}
+
+/// The admitted trace backing a slot, if registered.
+pub fn info(slot: u8) -> Option<&'static ImportedTrace> {
+    SLOTS.get(slot as usize).and_then(|s| s.get())
+}
+
+/// All currently registered imported benchmarks, in admission order.
+pub fn registered() -> Vec<Benchmark> {
+    (0..MAX_IMPORT_SLOTS as u8)
+        .filter(|&s| info(s).is_some())
+        .map(Benchmark::Imported)
+        .collect()
+}
+
+/// Resolves a name (`importN` or a registered display name) to an imported
+/// benchmark. Synthetic names take precedence in `Benchmark::from_str`;
+/// this only sees names the synthetic table rejected.
+pub fn lookup(name: &str) -> Option<Benchmark> {
+    for slot in 0..MAX_IMPORT_SLOTS as u8 {
+        if let Some(t) = info(slot) {
+            if t.display_name == name || SLOT_NAMES[slot as usize] == name {
+                return Some(Benchmark::Imported(slot));
+            }
+        }
+    }
+    None
+}
+
+/// Derives the display name for a slot: the scanned name with a
+/// `.train`/`.ref` input suffix stripped, so a re-imported export of
+/// `h2p_rare.ref` reports as `h2p_rare` — byte-identical to the
+/// generator-backed run it mirrors. Falls back to `importN`.
+fn display_name_for(scanned: &str, slot: usize) -> &'static str {
+    let base = scanned
+        .strip_suffix(".train")
+        .or_else(|| scanned.strip_suffix(".ref"))
+        .unwrap_or(scanned)
+        .trim();
+    if base.is_empty() {
+        SLOT_NAMES[slot]
+    } else {
+        // Leak once per admitted trace: the registry is append-only and
+        // bounded at MAX_IMPORT_SLOTS entries per process.
+        Box::leak(base.to_string().into_boxed_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_trace::{write_binary, BranchAddr, BranchEvent, TraceBuilder};
+
+    // NOTE: the registry is process-global and tests run in one process, so
+    // every test that registers does so through this helper and asserts on
+    // the returned slot's info rather than on global counts.
+    fn write_sample(name: &str, file: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sdbp-imports-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = TraceBuilder::named(name);
+        b.push(BranchEvent::new(BranchAddr(0x1000), true, 9));
+        b.push(BranchEvent::new(BranchAddr(0x1010), false, 4));
+        let trace = b.finish();
+        let path = dir.join(file);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn register_records_scan_stats_and_strips_input_suffix() {
+        let path = write_sample("webfront.ref", "webfront.sdbt");
+        let b = register(&path).unwrap();
+        let Benchmark::Imported(slot) = b else {
+            panic!("expected an imported benchmark, got {b:?}");
+        };
+        let t = info(slot).unwrap();
+        assert_eq!(t.display_name, "webfront");
+        assert_eq!(t.family, WorkloadFamily::Imported);
+        assert_eq!(t.events, 2);
+        assert_eq!(t.total_instructions, 10 + 5);
+        assert_eq!(t.format, TraceFormat::SdbtBinary);
+        assert!(t.cbrs_per_ki() > 100.0);
+        assert_eq!(lookup("webfront"), Some(b));
+        assert_eq!(lookup(SLOT_NAMES[slot as usize]), Some(b));
+        assert!(registered().contains(&b));
+    }
+
+    #[test]
+    fn truncated_traces_are_rejected_at_admission() {
+        let path = write_sample("cut.ref", "cut.sdbt");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let err = register(&path).unwrap_err();
+        assert!(err.contains("truncated"), "got: {err}");
+    }
+
+    #[test]
+    fn reimported_synthetic_exports_adopt_their_family() {
+        let path = write_sample("h2p_churn.ref", "h2p_churn.sdbt");
+        let b = register(&path).unwrap();
+        let Benchmark::Imported(slot) = b else {
+            panic!("expected an imported benchmark, got {b:?}");
+        };
+        let t = info(slot).unwrap();
+        assert_eq!(t.display_name, "h2p_churn");
+        assert_eq!(t.family, WorkloadFamily::H2p);
+        assert_eq!(b.family(), WorkloadFamily::H2p);
+        // The synthetic table wins name resolution; the import is only
+        // reachable through its slot or the returned benchmark value.
+        assert_eq!(
+            "h2p_churn".parse::<Benchmark>().unwrap(),
+            Benchmark::H2pChurn
+        );
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_nothing() {
+        assert_eq!(lookup("no-such-trace"), None);
+        assert!(info(MAX_IMPORT_SLOTS as u8).is_none(), "out of range");
+    }
+}

@@ -25,6 +25,13 @@
 //! (direction flips, bias drift, input-dependent chains), reproducing the
 //! paper's Table 5 cross-input statistics.
 //!
+//! Beyond the paper's six programs, the crate models two further
+//! [`WorkloadFamily`] groups — server-style streams (flat biases, high
+//! CBR/KI, context-switch interleaving) and hard-to-predict streams per
+//! Lin & Tarsa's taxonomy — and admits externally captured traces through
+//! [`imports`]; [`open_source`] is the uniform dispatch point over all of
+//! them.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,14 +52,20 @@
 
 pub mod behavior;
 pub mod benchmarks;
+pub mod family;
 pub mod generator;
+pub mod imports;
 pub mod program;
+pub mod source;
 pub mod spec;
 
 pub use behavior::{BranchBehavior, SiteState};
 pub use benchmarks::Benchmark;
+pub use family::WorkloadFamily;
 pub use generator::WorkloadGenerator;
+pub use imports::ImportedTrace;
 pub use program::{ChainModel, IterModel, ProgramModel, SiteModel};
+pub use source::{open_source, BenchmarkSource};
 pub use spec::{InputSet, Mixture, Perturbation, Workload, WorkloadSpec};
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! Uniform branch-source construction across all benchmark kinds.
+//!
+//! [`open_source`] is the single dispatch point the profiling and
+//! measurement passes go through: it hides whether a benchmark's stream
+//! comes from one generator (SPEC95, H2P), several context-switch
+//! interleaved generators (server family), or a trace file on disk
+//! (imported). Everything downstream sees a plain [`BranchSource`], so
+//! fusion and lockstep execution ride unchanged.
+
+use crate::benchmarks::Benchmark;
+use crate::generator::WorkloadGenerator;
+use crate::imports;
+use crate::spec::{InputSet, Workload};
+use sdbp_trace::{
+    open_path, BranchEvent, BranchSource, ImportStream, InterleaveSource, SkipSource,
+};
+
+/// Number of processes interleaved for server-family benchmarks.
+pub const SERVER_PROCESSES: usize = 4;
+/// Context-switch quantum for server interleaving, in instructions.
+///
+/// Tens of thousands of instructions per switch is the classic OS
+/// timeslice-to-pipeline ratio at this simulation scale: long enough that
+/// each process builds up predictor state, short enough that the processes
+/// genuinely collide in the tables.
+pub const SERVER_QUANTUM: u64 = 30_000;
+/// Per-process phase offset, in instructions: process `i` skips `i` times
+/// this many instructions so the interleaved streams are not in lockstep.
+const SERVER_PHASE_STRIDE: u64 = 7_500;
+
+/// The branch stream backing one benchmark/input/seed cell.
+///
+/// Obtained from [`open_source`]; behaves as a plain [`BranchSource`].
+#[derive(Debug)]
+pub enum BenchmarkSource {
+    /// A single synthetic generator (SPEC95 and H2P families).
+    Generated(WorkloadGenerator),
+    /// Several phase-shifted generators interleaved at context-switch
+    /// quanta (server family).
+    Server(InterleaveSource<SkipSource<WorkloadGenerator>>),
+    /// An external trace replayed from disk.
+    Imported(ImportStream),
+}
+
+impl BenchmarkSource {
+    /// The decode error that ended an imported stream early, if any.
+    ///
+    /// Always `None` for synthetic sources. Admission scans the whole file,
+    /// so this only fires if the file changed on disk after registration.
+    pub fn import_error(&self) -> Option<&sdbp_trace::TraceError> {
+        match self {
+            BenchmarkSource::Imported(s) => s.error(),
+            _ => None,
+        }
+    }
+}
+
+impl BranchSource for BenchmarkSource {
+    fn next_event(&mut self) -> Option<BranchEvent> {
+        match self {
+            BenchmarkSource::Generated(s) => s.next_event(),
+            BenchmarkSource::Server(s) => s.next_event(),
+            BenchmarkSource::Imported(s) => s.next_event(),
+        }
+    }
+
+    fn fill_events(&mut self, buf: &mut Vec<BranchEvent>, max: usize) -> usize {
+        match self {
+            BenchmarkSource::Generated(s) => s.fill_events(buf, max),
+            BenchmarkSource::Server(s) => s.fill_events(buf, max),
+            BenchmarkSource::Imported(s) => s.fill_events(buf, max),
+        }
+    }
+
+    fn label(&self) -> &str {
+        match self {
+            BenchmarkSource::Generated(s) => s.label(),
+            BenchmarkSource::Server(s) => s.label(),
+            BenchmarkSource::Imported(s) => s.label(),
+        }
+    }
+}
+
+/// Opens the branch stream for one `(benchmark, input, seed)` cell.
+///
+/// * SPEC95 and H2P benchmarks stream from one seeded generator.
+/// * Server benchmarks interleave [`SERVER_PROCESSES`] phase-shifted
+///   generator instances at [`SERVER_QUANTUM`]-instruction context-switch
+///   quanta; sub-process seeds are derived from `seed`, so the cell stays
+///   fully deterministic.
+/// * Imported benchmarks reopen the registered trace file; `input` and
+///   `seed` do not alter the stream (the file *is* the run).
+///
+/// All sources label themselves `name.input` for reports.
+///
+/// # Panics
+///
+/// For an imported benchmark whose registered file can no longer be opened
+/// or autodetected — registration is the admission point, so a failure here
+/// means the file changed or vanished after admission.
+pub fn open_source(benchmark: Benchmark, input: InputSet, seed: u64) -> BenchmarkSource {
+    // Dispatch on the variant, not on `family()`: an imported trace may
+    // *adopt* a synthetic family for reporting, yet always replays from disk.
+    match benchmark {
+        Benchmark::ServerWeb | Benchmark::ServerDb => {
+            let workload = Workload::from_spec(benchmark.spec());
+            let subs = (0..SERVER_PROCESSES)
+                .map(|i| {
+                    let sub_seed = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    workload
+                        .generator(input, sub_seed)
+                        .skip_instructions(i as u64 * SERVER_PHASE_STRIDE)
+                })
+                .collect();
+            BenchmarkSource::Server(InterleaveSource::new(subs, SERVER_QUANTUM))
+        }
+        Benchmark::Imported(slot) => {
+            let info = imports::info(slot).unwrap_or_else(|| {
+                panic!("imported benchmark slot {slot} used before registration")
+            });
+            let stream = open_path(&info.path).unwrap_or_else(|e| {
+                panic!(
+                    "registered trace {} is no longer readable: {e}",
+                    info.path.display()
+                )
+            });
+            BenchmarkSource::Imported(stream.with_label(format!(
+                "{}.{}",
+                benchmark.name(),
+                input.name()
+            )))
+        }
+        _ => {
+            BenchmarkSource::Generated(Workload::from_spec(benchmark.spec()).generator(input, seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdbp_trace::TraceStats;
+
+    #[test]
+    fn generated_sources_match_direct_generators() {
+        let mut via_source = open_source(Benchmark::Go, InputSet::Train, 3);
+        let mut direct = Workload::spec95(Benchmark::Go).generator(InputSet::Train, 3);
+        for _ in 0..2000 {
+            assert_eq!(via_source.next_event(), direct.next_event());
+        }
+        assert_eq!(via_source.label(), "go.train");
+    }
+
+    #[test]
+    fn server_sources_are_deterministic_and_labeled() {
+        let mut a = open_source(Benchmark::ServerWeb, InputSet::Ref, 11);
+        let mut b = open_source(Benchmark::ServerWeb, InputSet::Ref, 11);
+        for _ in 0..5000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+        assert_eq!(a.label(), "server_web.ref");
+    }
+
+    #[test]
+    fn server_interleaving_widens_the_working_set() {
+        // Within one quantum the server stream is a single process; across
+        // a window spanning several quanta, the four phase-shifted processes
+        // touch more distinct sites than any one of them does alone.
+        let solo = Workload::from_spec(Benchmark::ServerWeb.spec())
+            .generator(InputSet::Train, 5)
+            .take_instructions(4 * SERVER_QUANTUM);
+        let solo_sites = TraceStats::from_source(solo).static_branches();
+        let mixed = open_source(Benchmark::ServerWeb, InputSet::Train, 5)
+            .take_instructions(4 * SERVER_QUANTUM);
+        let mixed_sites = TraceStats::from_source(mixed).static_branches();
+        assert!(
+            mixed_sites > solo_sites,
+            "interleaved {mixed_sites} sites vs solo {solo_sites}"
+        );
+    }
+
+    #[test]
+    fn server_cbr_density_is_near_target() {
+        let spec = Benchmark::ServerDb.spec();
+        let src = open_source(Benchmark::ServerDb, InputSet::Ref, 1).take_instructions(2_000_000);
+        let stats = TraceStats::from_source(src);
+        let cbr = stats.cbrs_per_ki();
+        let target = spec.cbrs_per_ki_ref;
+        assert!(
+            (cbr - target).abs() / target < 0.15,
+            "server_db: cbr {cbr:.1}, target {target}"
+        );
+    }
+
+    #[test]
+    fn h2p_streams_have_flat_per_site_bias() {
+        // The churn class is built from re-randomizing coins: the dynamic
+        // taken-rate must hover near one half, unlike every SPEC95 model.
+        let src = open_source(Benchmark::H2pChurn, InputSet::Ref, 2).take_instructions(1_000_000);
+        let stats = TraceStats::from_source(src);
+        let taken: u64 = stats.iter().map(|(_, s)| s.taken).sum();
+        let rate = taken as f64 / stats.dynamic_branches() as f64;
+        assert!(
+            (0.35..=0.65).contains(&rate),
+            "h2p_churn dynamic taken rate {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn h2p_rare_executes_a_wide_flat_footprint() {
+        let rare = open_source(Benchmark::H2pRare, InputSet::Train, 1).take_instructions(2_000_000);
+        let rare_sites = TraceStats::from_source(rare).static_branches();
+        let hot = open_source(Benchmark::H2pChurn, InputSet::Train, 1).take_instructions(2_000_000);
+        let hot_sites = TraceStats::from_source(hot).static_branches();
+        assert!(
+            rare_sites > 2 * hot_sites,
+            "rare footprint {rare_sites} vs churn {hot_sites}"
+        );
+    }
+}
